@@ -1,0 +1,110 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper from the
+   simulator (simulated time; see EXPERIMENTS.md for paper-vs-measured).
+
+   Part 2 runs Bechamel micro-benchmarks of the *simulator itself*
+   (real wall-clock time per simulated initiation path) — one
+   Test.make per Table 1 row plus the attack-reproduction machinery —
+   so regressions in the implementation are visible independently of
+   the simulated-clock results. *)
+
+module Experiments = Uldma_sim.Experiments
+module Sim_measure = Uldma_sim.Measure
+module Api = Uldma.Api
+
+let line = String.make 78 '='
+
+let results_dir = "_results"
+
+let write_csv id tbl =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat results_dir (id ^ ".csv")) in
+  output_string oc (Uldma_util.Tbl.to_csv tbl);
+  close_out oc
+
+let run_experiments () =
+  Printf.printf "%s\nPart 1: paper reproduction (simulated time)\n%s\n\n" line line;
+  List.iter
+    (fun (e : Experiments.experiment) ->
+      Printf.printf "--- %s [%s] ---\n%!" e.Experiments.id e.Experiments.paper_ref;
+      let tbl = e.Experiments.run () in
+      Uldma_util.Tbl.print tbl;
+      write_csv e.Experiments.id tbl)
+    Experiments.all;
+  Printf.printf "(CSV copies of every table written to %s/)\n" results_dir
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+let initiation_test name =
+  let mech = Api.find_exn name in
+  Test.make ~name:("simulate 10x " ^ name)
+    (Staged.stage (fun () -> ignore (Sim_measure.initiation ~iterations:10 mech : Sim_measure.result)))
+
+let attack_test =
+  Test.make ~name:"simulate fig5 attack"
+    (Staged.stage (fun () ->
+         let s = Uldma_workload.Scenario.fig5 () in
+         Uldma_workload.Scenario.run_legs s Uldma_workload.Scenario.fig5_schedule;
+         Uldma_workload.Scenario.finish s ()))
+
+let explorer_test =
+  Test.make ~name:"explore rep5 schedules"
+    (Staged.stage (fun () ->
+         let s = Uldma_workload.Scenario.rep5 () in
+         let pids =
+           [
+             s.Uldma_workload.Scenario.victim.Uldma_os.Process.pid;
+             s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid;
+           ]
+         in
+         ignore
+           (Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids
+              ~max_paths:50 ~check:(fun _ -> None) ())))
+
+let tests =
+  Test.make_grouped ~name:"uldma"
+    ([ initiation_test "kernel"; initiation_test "ext-shadow"; initiation_test "rep-args";
+       initiation_test "key-based"; initiation_test "pal" ]
+    @ [ attack_test; explorer_test ])
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.8) ~kde:None () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bench_results results =
+  Printf.printf "\n%s\nPart 2: simulator micro-benchmarks (real time, bechamel OLS)\n%s\n\n" line
+    line;
+  let tbl =
+    Uldma_util.Tbl.create ~title:"wall-clock cost of the simulation paths"
+      ~columns:[ ("benchmark", Uldma_util.Tbl.Left); ("time per run", Uldma_util.Tbl.Right) ]
+  in
+  Hashtbl.iter
+    (fun _instance tbl_by_name ->
+      Hashtbl.iter
+        (fun name ols ->
+          let cell =
+            match Analyze.OLS.estimates ols with
+            | Some (time :: _) -> Format.asprintf "%a" Uldma_util.Units.pp_time (int_of_float (time *. 1000.0))
+            | Some [] | None -> "n/a"
+          in
+          Uldma_util.Tbl.add_row tbl [ name; cell ])
+        tbl_by_name)
+    results;
+  Uldma_util.Tbl.print tbl
+
+let () =
+  run_experiments ();
+  let results = benchmark () in
+  print_bench_results results;
+  print_endline "done."

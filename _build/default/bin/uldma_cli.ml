@@ -1,0 +1,247 @@
+(* uldma_cli: run the paper's experiments selectively from the command
+   line, list the registry, or inspect the mechanism catalog.
+
+     uldma_cli list
+     uldma_cli run table1 [--csv out.csv] [--iterations N]
+     uldma_cli all
+     uldma_cli mechanisms
+*)
+
+module Experiments = Uldma_sim.Experiments
+module Api = Uldma.Api
+module Mech = Uldma.Mech
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every reproducible table/figure." in
+  let run () =
+    let tbl =
+      Uldma_util.Tbl.create ~title:"experiments"
+        ~columns:
+          [ ("id", Uldma_util.Tbl.Left); ("paper", Uldma_util.Tbl.Left); ("title", Uldma_util.Tbl.Left) ]
+    in
+    List.iter
+      (fun (e : Experiments.experiment) ->
+        Uldma_util.Tbl.add_row tbl [ e.Experiments.id; e.Experiments.paper_ref; e.Experiments.title ])
+      Experiments.all;
+    Uldma_util.Tbl.print tbl
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_experiment id csv iterations =
+  match Experiments.find id with
+  | None ->
+    Printf.eprintf "unknown experiment %S; try `uldma_cli list'\n" id;
+    exit 1
+  | Some e ->
+    let tbl =
+      if id = "table1" then Experiments.table1 ?iterations ()
+      else e.Experiments.run ()
+    in
+    Uldma_util.Tbl.print tbl;
+    (match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Uldma_util.Tbl.to_csv tbl);
+      close_out oc;
+      Printf.printf "(csv written to %s)\n" path
+    | None -> ())
+
+let run_cmd =
+  let doc = "Run one experiment by id." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.") in
+  let iterations =
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N" ~doc:"Initiations per mechanism (table1 only).")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiment $ id $ csv $ iterations)
+
+let all_cmd =
+  let doc = "Run every experiment in registry order." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.experiment) ->
+        Printf.printf "--- %s [%s] ---\n%!" e.Experiments.id e.Experiments.paper_ref;
+        Uldma_util.Tbl.print (e.Experiments.run ()))
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let mechanisms_cmd =
+  let doc = "Show the mechanism catalog." in
+  let run () =
+    let tbl =
+      Uldma_util.Tbl.create ~title:"DMA initiation mechanisms"
+        ~columns:
+          [
+            ("name", Uldma_util.Tbl.Left);
+            ("NI accesses", Uldma_util.Tbl.Right);
+            ("kernel modification", Uldma_util.Tbl.Left);
+            ("engine personality", Uldma_util.Tbl.Left);
+          ]
+    in
+    List.iter
+      (fun (m : Mech.t) ->
+        Uldma_util.Tbl.add_row tbl
+          [
+            m.Mech.name;
+            string_of_int m.Mech.ni_accesses;
+            (if m.Mech.requires_kernel_modification then "required" else "none");
+            (match m.Mech.engine_mechanism with
+            | None -> "any"
+            | Some Uldma_dma.Engine.Shrimp_mapped -> "shrimp-mapped"
+            | Some Uldma_dma.Engine.Shrimp_two_step -> "two-step"
+            | Some Uldma_dma.Engine.Flash -> "flash"
+            | Some Uldma_dma.Engine.Key_based -> "key-contexts"
+            | Some Uldma_dma.Engine.Ext_shadow -> "ext-shadow"
+            | Some Uldma_dma.Engine.Ext_shadow_stateless -> "ext-shadow (no contexts)"
+            | Some (Uldma_dma.Engine.Rep_args _) -> "sequence-recogniser");
+          ])
+      Api.all;
+    Uldma_util.Tbl.print tbl
+  in
+  Cmd.v (Cmd.info "mechanisms" ~doc) Term.(const run $ const ())
+
+let sweep_cmd =
+  let doc =
+    "Custom latency sweep: measure initiation for chosen mechanisms across bus frequencies \
+     and syscall costs."
+  in
+  let mechanisms =
+    Arg.(
+      value
+      & opt (list string) [ "kernel"; "ext-shadow"; "rep-args"; "key-based" ]
+      & info [ "mechanisms" ] ~docv:"NAMES" ~doc:"Comma-separated mechanism names.")
+  in
+  let bus_mhz =
+    Arg.(
+      value
+      & opt (list float) [ 12.5 ]
+      & info [ "bus-mhz" ] ~docv:"MHZ" ~doc:"Comma-separated bus frequencies in MHz.")
+  in
+  let syscall_cycles =
+    Arg.(
+      value
+      & opt int 2300
+      & info [ "syscall-cycles" ] ~docv:"N" ~doc:"Empty-syscall cost in CPU cycles.")
+  in
+  let iterations =
+    Arg.(value & opt int 500 & info [ "iterations" ] ~docv:"N" ~doc:"Initiations per cell.")
+  in
+  let run mech_names bus_list syscall iterations =
+    let tbl =
+      Uldma_util.Tbl.create
+        ~title:(Printf.sprintf "custom sweep (syscall = %d cycles, %d initiations/cell)" syscall iterations)
+        ~columns:
+          (("mechanism", Uldma_util.Tbl.Left)
+          :: List.map (fun mhz -> (Printf.sprintf "%g MHz (us)" mhz, Uldma_util.Tbl.Right)) bus_list)
+    in
+    List.iter
+      (fun name ->
+        match Api.find name with
+        | None ->
+          Printf.eprintf "unknown mechanism %S; try `uldma_cli mechanisms'\n" name;
+          exit 1
+        | Some mech ->
+          let cells =
+            List.map
+              (fun mhz ->
+                let timing =
+                  Uldma_bus.Timing.with_syscall_cycles
+                    (Uldma_bus.Timing.with_bus_hz Uldma_bus.Timing.alpha3000_300
+                       (int_of_float (mhz *. 1e6)))
+                    syscall
+                in
+                let base = { Uldma_os.Kernel.default_config with Uldma_os.Kernel.timing } in
+                let r = Uldma_sim.Measure.initiation ~base ~iterations mech in
+                Printf.sprintf "%.2f" r.Uldma_sim.Measure.us_per_initiation)
+              bus_list
+          in
+          Uldma_util.Tbl.add_row tbl (name :: cells))
+      mech_names;
+    Uldma_util.Tbl.print tbl
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ mechanisms $ bus_mhz $ syscall_cycles $ iterations)
+
+let timeline_cmd =
+  let doc = "Replay an attack scenario and print its access timeline (the paper's interleaving diagrams)." in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("fig5", `Fig5); ("fig6", `Fig6); ("shrimp2", `Shrimp2); ("rep5", `Rep5) ])) None
+      & info [] ~docv:"SCENARIO")
+  in
+  let run which =
+    let module Scenario = Uldma_workload.Scenario in
+    let s, schedule =
+      match which with
+      | `Fig5 -> (Scenario.fig5 (), Scenario.fig5_schedule)
+      | `Fig6 -> (Scenario.fig6 (), Scenario.fig6_schedule)
+      | `Shrimp2 -> (Scenario.shrimp2_race ~hook:false, Scenario.shrimp2_schedule)
+      | `Rep5 -> (Scenario.rep5 (), Scenario.fig5_schedule)
+    in
+    Scenario.run_legs s schedule;
+    Scenario.finish s ();
+    let tbl =
+      Uldma_util.Tbl.create ~title:"engine-visible access timeline"
+        ~columns:
+          [ ("t (us)", Uldma_util.Tbl.Right); ("actor", Uldma_util.Tbl.Left); ("access", Uldma_util.Tbl.Left) ]
+    in
+    List.iter
+      (fun (at, actor, access) ->
+        Uldma_util.Tbl.add_row tbl
+          [ Printf.sprintf "%.2f" (Uldma_util.Units.to_us at); actor; access ])
+      (Scenario.access_timeline s);
+    Uldma_util.Tbl.print tbl;
+    List.iter
+      (fun tr -> Format.printf "started: %a@." Uldma_dma.Transfer.pp tr)
+      (Scenario.transfers s);
+    Format.printf "%a@." Uldma_verify.Oracle.pp_report (Scenario.report s)
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ which)
+
+let stub_cmd =
+  let doc =
+    "Print the instruction sequence a mechanism's stub emits (the paper's Figs. 1-4/7 as code)."
+  in
+  let mech_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"MECHANISM") in
+  let run mech_name =
+    match Api.find mech_name with
+    | None ->
+      Printf.eprintf "unknown mechanism %S; try `uldma_cli mechanisms'\n" mech_name;
+      exit 1
+    | Some mech ->
+      (* build a minimal machine so prepare can allocate real contexts
+         and mappings, then print the emitted DMA(r1, r2, r3) body *)
+      let config = Api.kernel_config mech in
+      let kernel = Uldma_os.Kernel.create config in
+      let p = Uldma_os.Kernel.spawn kernel ~name:"stub" ~program:[||] () in
+      let src = Uldma_os.Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+      let dst = Uldma_os.Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+      let prepared =
+        mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages = 1 }
+          ~dst:{ Mech.vaddr = dst; pages = 1 }
+      in
+      let asm = Uldma_cpu.Asm.create () in
+      prepared.Mech.emit_dma asm;
+      Printf.printf
+        "DMA stub for %s  (entry: r1 = vsource, r2 = vdestination, r3 = size; exit: r0 = status)\n\n"
+        mech.Mech.name;
+      Format.printf "%a" Uldma_cpu.Isa.pp_listing (Uldma_cpu.Asm.assemble asm);
+      Printf.printf "\n%d engine accesses per initiation; kernel modification: %s\n"
+        mech.Mech.ni_accesses
+        (if mech.Mech.requires_kernel_modification then "REQUIRED" else "none");
+      if mech.Mech.name = "pal" then begin
+        Printf.printf "\nPAL body (installed once, executes uninterruptibly):\n";
+        Format.printf "%a" Uldma_cpu.Isa.pp_listing Uldma.Pal_dma.pal_body
+      end
+  in
+  Cmd.v (Cmd.info "stub" ~doc) Term.(const run $ mech_arg)
+
+let () =
+  let doc = "User-level DMA without OS kernel modification - reproduction toolkit" in
+  let info = Cmd.info "uldma_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; mechanisms_cmd; sweep_cmd; timeline_cmd; stub_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Format Kernel List Printf Process String Uldma_dma Uldma_os Uldma_verify Uldma_workload

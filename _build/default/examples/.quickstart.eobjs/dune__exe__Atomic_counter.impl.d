@@ -1,0 +1,1 @@
+examples/atomic_counter.ml: Asm Format Isa Kernel Layout Perms Printf Process Sched Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_os Uldma_util

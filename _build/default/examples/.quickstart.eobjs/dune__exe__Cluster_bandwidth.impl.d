@@ -1,0 +1,1 @@
+examples/cluster_bandwidth.ml: Format Kernel Layout List Perms Printf Process Tbl Uldma Uldma_mem Uldma_net Uldma_os Uldma_sim Uldma_util Uldma_workload Units

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Asm Isa Kernel Layout List Perms Printf Process Regfile Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_os Uldma_util Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Kernel List Perms Printf Process Uldma Uldma_dma Uldma_mem Uldma_os Uldma_util Uldma_workload

@@ -1,0 +1,1 @@
+examples/telegraphos_shm.ml: Asm Format Isa Kernel Layout List Perms Printf Process Sched Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_net Uldma_os Uldma_sim Uldma_util

@@ -1,0 +1,1 @@
+examples/telegraphos_shm.mli:

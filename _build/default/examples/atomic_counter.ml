@@ -1,0 +1,87 @@
+(* Atomic counter: user-level atomic operations (paper sec. 3.5).
+
+   Network interfaces that give a NOW a shared-memory abstraction
+   (Telegraphos, SCI) offer atomic_add / compare_and_swap on memory.
+   Four worker processes hammer one shared counter and one CAS-guarded
+   slot, with every operation initiated FROM USER LEVEL through the
+   extended-shadow atomic window — no system call, fully preemptible,
+   and still exact.
+
+   Run with: dune exec examples/atomic_counter.exe *)
+
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+module Mech = Uldma.Mech
+
+let workers = 4
+let increments = 200
+
+let () =
+  print_endline "=== user-level atomic operations: shared counter ===\n";
+  let config =
+    {
+      Kernel.default_config with
+      Kernel.mechanism = Uldma_dma.Engine.Ext_shadow;
+      backend = Kernel.Local { bytes_per_s = 1e9 };
+      sched = Sched.Round_robin { quantum = 7 };
+      ram_size = 128 * Layout.page_size;
+    }
+  in
+  let kernel = Kernel.create config in
+
+  (* the page owner allocates the shared words *)
+  let owner = Kernel.spawn kernel ~name:"owner" ~program:[||] () in
+  let shared = Kernel.alloc_pages kernel owner ~n:1 ~perms:Perms.read_write in
+  Process.set_program owner (Asm.assemble_list [ Isa.Halt ]);
+  let counter_off = 0 and winner_off = 8 in
+
+  for w = 1 to workers do
+    let p = Kernel.spawn kernel ~name:(Printf.sprintf "worker%d" w) ~program:[||] () in
+    let page =
+      Kernel.share_pages kernel ~from_process:owner ~vaddr:shared ~n:1 ~into:p
+        ~perms:Perms.read_write
+    in
+    let prepared =
+      Uldma.Atomic.prepare Uldma.Atomic.Ext_shadow_initiated kernel p
+        ~region:{ Mech.vaddr = page; pages = 1 }
+    in
+    let asm = Asm.create () in
+    let loop = Asm.fresh_label asm "loop" in
+    (* counter loop: increments x atomic_add(1) *)
+    Asm.li asm 10 0;
+    Asm.li asm 11 increments;
+    Asm.li asm 5 1;
+    Asm.label asm loop;
+    Asm.li asm 1 (page + counter_off);
+    prepared.Uldma.Atomic.emit_add asm ~operand:5;
+    Asm.add asm 10 10 (Isa.Imm 1);
+    Asm.blt asm 10 11 loop;
+    (* leader election: CAS(winner: 0 -> my id); exactly one wins *)
+    Asm.li asm 1 (page + winner_off);
+    Asm.li asm 5 0;
+    Asm.li asm 6 w;
+    prepared.Uldma.Atomic.emit_cas asm ~expected:5 ~desired:6;
+    Asm.halt asm;
+    Process.set_program p (Asm.assemble asm)
+  done;
+
+  (match Kernel.run kernel ~max_steps:10_000_000 () with
+  | Kernel.All_exited -> ()
+  | _ -> failwith "workers did not finish");
+
+  let counter = Kernel.read_user kernel owner (shared + counter_off) in
+  let winner = Kernel.read_user kernel owner (shared + winner_off) in
+  let counters = Uldma_dma.Engine.counters (Kernel.engine kernel) in
+  Printf.printf "workers:            %d x %d atomic_add(1), preempted every 7 instructions\n"
+    workers increments;
+  Printf.printf "final counter:      %d (expected %d)%s\n" counter (workers * increments)
+    (if counter = workers * increments then "  -- no lost updates" else "  -- LOST UPDATES!");
+  Printf.printf "CAS leader:         worker %d (exactly one of %d CAS attempts won)\n" winner
+    workers;
+  Printf.printf "atomic ops served:  %d\n" counters.Uldma_dma.Engine.atomics;
+  Printf.printf "context switches:   %d\n" (Kernel.context_switches kernel);
+  Format.printf "simulated time:     %a@." Uldma_util.Units.pp_time (Kernel.now_ps kernel);
+  print_endline
+    "\nEvery operation was two uncached accesses through the atomic shadow window;\n\
+     the kernel was never entered after setup (and never modified)."

@@ -1,0 +1,116 @@
+(* Pipeline: overlapping computation with communication.
+
+   The reason cheap DMA initiation matters in a NOW is that a process
+   can *keep computing* while the interface moves data. This example
+   runs a double-buffered producer: in each round it launches the DMA
+   of the buffer it just filled (two uncached accesses, ext-shadow) and
+   immediately starts computing the next buffer, only polling the
+   register context for completion when it needs the channel again.
+
+   The same workload is then run serially (poll to completion right
+   after each initiation) to show the overlap gain.
+
+   Run with: dune exec examples/pipeline.exe *)
+
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+module Mech = Uldma.Mech
+module Api = Uldma.Api
+
+let rounds = 16
+let buffer_bytes = 8192
+let compute_iterations = 2000
+
+(* r10 round counter, r12/r13 buffer bases, r15 compute counter,
+   r18 context-page pointer *)
+let build_program ~overlap ~buf0 ~buf1 ~dst ~emit_dma =
+  let asm = Asm.create () in
+  let poll () =
+    let again = Asm.fresh_label asm "poll" in
+    Asm.label asm again;
+    Asm.load asm 0 ~base:18 ~off:0;
+    Asm.bne asm 0 Regfile.zero_reg again
+  in
+  let compute () =
+    let loop = Asm.fresh_label asm "compute" in
+    Asm.li asm 15 0;
+    Asm.li asm 16 compute_iterations;
+    Asm.label asm loop;
+    Asm.add asm 14 14 (Isa.Imm 3);
+    Asm.add asm 15 15 (Isa.Imm 1);
+    Asm.blt asm 15 16 loop
+  in
+  Asm.li asm 10 0;
+  Asm.li asm 11 rounds;
+  Asm.li asm 12 buf0;
+  Asm.li asm 13 buf1;
+  Asm.li asm 18 Vm.context_page_va;
+  let round = Asm.fresh_label asm "round" in
+  Asm.label asm round;
+  (* launch the DMA of the buffer for this round (alternating) *)
+  Asm.and_ asm 19 10 (Isa.Imm 1);
+  let use_buf1 = Asm.fresh_label asm "use_buf1" in
+  let launched = Asm.fresh_label asm "launched" in
+  Asm.bne asm 19 Regfile.zero_reg use_buf1;
+  Asm.mov asm Mech.reg_vsrc 12;
+  Asm.jmp asm launched;
+  Asm.label asm use_buf1;
+  Asm.mov asm Mech.reg_vsrc 13;
+  Asm.label asm launched;
+  Asm.li asm Mech.reg_vdst dst;
+  Asm.li asm Mech.reg_size buffer_bytes;
+  emit_dma asm;
+  if not overlap then poll ();
+  (* produce the next buffer while (in the overlapped version) the
+     previous one is still on the wire *)
+  compute ();
+  if overlap then poll ();
+  Asm.add asm 10 10 (Isa.Imm 1);
+  Asm.blt asm 10 11 round;
+  Asm.halt asm;
+  Asm.assemble asm
+
+let run ~overlap =
+  let mech = Api.find_exn "ext-shadow" in
+  let config =
+    Api.kernel_config mech
+      ~base:
+        {
+          Kernel.default_config with
+          Kernel.ram_size = 64 * Layout.page_size;
+          (* a 19 MB/s wire: one 8 KiB buffer takes ~420 us *)
+          backend = Kernel.Local { bytes_per_s = 19e6 };
+        }
+  in
+  let kernel = Kernel.create config in
+  let p = Kernel.spawn kernel ~name:"producer" ~program:[||] () in
+  let buf0 = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  let buf1 = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    mech.Mech.prepare kernel p ~src:{ Mech.vaddr = buf0; pages = 2 }
+      ~dst:{ Mech.vaddr = dst; pages = 1 }
+  in
+  Process.set_program p (build_program ~overlap ~buf0 ~buf1 ~dst ~emit_dma:prepared.Mech.emit_dma);
+  (match Kernel.run kernel ~max_steps:20_000_000 () with
+  | Kernel.All_exited -> ()
+  | _ -> failwith "producer did not finish");
+  let transfers = List.length (Uldma_dma.Engine.transfers (Kernel.engine kernel)) in
+  (Uldma_util.Units.to_us (Kernel.now_ps kernel), transfers)
+
+let () =
+  print_endline "=== double-buffered producer: compute/communicate overlap ===\n";
+  Printf.printf "%d rounds x (%d bytes on a 19 MB/s wire + %d compute iterations)\n\n" rounds
+    buffer_bytes compute_iterations;
+  let serial_us, serial_n = run ~overlap:false in
+  let overlap_us, overlap_n = run ~overlap:true in
+  Printf.printf "serial     (initiate, wait, compute): %8.1f us  (%d transfers)\n" serial_us
+    serial_n;
+  Printf.printf "overlapped (initiate, compute, wait): %8.1f us  (%d transfers)\n" overlap_us
+    overlap_n;
+  Printf.printf "overlap gain:                          %7.1f%%\n"
+    (100.0 *. ((serial_us /. overlap_us) -. 1.0));
+  print_endline
+    "\nTwo-instruction initiation is what makes this overlap free: with an 18.6 us\n\
+     syscall per launch the producer would burn the whole compute phase in the kernel."

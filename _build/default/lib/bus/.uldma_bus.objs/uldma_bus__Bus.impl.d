@@ -1,0 +1,1 @@
+lib/bus/bus.ml: Clock Layout List Phys_mem Timing Txn Uldma_mem

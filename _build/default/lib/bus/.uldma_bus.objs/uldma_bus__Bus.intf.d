@@ -1,0 +1,1 @@
+lib/bus/bus.mli: Clock Timing Txn Uldma_mem Uldma_util

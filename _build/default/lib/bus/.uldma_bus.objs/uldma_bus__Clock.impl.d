@@ -1,0 +1,1 @@
+lib/bus/clock.ml: Uldma_util

@@ -1,0 +1,1 @@
+lib/bus/clock.mli: Format Uldma_util

@@ -1,0 +1,1 @@
+lib/bus/timing.ml: Printf Txn Uldma_util Units

@@ -1,0 +1,1 @@
+lib/bus/timing.mli: Txn Uldma_util

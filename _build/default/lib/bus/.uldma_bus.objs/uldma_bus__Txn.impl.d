@@ -1,0 +1,1 @@
+lib/bus/txn.ml: Format Printf Uldma_util

@@ -1,0 +1,1 @@
+lib/bus/txn.mli: Format Uldma_util

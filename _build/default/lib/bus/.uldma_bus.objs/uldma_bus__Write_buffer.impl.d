@@ -1,0 +1,1 @@
+lib/bus/write_buffer.ml: List

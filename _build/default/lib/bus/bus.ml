@@ -1,0 +1,85 @@
+open Uldma_mem
+
+exception Bus_error of int
+
+type device = { claims : int -> bool; handle : Txn.t -> int }
+
+type t = {
+  clock : Clock.t;
+  mutable timing : Timing.t;
+  ram : Phys_mem.t;
+  mutable devices : device list; (* registration order *)
+  mutable tracing : bool;
+  mutable trace : Txn.t list; (* newest first *)
+  mutable busy_ps : int; (* cumulative uncached-crossing time *)
+}
+
+let create ~clock ~timing ~ram =
+  { clock; timing; ram; devices = []; tracing = false; trace = []; busy_ps = 0 }
+
+let clock t = t.clock
+let timing t = t.timing
+let ram t = t.ram
+let set_timing t timing = t.timing <- timing
+
+let register_device t d = t.devices <- t.devices @ [ d ]
+
+let find_device t paddr = List.find_opt (fun d -> d.claims paddr) t.devices
+
+let record t txn = if t.tracing then t.trace <- txn :: t.trace
+
+let uncached_access t ~pid op paddr value =
+  t.busy_ps <- t.busy_ps + Timing.uncached_ps t.timing op;
+  Clock.advance t.clock (Timing.uncached_ps t.timing op);
+  let txn = { Txn.op; paddr; value; pid; at = Clock.now t.clock } in
+  record t txn;
+  match find_device t paddr with
+  | Some d -> d.handle txn
+  | None ->
+    if paddr >= 0 && paddr + Layout.word_size <= Phys_mem.size t.ram then begin
+      match op with
+      | Txn.Load -> Phys_mem.load_word t.ram paddr
+      | Txn.Store ->
+        Phys_mem.store_word t.ram paddr value;
+        0
+    end
+    else raise (Bus_error paddr)
+
+let load t ~pid ~cacheable paddr =
+  if cacheable then begin
+    Clock.advance t.clock (Timing.cached_access_ps t.timing);
+    if paddr >= 0 && paddr + Layout.word_size <= Phys_mem.size t.ram then
+      Phys_mem.load_word t.ram paddr
+    else raise (Bus_error paddr)
+  end
+  else uncached_access t ~pid Txn.Load paddr 0
+
+let store t ~pid ~cacheable paddr value =
+  if cacheable then begin
+    Clock.advance t.clock (Timing.cached_access_ps t.timing);
+    if paddr >= 0 && paddr + Layout.word_size <= Phys_mem.size t.ram then
+      Phys_mem.store_word t.ram paddr value
+    else raise (Bus_error paddr)
+  end
+  else ignore (uncached_access t ~pid Txn.Store paddr value)
+
+let set_trace t on =
+  t.tracing <- on;
+  if not on then t.trace <- []
+
+let trace t = List.rev t.trace
+
+let clear_trace t = t.trace <- []
+
+let busy_ps t = t.busy_ps
+
+let copy t ~ram ~clock =
+  {
+    clock;
+    timing = t.timing;
+    ram;
+    devices = [];
+    tracing = t.tracing;
+    trace = t.trace;
+    busy_ps = t.busy_ps;
+  }

@@ -1,0 +1,47 @@
+(** The I/O bus: routes physical accesses to RAM or to a memory-mapped
+    device (the DMA engine), charging simulated time per crossing.
+
+    Device claims are registered by the machine at construction time;
+    an access that neither RAM nor a device claims raises
+    [Bus_error]. *)
+
+type t
+
+exception Bus_error of int
+
+type device = {
+  claims : int -> bool;
+  handle : Txn.t -> int; (** returns the load reply; ignored for stores *)
+}
+
+val create : clock:Clock.t -> timing:Timing.t -> ram:Uldma_mem.Phys_mem.t -> t
+
+val clock : t -> Clock.t
+val timing : t -> Timing.t
+val ram : t -> Uldma_mem.Phys_mem.t
+val set_timing : t -> Timing.t -> unit
+
+val register_device : t -> device -> unit
+(** Devices are probed in registration order. *)
+
+val load : t -> pid:int -> cacheable:bool -> int -> int
+(** Word load. Cacheable accesses must target RAM and are charged the
+    cache-hit cost; uncacheable accesses are charged bus cycles and are
+    visible to devices. *)
+
+val store : t -> pid:int -> cacheable:bool -> int -> int -> unit
+
+val set_trace : t -> bool -> unit
+val trace : t -> Txn.t list
+(** Recorded transactions, oldest first (only while tracing). *)
+
+val clear_trace : t -> unit
+
+val busy_ps : t -> Uldma_util.Units.ps
+(** Cumulative time the bus spent on uncached crossings — utilization
+    numerator for the accounting report. *)
+
+val copy : t -> ram:Uldma_mem.Phys_mem.t -> clock:Clock.t -> t
+(** Snapshot with the given already-copied RAM and clock. Devices are
+    carried over by reference and must be re-registered by the caller
+    if they hold state. *)

@@ -1,0 +1,11 @@
+type t = { mutable now : Uldma_util.Units.ps }
+
+let create () = { now = 0 }
+let copy t = { now = t.now }
+let now t = t.now
+
+let advance t d =
+  assert (d >= 0);
+  t.now <- t.now + d
+
+let pp ppf t = Uldma_util.Units.pp_time ppf t.now

@@ -1,0 +1,11 @@
+(** The machine's simulated clock, in integer picoseconds. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val now : t -> Uldma_util.Units.ps
+val advance : t -> Uldma_util.Units.ps -> unit
+(** Advance by a non-negative duration. *)
+
+val pp : Format.formatter -> t -> unit

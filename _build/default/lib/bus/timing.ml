@@ -1,0 +1,80 @@
+open Uldma_util
+
+type t = {
+  name : string;
+  cpu_hz : int;
+  bus_hz : int;
+  uncached_store_bus_cycles : int;
+  uncached_load_bus_cycles : int;
+  cached_access_cpu_cycles : int;
+  instruction_cpu_cycles : int;
+  memory_barrier_cpu_cycles : int;
+  syscall_cpu_cycles : int;
+  translate_cpu_cycles : int;
+  check_size_cpu_cycles : int;
+  context_switch_cpu_cycles : int;
+  pal_call_cpu_cycles : int;
+  tlb_miss_cpu_cycles : int;
+  dma_setup_ps : Units.ps;
+}
+
+let alpha3000_300 =
+  {
+    name = "alpha3000/300 + TurboChannel 12.5MHz";
+    cpu_hz = 150_000_000;
+    bus_hz = 12_500_000;
+    uncached_store_bus_cycles = 7;
+    uncached_load_bus_cycles = 5;
+    cached_access_cpu_cycles = 1;
+    instruction_cpu_cycles = 2;
+    memory_barrier_cpu_cycles = 5;
+    syscall_cpu_cycles = 2300;
+    translate_cpu_cycles = 60;
+    check_size_cpu_cycles = 40;
+    context_switch_cpu_cycles = 600;
+    pal_call_cpu_cycles = 30;
+    tlb_miss_cpu_cycles = 30;
+    dma_setup_ps = Units.ns 400.0;
+  }
+
+let pci33 =
+  { alpha3000_300 with name = "alpha + PCI 33MHz"; bus_hz = 33_000_000 }
+
+let pci66 =
+  { alpha3000_300 with name = "alpha + PCI 66MHz"; bus_hz = 66_000_000 }
+
+let modern =
+  {
+    alpha3000_300 with
+    name = "2GHz CPU + PCI 66MHz";
+    cpu_hz = 2_000_000_000;
+    bus_hz = 66_000_000;
+    syscall_cpu_cycles = 4500;
+    context_switch_cpu_cycles = 2000;
+  }
+
+let with_bus_hz t hz = { t with name = Printf.sprintf "%s @bus %dMHz" t.name (hz / 1_000_000); bus_hz = hz }
+
+let with_syscall_cycles t c = { t with syscall_cpu_cycles = c }
+
+let cpu_cycle_ps t = Units.cycle_ps ~hz:t.cpu_hz
+let bus_cycle_ps t = Units.cycle_ps ~hz:t.bus_hz
+
+let cpu t n = n * cpu_cycle_ps t
+let bus t n = n * bus_cycle_ps t
+
+let instruction_ps t = cpu t t.instruction_cpu_cycles
+let cached_access_ps t = cpu t t.cached_access_cpu_cycles
+
+let uncached_ps t op =
+  match (op : Txn.op) with
+  | Txn.Store -> bus t t.uncached_store_bus_cycles
+  | Txn.Load -> bus t t.uncached_load_bus_cycles
+
+let memory_barrier_ps t = cpu t t.memory_barrier_cpu_cycles
+let syscall_ps t = cpu t t.syscall_cpu_cycles
+let translate_ps t = cpu t t.translate_cpu_cycles
+let check_size_ps t = cpu t t.check_size_cpu_cycles
+let context_switch_ps t = cpu t t.context_switch_cpu_cycles
+let pal_call_ps t = cpu t t.pal_call_cpu_cycles
+let tlb_miss_ps t = cpu t t.tlb_miss_cpu_cycles

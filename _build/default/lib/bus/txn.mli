@@ -1,0 +1,22 @@
+(** Bus transactions as seen by memory-mapped devices.
+
+    A transaction carries the issuing process id as *provenance* for
+    the test oracle and for the FLASH baseline (whose modified kernel
+    tells the engine who is running). Protection-mechanism decoders
+    must not see it: they receive a [view]. *)
+
+type op = Load | Store
+
+type t = {
+  op : op;
+  paddr : int;
+  value : int; (** store payload; 0 for loads *)
+  pid : int; (** issuing process (provenance only) *)
+  at : Uldma_util.Units.ps; (** issue time *)
+}
+
+type view = { v_op : op; v_paddr : int; v_value : int }
+
+val view : t -> view
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type mode = Ordered | Bypass of { forward : bool; collapse : bool }
+
+type t = {
+  mode : mode;
+  capacity : int;
+  mutable queue : (int * int) list; (* oldest first *)
+}
+
+let create ?(capacity = 4) mode =
+  if capacity < 1 then invalid_arg "Write_buffer.create: capacity < 1";
+  { mode; capacity; queue = [] }
+
+let copy t = { t with queue = t.queue }
+
+let mode t = t.mode
+
+let pending t = t.queue
+
+let drain_all t emit =
+  List.iter (fun (paddr, value) -> emit ~paddr ~value) t.queue;
+  t.queue <- []
+
+let store t ~emit ~paddr ~value =
+  match t.mode with
+  | Ordered -> emit ~paddr ~value
+  | Bypass { collapse; _ } ->
+    let collapsed =
+      collapse && List.exists (fun (p, _) -> p = paddr) t.queue
+    in
+    if collapsed then
+      t.queue <- List.map (fun (p, v) -> if p = paddr then (p, value) else (p, v)) t.queue
+    else begin
+      t.queue <- t.queue @ [ (paddr, value) ];
+      if List.length t.queue > t.capacity then
+        match t.queue with
+        | (p, v) :: rest ->
+          t.queue <- rest;
+          emit ~paddr:p ~value:v
+        | [] -> ()
+    end
+
+let load t ~paddr =
+  match t.mode with
+  | Ordered -> `To_bus
+  | Bypass { forward; _ } ->
+    if not forward then `To_bus
+    else begin
+      (* most recent buffered store to this address wins *)
+      let hit =
+        List.fold_left
+          (fun acc (p, v) -> if p = paddr then Some v else acc)
+          None t.queue
+      in
+      match hit with Some v -> `Forwarded v | None -> `To_bus
+    end
+
+let barrier t ~emit = drain_all t emit
+
+let flush t ~emit = drain_all t emit

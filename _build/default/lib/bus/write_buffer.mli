@@ -1,0 +1,47 @@
+(** The CPU's write buffer.
+
+    Footnote 6 and the Table 1 methodology both warn that "some
+    hardware devices (e.g. write buffers) may attempt to collapse
+    successive read/write operations to the same address", which is why
+    the repeated-passing-of-arguments method must issue memory
+    barriers. This module models both behaviours:
+
+    - [Ordered]: the bus preserves program order and never collapses —
+      stores reach the device immediately. Memory barriers are cheap
+      no-ops. This is the default for latency measurements.
+    - [Bypass]: stores are buffered; loads *bypass* buffered stores
+      (reaching the device first), optionally get *forwarded* data from
+      a buffered store to the same address (so the device never sees
+      the load), and consecutive stores to the same address optionally
+      *collapse*. Only [MB] (or a full buffer) drains it. This is the
+      hazardous real-machine behaviour the ablation benchmark and the
+      write-buffer tests exercise. *)
+
+type mode = Ordered | Bypass of { forward : bool; collapse : bool }
+
+type t
+
+val create : ?capacity:int -> mode -> t
+(** [capacity] (default 4) bounds the [Bypass] queue; an overflowing
+    store drains the oldest entry first. *)
+
+val copy : t -> t
+val mode : t -> mode
+val pending : t -> (int * int) list
+(** Buffered (paddr, value) pairs, oldest first. *)
+
+val store : t -> emit:(paddr:int -> value:int -> unit) -> paddr:int -> value:int -> unit
+(** Process a store: in [Ordered] mode it is emitted at once; in
+    [Bypass] mode it is buffered (collapsing if configured), draining
+    the oldest entry through [emit] on overflow. *)
+
+val load : t -> paddr:int -> [ `Forwarded of int | `To_bus ]
+(** Process a load: [`Forwarded v] if a buffered store to the same
+    address satisfies it (the device never sees the load); [`To_bus]
+    otherwise — note the load then *overtakes* any buffered stores. *)
+
+val barrier : t -> emit:(paddr:int -> value:int -> unit) -> unit
+(** [MB]: drain everything, oldest first. *)
+
+val flush : t -> emit:(paddr:int -> value:int -> unit) -> unit
+(** Same as [barrier]; used by the machine at traps and halts. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Ext_shadow Flash Kernel Kernel_dma Key_dma List Mech Pal_dma Printf Rep_args Shrimp1 Shrimp2 Uldma_dma Uldma_os

@@ -1,0 +1,1 @@
+lib/core/atomic.ml: Asm Atomic_op Engine Isa Kernel Key_dma Mech Process Regmap Sysno Uldma_cpu Uldma_dma Uldma_os Vm

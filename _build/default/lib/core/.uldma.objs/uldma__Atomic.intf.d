@@ -1,0 +1,1 @@
+lib/core/atomic.mli: Mech Uldma_cpu Uldma_dma Uldma_os

@@ -1,0 +1,1 @@
+lib/core/ext_shadow.ml: Asm Kernel Mech Process Uldma_cpu Uldma_dma Uldma_os

@@ -1,0 +1,1 @@
+lib/core/ext_shadow.mli: Mech Uldma_cpu

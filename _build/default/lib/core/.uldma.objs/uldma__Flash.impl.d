@@ -1,0 +1,1 @@
+lib/core/flash.ml: Kernel Mech Process Shrimp2 Uldma_dma Uldma_os

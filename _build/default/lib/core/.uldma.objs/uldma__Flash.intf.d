@@ -1,0 +1,1 @@
+lib/core/flash.mli: Mech Uldma_cpu Uldma_os

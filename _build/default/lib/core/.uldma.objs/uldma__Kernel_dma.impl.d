@@ -1,0 +1,1 @@
+lib/core/kernel_dma.ml: Asm Mech Sysno Uldma_cpu Uldma_os

@@ -1,0 +1,1 @@
+lib/core/kernel_dma.mli: Mech Uldma_cpu

@@ -1,0 +1,1 @@
+lib/core/key_dma.ml: Asm Kernel Mech Process Uldma_cpu Uldma_dma Uldma_os Vm

@@ -1,0 +1,1 @@
+lib/core/key_dma.mli: Mech Uldma_cpu

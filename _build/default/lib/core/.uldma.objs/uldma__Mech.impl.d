@@ -1,0 +1,1 @@
+lib/core/mech.ml: Asm Isa Kernel Process Uldma_cpu Uldma_dma Uldma_mem Uldma_os Vm

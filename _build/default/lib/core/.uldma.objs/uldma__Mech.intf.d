@@ -1,0 +1,1 @@
+lib/core/mech.mli: Uldma_cpu Uldma_dma Uldma_os

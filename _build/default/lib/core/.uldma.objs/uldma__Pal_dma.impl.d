@@ -1,0 +1,1 @@
+lib/core/pal_dma.ml: Asm Isa Kernel Mech Uldma_cpu Uldma_dma Uldma_os Vm

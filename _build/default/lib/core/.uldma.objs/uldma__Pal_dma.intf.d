@@ -1,0 +1,1 @@
+lib/core/pal_dma.mli: Mech Uldma_cpu

@@ -1,0 +1,1 @@
+lib/core/rep_args.ml: Asm Mech Seq_matcher Status Uldma_cpu Uldma_dma

@@ -1,0 +1,1 @@
+lib/core/rep_args.mli: Mech Uldma_cpu Uldma_dma

@@ -1,0 +1,1 @@
+lib/core/shrimp1.ml: Asm Isa Kernel Mech Uldma_cpu Uldma_dma Uldma_mem Uldma_os Vm

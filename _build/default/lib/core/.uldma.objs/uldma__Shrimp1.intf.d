@@ -1,0 +1,1 @@
+lib/core/shrimp1.mli: Mech Uldma_cpu

@@ -1,0 +1,1 @@
+lib/core/shrimp2.ml: Asm Kernel Mech Uldma_cpu Uldma_dma Uldma_os

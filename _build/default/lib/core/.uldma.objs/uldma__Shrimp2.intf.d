@@ -1,0 +1,1 @@
+lib/core/shrimp2.mli: Mech Uldma_cpu Uldma_os

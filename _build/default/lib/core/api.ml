@@ -1,0 +1,35 @@
+open Uldma_os
+
+let all =
+  [
+    Kernel_dma.mech;
+    Shrimp1.mech;
+    Shrimp2.mech;
+    Flash.mech;
+    Pal_dma.mech;
+    Key_dma.mech;
+    Ext_shadow.mech;
+    Ext_shadow.mech_stateless;
+    Rep_args.mech;
+    Rep_args.mech_of_variant Uldma_dma.Seq_matcher.Three;
+    Rep_args.mech_of_variant Uldma_dma.Seq_matcher.Four;
+  ]
+
+let table1 = [ Kernel_dma.mech; Ext_shadow.mech; Rep_args.mech; Key_dma.mech ]
+
+let no_kernel_modification =
+  [ Pal_dma.mech; Key_dma.mech; Ext_shadow.mech; Rep_args.mech ]
+
+let find name = List.find_opt (fun m -> m.Mech.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Api.find_exn: unknown mechanism %S" name)
+
+let names = List.map (fun m -> m.Mech.name) all
+
+let kernel_config ?(base = Kernel.default_config) m =
+  match m.Mech.engine_mechanism with
+  | Some mechanism -> { base with Kernel.mechanism }
+  | None -> base

@@ -1,0 +1,36 @@
+(** The unified front-end over all DMA-initiation mechanisms.
+
+    Typical use:
+    {[
+      let m = Api.find_exn "ext-shadow" in
+      let config = Api.kernel_config m in
+      let kernel = Kernel.create config in
+      let p = Kernel.spawn kernel ~name:"app" ~program:[||] () in
+      let src = Kernel.alloc_pages kernel p ~n:4 ~perms:Perms.read_write in
+      ...
+      let prepared = m.prepare kernel p ~src:{vaddr=src; pages=4} ~dst:... in
+      (* build a program with prepared.emit_dma and Process.set_program *)
+    ]} *)
+
+val all : Mech.t list
+(** Every mechanism, baselines included, in presentation order:
+    kernel, shrimp-1, shrimp-2, flash, pal, key-based, ext-shadow
+    (register-context and stateless engines), rep-args (plus the
+    deliberately vulnerable rep-args-3/-4). *)
+
+val table1 : Mech.t list
+(** The four rows of the paper's Table 1, in its order: kernel-level,
+    extended shadow addressing, repeated passing, key-based. *)
+
+val no_kernel_modification : Mech.t list
+(** The paper's contributions: mechanisms needing no kernel change
+    (pal, key-based, ext-shadow, rep-args). *)
+
+val find : string -> Mech.t option
+val find_exn : string -> Mech.t
+val names : string list
+
+val kernel_config :
+  ?base:Uldma_os.Kernel.config -> Mech.t -> Uldma_os.Kernel.config
+(** [base] (default [Kernel.default_config]) with the engine mechanism
+    this method requires. *)

@@ -1,0 +1,38 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma asm =
+  Mech.emit_shadow_addresses asm;
+  (* STORE size TO shadow_ctx(vdestination) *)
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  (* LOAD return_status FROM shadow_ctx(vsource) *)
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0
+
+let prepare kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  (match process.Process.dma_context with
+  | Some _ -> ()
+  | None -> (
+    match Kernel.alloc_dma_context kernel process with
+    | Some _ -> ()
+    | None -> failwith "Ext_shadow.prepare: no free register context"));
+  Mech.map_dma_aliases kernel process ~src ~dst;
+  { Mech.emit_dma }
+
+let mech =
+  {
+    Mech.name = "ext-shadow";
+    engine_mechanism = Some Uldma_dma.Engine.Ext_shadow;
+    requires_kernel_modification = false;
+    ni_accesses = 2;
+    prepare;
+  }
+
+let mech_stateless =
+  {
+    Mech.name = "ext-shadow-stateless";
+    engine_mechanism = Some Uldma_dma.Engine.Ext_shadow_stateless;
+    requires_kernel_modification = false;
+    ni_accesses = 2;
+    prepare;
+  }

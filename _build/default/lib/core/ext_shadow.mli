@@ -1,0 +1,25 @@
+(** Extended shadow addressing (§3.2, Fig. 4) — the paper's fastest
+    mechanism and one of its two novel contributions.
+
+    The process's register-context id is burned into the *physical*
+    shadow addresses by the OS when it creates the shadow mappings, so
+    the engine can sort concurrent argument streams into per-process
+    register contexts with zero extra accesses:
+
+    {v
+    STORE size          TO   shadow_ctx(vdestination)
+    LOAD  return_status FROM shadow_ctx(vsource)
+    v}
+
+    Two NI accesses per initiation; no kernel modification. *)
+
+val mech : Mech.t
+
+val mech_stateless : Mech.t
+(** The same two-access protocol against §3.2's no-register-context
+    engine, which pairs consecutive STORE/LOAD accesses and starts the
+    DMA only when both carry the same context id. Still atomic across
+    preemption with an unmodified kernel: an interloper's accesses
+    carry its own context bits and make the pair mismatch. *)
+
+val emit_dma : Uldma_cpu.Asm.t -> unit

@@ -1,0 +1,25 @@
+open Uldma_os
+
+let emit_dma = Shrimp2.emit_dma
+
+let prepare_raw ~install_hook kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  if install_hook then begin
+    Kernel.install_flash_hook kernel;
+    (* the engine must know who is running from the very first
+       instruction, not only from the first context switch *)
+    Uldma_dma.Engine.set_current_pid (Kernel.engine kernel) process.Process.pid
+  end;
+  Mech.map_dma_aliases kernel process ~src ~dst;
+  { Mech.emit_dma }
+
+let prepare kernel process ~src ~dst = prepare_raw ~install_hook:true kernel process ~src ~dst
+
+let mech =
+  {
+    Mech.name = "flash";
+    engine_mechanism = Some Uldma_dma.Engine.Flash;
+    requires_kernel_modification = true;
+    ni_accesses = 2;
+    prepare;
+  }

@@ -1,0 +1,20 @@
+(** The FLASH solution (§2.6) — prior-art baseline.
+
+    The same two-access sequence as SHRIMP-2, but "the context switch
+    handler informs the DMA engine about which process is currently
+    running", and the engine refuses to combine arguments deposited
+    under different current-process values. Requires the kernel's
+    context-switch handler to be modified; [prepare] installs the hook
+    by default. *)
+
+val mech : Mech.t
+
+val prepare_raw :
+  install_hook:bool ->
+  Uldma_os.Kernel.t ->
+  Uldma_os.Process.t ->
+  src:Mech.region ->
+  dst:Mech.region ->
+  Mech.prepared
+
+val emit_dma : Uldma_cpu.Asm.t -> unit

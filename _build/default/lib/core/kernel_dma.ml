@@ -1,0 +1,19 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma asm =
+  Asm.li asm Mech.reg_status Sysno.sys_dma;
+  Asm.syscall asm
+
+let prepare _kernel _process ~src ~dst =
+  Mech.check_prepared src dst;
+  { Mech.emit_dma }
+
+let mech =
+  {
+    Mech.name = "kernel";
+    engine_mechanism = None;
+    requires_kernel_modification = false;
+    ni_accesses = 4;
+    prepare;
+  }

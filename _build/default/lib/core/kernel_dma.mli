@@ -1,0 +1,11 @@
+(** Kernel-level DMA initiation (Fig. 1) — the traditional baseline.
+
+    The stub is a single system call; the kernel translates both
+    addresses in software, checks permissions over the whole range, and
+    programs the engine's (kernel-only) control registers with three
+    stores and a status load, all uninterrupted in kernel mode. *)
+
+val mech : Mech.t
+
+val emit_dma : Uldma_cpu.Asm.t -> unit
+(** li r0, sys_dma; syscall. *)

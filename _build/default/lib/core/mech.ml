@@ -1,0 +1,44 @@
+open Uldma_cpu
+open Uldma_os
+
+type region = { vaddr : int; pages : int }
+
+let region_bytes r = r.pages * Uldma_mem.Layout.page_size
+
+type prepared = { emit_dma : Asm.t -> unit }
+
+type t = {
+  name : string;
+  engine_mechanism : Uldma_dma.Engine.mechanism option;
+  requires_kernel_modification : bool;
+  ni_accesses : int;
+  prepare : Kernel.t -> Process.t -> src:region -> dst:region -> prepared;
+}
+
+let reg_vsrc = 1
+let reg_vdst = 2
+let reg_size = 3
+let reg_status = 0
+
+let reg_shadow_dst = 20
+let reg_shadow_src = 21
+let reg_scratch0 = 22
+let reg_scratch1 = 23
+let reg_scratch2 = 24
+
+let emit_shadow_addresses asm =
+  Asm.add asm reg_shadow_dst reg_vdst (Isa.Imm Vm.shadow_va_offset);
+  Asm.add asm reg_shadow_src reg_vsrc (Isa.Imm Vm.shadow_va_offset)
+
+let check_prepared src dst =
+  let check r =
+    if not (Uldma_mem.Layout.is_page_aligned r.vaddr) || r.pages <= 0 then
+      invalid_arg "Mech.prepare: regions must be page-aligned and non-empty"
+  in
+  check src;
+  check dst
+
+let map_dma_aliases kernel process ~src ~dst =
+  ignore (Kernel.map_shadow_alias kernel process ~vaddr:src.vaddr ~n:src.pages ~window:`Dma : int);
+  if dst.vaddr <> src.vaddr then
+    ignore (Kernel.map_shadow_alias kernel process ~vaddr:dst.vaddr ~n:dst.pages ~window:`Dma : int)

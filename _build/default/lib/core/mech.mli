@@ -1,0 +1,67 @@
+(** Shared types and conventions for the DMA-initiation mechanisms.
+
+    {2 Calling convention of every emitted DMA stub}
+
+    On entry: r1 = virtual source address, r2 = virtual destination
+    address, r3 = size in bytes. On exit: r0 = engine status (negative
+    = failure; otherwise bytes remaining, §3.1). Registers r20-r28 are
+    clobbered. The generated sequences are the paper's figures
+    verbatim, modulo the address-computation instructions every real
+    stub needs (a shadow alias of data address [a] always lives at
+    [a + Vm.shadow_va_offset], so one Add suffices).
+
+    {2 Setup protocol}
+
+    [prepare kernel process ~src ~dst] performs all one-time kernel
+    services the mechanism needs for those data regions (shadow
+    mappings, register context + key allocation, PAL installation,
+    mapped-out twins, baseline kernel hooks) and returns the code
+    emitters. Setup uses only standard, unmodified-kernel services for
+    the paper's four mechanisms; [requires_kernel_modification] is true
+    exactly for the SHRIMP-2 and FLASH baselines. *)
+
+type region = { vaddr : int; pages : int }
+
+val region_bytes : region -> int
+
+type prepared = { emit_dma : Uldma_cpu.Asm.t -> unit }
+
+type t = {
+  name : string;
+  engine_mechanism : Uldma_dma.Engine.mechanism option;
+      (** engine personality the NI must be configured with; [None]
+          means any (the kernel path works on every personality) *)
+  requires_kernel_modification : bool;
+  ni_accesses : int; (** uncached NI crossings per initiation *)
+  prepare : Uldma_os.Kernel.t -> Uldma_os.Process.t -> src:region -> dst:region -> prepared;
+}
+
+(** {2 Register-use constants} *)
+
+val reg_vsrc : int
+val reg_vdst : int
+val reg_size : int
+val reg_status : int
+
+val reg_shadow_dst : int (** r20 *)
+
+val reg_shadow_src : int (** r21 *)
+
+val reg_scratch0 : int (** r22 *)
+
+val reg_scratch1 : int (** r23 *)
+
+val reg_scratch2 : int (** r24 *)
+
+(** {2 Shared emit/setup helpers} *)
+
+val emit_shadow_addresses : Uldma_cpu.Asm.t -> unit
+(** r20 <- shadow(vdst); r21 <- shadow(vsrc). *)
+
+val map_dma_aliases :
+  Uldma_os.Kernel.t -> Uldma_os.Process.t -> src:region -> dst:region -> unit
+(** Create DMA-window shadow aliases for both regions (once if they
+    coincide). *)
+
+val check_prepared : region -> region -> unit
+(** Validate page alignment; raises [Invalid_argument]. *)

@@ -1,0 +1,86 @@
+open Uldma_cpu
+open Uldma_dma
+
+let failure_reg = Mech.reg_scratch2
+
+let emit_failure_constant asm = Asm.li asm failure_reg Status.failure
+
+(* 1: LOAD status1 FROM shadow(vsource)
+   2: STORE size TO shadow(vdestination)
+   3: LOAD status2 FROM shadow(vsource) *)
+let emit_dma_three asm =
+  Mech.emit_shadow_addresses asm;
+  Asm.load asm Mech.reg_scratch0 ~base:Mech.reg_shadow_src ~off:0;
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  Asm.mb asm;
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0
+
+(* 1: STORE size TO shadow(vdestination)
+   2: LOAD return_status1 FROM shadow(vsource)
+   3: STORE size TO shadow(vdestination)
+   4: LOAD return_status2 FROM shadow(vsource) *)
+let emit_dma_four asm =
+  Mech.emit_shadow_addresses asm;
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  Asm.mb asm;
+  Asm.load asm Mech.reg_scratch0 ~base:Mech.reg_shadow_src ~off:0;
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  Asm.mb asm;
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0
+
+let emit_five_body asm ~with_barriers ~on_failure =
+  let mb () = if with_barriers then Asm.mb asm in
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  mb ();
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0;
+  on_failure ();
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  mb ();
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0;
+  on_failure ();
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_dst ~off:0;
+  on_failure ()
+
+(* Fig. 7, including "If (return_status == DMA_FAILURE) goto 1". *)
+let emit_dma_five asm =
+  let retry = Asm.fresh_label asm "rep5_retry" in
+  Mech.emit_shadow_addresses asm;
+  emit_failure_constant asm;
+  Asm.label asm retry;
+  emit_five_body asm ~with_barriers:true ~on_failure:(fun () ->
+      Asm.beq asm Mech.reg_status failure_reg retry)
+
+let emit_dma_five_no_retry asm =
+  Mech.emit_shadow_addresses asm;
+  emit_five_body asm ~with_barriers:true ~on_failure:(fun () -> ())
+
+let emit_dma_five_no_retry_no_mb asm =
+  Mech.emit_shadow_addresses asm;
+  emit_five_body asm ~with_barriers:false ~on_failure:(fun () -> ())
+
+let emit_of_variant = function
+  | Seq_matcher.Three -> emit_dma_three
+  | Seq_matcher.Four -> emit_dma_four
+  | Seq_matcher.Five -> emit_dma_five
+
+let variant_name = function
+  | Seq_matcher.Three -> "rep-args-3"
+  | Seq_matcher.Four -> "rep-args-4"
+  | Seq_matcher.Five -> "rep-args"
+
+let mech_of_variant variant =
+  let emit = emit_of_variant variant in
+  let prepare kernel process ~src ~dst =
+    Mech.check_prepared src dst;
+    Mech.map_dma_aliases kernel process ~src ~dst;
+    { Mech.emit_dma = emit }
+  in
+  {
+    Mech.name = variant_name variant;
+    engine_mechanism = Some (Uldma_dma.Engine.Rep_args variant);
+    requires_kernel_modification = false;
+    ni_accesses = Seq_matcher.sequence_length variant;
+    prepare;
+  }
+
+let mech = mech_of_variant Seq_matcher.Five

@@ -1,0 +1,33 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma asm =
+  (* Only the source's shadow alias is touched; the twin mapping
+     supplies the destination. The paper uses one compare-and-exchange;
+     our ISA splits it into the store (arguments) and a status load. *)
+  Asm.add asm Mech.reg_shadow_src Mech.reg_vsrc (Isa.Imm Vm.shadow_va_offset);
+  Asm.store asm ~base:Mech.reg_shadow_src ~off:0 Mech.reg_size;
+  Asm.mb asm;
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0
+
+let prepare kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  if dst.Mech.pages < src.Mech.pages then
+    invalid_arg "Shrimp1.prepare: dst region smaller than src region";
+  Mech.map_dma_aliases kernel process ~src ~dst;
+  for i = 0 to src.Mech.pages - 1 do
+    let page_va = src.Mech.vaddr + (i * Uldma_mem.Layout.page_size) in
+    let twin_va = dst.Mech.vaddr + (i * Uldma_mem.Layout.page_size) in
+    let twin_paddr = Kernel.user_paddr kernel process twin_va in
+    Kernel.map_out_page kernel process ~vaddr:page_va ~dst_paddr:twin_paddr
+  done;
+  { Mech.emit_dma }
+
+let mech =
+  {
+    Mech.name = "shrimp-1";
+    engine_mechanism = Some Uldma_dma.Engine.Shrimp_mapped;
+    requires_kernel_modification = false;
+    ni_accesses = 2;
+    prepare;
+  }

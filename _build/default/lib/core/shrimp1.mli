@@ -1,0 +1,16 @@
+(** The first SHRIMP solution (§2.4) — prior-art baseline.
+
+    Every communication page is "mapped out" to a fixed twin page; a
+    DMA can only copy a page region onto its twin, so a single shadow
+    access (carrying the source address in its address wires and the
+    size as data) is enough, and atomicity is trivial. "This solution,
+    although correct, is of limited functionality": the destination
+    argument in r2 is *ignored* — the data always lands on the twin.
+
+    [prepare] installs, for every page of [src], its corresponding
+    page of [dst] as the mapped-out twin. *)
+
+val mech : Mech.t
+
+val emit_dma : Uldma_cpu.Asm.t -> unit
+(** store size to shadow(vsrc) (fires); load status back. *)

@@ -1,0 +1,24 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma asm =
+  Mech.emit_shadow_addresses asm;
+  Asm.store asm ~base:Mech.reg_shadow_dst ~off:0 Mech.reg_size;
+  Asm.load asm Mech.reg_status ~base:Mech.reg_shadow_src ~off:0
+
+let prepare_raw ~install_hook kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  if install_hook then Kernel.install_shrimp_hook kernel;
+  Mech.map_dma_aliases kernel process ~src ~dst;
+  { Mech.emit_dma }
+
+let prepare kernel process ~src ~dst = prepare_raw ~install_hook:true kernel process ~src ~dst
+
+let mech =
+  {
+    Mech.name = "shrimp-2";
+    engine_mechanism = Some Uldma_dma.Engine.Shrimp_two_step;
+    requires_kernel_modification = true;
+    ni_accesses = 2;
+    prepare;
+  }

@@ -1,0 +1,21 @@
+(** The second SHRIMP solution (§2.5, Fig. 2) — prior-art baseline.
+
+    Two shadow accesses pass dest+size and then source; but if the
+    process is preempted between them, another process's arguments can
+    mix with its own. SHRIMP's fix: "the operating system must
+    invalidate any partially initiated user-level DMA transfer on every
+    context switch" — i.e. a modified kernel. [prepare] installs that
+    hook by default; pass [~install_hook:false] (via [prepare_raw]) to
+    reproduce the unsafe behaviour. *)
+
+val mech : Mech.t
+
+val prepare_raw :
+  install_hook:bool ->
+  Uldma_os.Kernel.t ->
+  Uldma_os.Process.t ->
+  src:Mech.region ->
+  dst:Mech.region ->
+  Mech.prepared
+
+val emit_dma : Uldma_cpu.Asm.t -> unit

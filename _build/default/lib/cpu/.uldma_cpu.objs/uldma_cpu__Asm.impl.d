@@ -1,0 +1,1 @@
+lib/cpu/asm.pp.ml: Array Hashtbl Isa List Printf

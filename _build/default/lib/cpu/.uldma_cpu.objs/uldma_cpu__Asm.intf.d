@@ -1,0 +1,1 @@
+lib/cpu/asm.pp.mli: Isa

@@ -1,0 +1,1 @@
+lib/cpu/cpu.pp.ml: Addr_space Array Format Isa Regfile Uldma_mmu Uldma_util

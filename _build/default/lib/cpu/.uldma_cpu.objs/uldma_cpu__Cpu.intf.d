@@ -1,0 +1,1 @@
+lib/cpu/cpu.pp.mli: Format Isa Regfile Uldma_mmu Uldma_util

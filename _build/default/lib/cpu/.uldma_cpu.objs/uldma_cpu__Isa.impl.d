@@ -1,0 +1,1 @@
+lib/cpu/isa.pp.ml: Array Format List Ppx_deriving_runtime Printf

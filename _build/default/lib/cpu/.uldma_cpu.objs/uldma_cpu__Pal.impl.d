@@ -1,0 +1,1 @@
+lib/cpu/pal.pp.ml: Array Isa List Printf

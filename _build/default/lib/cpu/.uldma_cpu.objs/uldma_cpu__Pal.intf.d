@@ -1,0 +1,1 @@
+lib/cpu/pal.pp.mli: Isa

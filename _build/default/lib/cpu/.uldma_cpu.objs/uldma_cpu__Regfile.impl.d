@@ -1,0 +1,1 @@
+lib/cpu/regfile.pp.ml: Array Format Isa Printf

@@ -1,0 +1,1 @@
+lib/cpu/regfile.pp.mli: Format Isa

@@ -1,0 +1,77 @@
+type slot =
+  | Fixed of Isa.instr
+  | Branch_sym of (int -> Isa.instr) * string (* build from resolved target *)
+
+type t = {
+  mutable slots : slot list; (* newest first *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable gensym : int;
+}
+
+let create () = { slots = []; count = 0; labels = Hashtbl.create 16; gensym = 0 }
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: %S redefined" name);
+  Hashtbl.replace t.labels name t.count
+
+let fresh_label t prefix =
+  t.gensym <- t.gensym + 1;
+  Printf.sprintf "%s__%d" prefix t.gensym
+
+let here t = t.count
+
+let push t slot =
+  t.slots <- slot :: t.slots;
+  t.count <- t.count + 1
+
+let emit t i = push t (Fixed i)
+
+let li t rd v = emit t (Isa.Li (rd, v))
+let mov t rd rs = emit t (Isa.Mov (rd, rs))
+let add t rd rs op = emit t (Isa.Add (rd, rs, op))
+let sub t rd rs op = emit t (Isa.Sub (rd, rs, op))
+let and_ t rd rs op = emit t (Isa.And_ (rd, rs, op))
+let or_ t rd rs op = emit t (Isa.Or_ (rd, rs, op))
+let xor t rd rs op = emit t (Isa.Xor (rd, rs, op))
+let shl t rd rs n = emit t (Isa.Shl (rd, rs, n))
+let shr t rd rs n = emit t (Isa.Shr (rd, rs, n))
+let load t rd ~base ~off = emit t (Isa.Load (rd, base, off))
+let store t ~base ~off rv = emit t (Isa.Store (base, off, rv))
+let mb t = emit t Isa.Mb
+let beq t ra rb lbl = push t (Branch_sym ((fun tgt -> Isa.Beq (ra, rb, tgt)), lbl))
+let bne t ra rb lbl = push t (Branch_sym ((fun tgt -> Isa.Bne (ra, rb, tgt)), lbl))
+let blt t ra rb lbl = push t (Branch_sym ((fun tgt -> Isa.Blt (ra, rb, tgt)), lbl))
+let jmp t lbl = push t (Branch_sym ((fun tgt -> Isa.Jmp tgt), lbl))
+let syscall t = emit t Isa.Syscall
+let call_pal t n = emit t (Isa.Call_pal n)
+let nop t = emit t Isa.Nop
+let halt t = emit t Isa.Halt
+
+let raw t i = emit t i
+
+let assemble t =
+  let resolve lbl =
+    match Hashtbl.find_opt t.labels lbl with
+    | Some target -> target
+    | None -> failwith (Printf.sprintf "Asm.assemble: undefined label %S" lbl)
+  in
+  let instrs =
+    List.rev_map
+      (function Fixed i -> i | Branch_sym (build, lbl) -> build (resolve lbl))
+      t.slots
+  in
+  let program = Array.of_list instrs in
+  Array.iter
+    (fun i ->
+      match Isa.validate i with
+      | Ok () -> ()
+      | Error msg -> failwith ("Asm.assemble: " ^ msg))
+    program;
+  program
+
+let assemble_list instrs =
+  let t = create () in
+  List.iter (raw t) instrs;
+  assemble t

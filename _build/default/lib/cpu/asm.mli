@@ -1,0 +1,54 @@
+(** A two-pass assembler: emit instructions with symbolic branch
+    labels, then [assemble] into an [Isa.instr array] with absolute
+    targets.
+
+    All DMA initiation stubs, workload programs and adversary programs
+    are built through this module. *)
+
+type t
+
+val create : unit -> t
+
+val label : t -> string -> unit
+(** Define a label at the current position. Raises [Invalid_argument]
+    on redefinition. *)
+
+val fresh_label : t -> string -> string
+(** A unique label name with the given prefix (for emit helpers that
+    need internal labels). *)
+
+val here : t -> int
+(** Current instruction count. *)
+
+(** {1 Emitters} — one per instruction. Branch emitters take labels. *)
+
+val li : t -> Isa.reg -> int -> unit
+val mov : t -> Isa.reg -> Isa.reg -> unit
+val add : t -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+val sub : t -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+val and_ : t -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+val or_ : t -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+val xor : t -> Isa.reg -> Isa.reg -> Isa.operand -> unit
+val shl : t -> Isa.reg -> Isa.reg -> int -> unit
+val shr : t -> Isa.reg -> Isa.reg -> int -> unit
+val load : t -> Isa.reg -> base:Isa.reg -> off:int -> unit
+val store : t -> base:Isa.reg -> off:int -> Isa.reg -> unit
+val mb : t -> unit
+val beq : t -> Isa.reg -> Isa.reg -> string -> unit
+val bne : t -> Isa.reg -> Isa.reg -> string -> unit
+val blt : t -> Isa.reg -> Isa.reg -> string -> unit
+val jmp : t -> string -> unit
+val syscall : t -> unit
+val call_pal : t -> int -> unit
+val nop : t -> unit
+val halt : t -> unit
+
+val raw : t -> Isa.instr -> unit
+(** Emit a pre-built instruction (branch targets already absolute). *)
+
+val assemble : t -> Isa.instr array
+(** Resolve labels. Raises [Failure] on undefined labels or invalid
+    registers. The builder remains usable (assembling is a snapshot). *)
+
+val assemble_list : Isa.instr list -> Isa.instr array
+(** Convenience for label-free programs. *)

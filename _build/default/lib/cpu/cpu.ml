@@ -1,0 +1,126 @@
+open Uldma_mmu
+
+type ctx = { regs : Regfile.t; mutable pc : int; mutable program : Isa.instr array }
+
+let make_ctx program = { regs = Regfile.create (); pc = 0; program }
+
+let copy_ctx c = { regs = Regfile.copy c.regs; pc = c.pc; program = c.program }
+
+type outcome = Continue | Halted | Syscall_trap | Pal_trap of int | Fault of Addr_space.fault
+
+type host = {
+  translate : Addr_space.access -> int -> (Addr_space.translation, Addr_space.fault) result;
+  load : cacheable:bool -> int -> int;
+  store : cacheable:bool -> int -> int -> unit;
+  barrier : unit -> unit;
+  charge : Uldma_util.Units.ps -> unit;
+  instruction_ps : Uldma_util.Units.ps;
+  tlb_miss_ps : Uldma_util.Units.ps;
+  memory_barrier_ps : Uldma_util.Units.ps;
+}
+
+let operand_value regs = function Isa.Reg r -> Regfile.get regs r | Isa.Imm v -> v
+
+let memory_access host access vaddr =
+  match host.translate access vaddr with
+  | Error f -> Error f
+  | Ok tr ->
+    if tr.Addr_space.hit = `Miss then host.charge host.tlb_miss_ps;
+    Ok tr
+
+let step ctx host =
+  if ctx.pc < 0 || ctx.pc >= Array.length ctx.program then Halted
+  else begin
+    let instr = ctx.program.(ctx.pc) in
+    host.charge host.instruction_ps;
+    let regs = ctx.regs in
+    let next () =
+      ctx.pc <- ctx.pc + 1;
+      Continue
+    in
+    match instr with
+    | Isa.Li (rd, v) ->
+      Regfile.set regs rd v;
+      next ()
+    | Isa.Mov (rd, rs) ->
+      Regfile.set regs rd (Regfile.get regs rs);
+      next ()
+    | Isa.Add (rd, rs, op) ->
+      Regfile.set regs rd (Regfile.get regs rs + operand_value regs op);
+      next ()
+    | Isa.Sub (rd, rs, op) ->
+      Regfile.set regs rd (Regfile.get regs rs - operand_value regs op);
+      next ()
+    | Isa.And_ (rd, rs, op) ->
+      Regfile.set regs rd (Regfile.get regs rs land operand_value regs op);
+      next ()
+    | Isa.Or_ (rd, rs, op) ->
+      Regfile.set regs rd (Regfile.get regs rs lor operand_value regs op);
+      next ()
+    | Isa.Xor (rd, rs, op) ->
+      Regfile.set regs rd (Regfile.get regs rs lxor operand_value regs op);
+      next ()
+    | Isa.Shl (rd, rs, n) ->
+      Regfile.set regs rd (Regfile.get regs rs lsl n);
+      next ()
+    | Isa.Shr (rd, rs, n) ->
+      Regfile.set regs rd (Regfile.get regs rs lsr n);
+      next ()
+    | Isa.Load (rd, rb, off) -> (
+      let vaddr = Regfile.get regs rb + off in
+      match memory_access host Addr_space.Read vaddr with
+      | Error f -> Fault f
+      | Ok tr ->
+        Regfile.set regs rd (host.load ~cacheable:tr.Addr_space.cacheable tr.Addr_space.paddr);
+        next ())
+    | Isa.Store (rb, off, rv) -> (
+      let vaddr = Regfile.get regs rb + off in
+      match memory_access host Addr_space.Write vaddr with
+      | Error f -> Fault f
+      | Ok tr ->
+        host.store ~cacheable:tr.Addr_space.cacheable tr.Addr_space.paddr (Regfile.get regs rv);
+        next ())
+    | Isa.Mb ->
+      host.charge host.memory_barrier_ps;
+      host.barrier ();
+      next ()
+    | Isa.Beq (ra, rb, tgt) ->
+      if Regfile.get regs ra = Regfile.get regs rb then ctx.pc <- tgt else ctx.pc <- ctx.pc + 1;
+      Continue
+    | Isa.Bne (ra, rb, tgt) ->
+      if Regfile.get regs ra <> Regfile.get regs rb then ctx.pc <- tgt else ctx.pc <- ctx.pc + 1;
+      Continue
+    | Isa.Blt (ra, rb, tgt) ->
+      if Regfile.get regs ra < Regfile.get regs rb then ctx.pc <- tgt else ctx.pc <- ctx.pc + 1;
+      Continue
+    | Isa.Jmp tgt ->
+      ctx.pc <- tgt;
+      Continue
+    | Isa.Syscall ->
+      ctx.pc <- ctx.pc + 1;
+      Syscall_trap
+    | Isa.Call_pal n ->
+      ctx.pc <- ctx.pc + 1;
+      Pal_trap n
+    | Isa.Nop -> next ()
+    | Isa.Halt -> Halted
+  end
+
+let run_subprogram regs body host =
+  let ctx = { regs; pc = 0; program = body } in
+  let rec loop () =
+    match step ctx host with
+    | Continue -> loop ()
+    | Halted -> Halted
+    | Fault _ as f -> f
+    | Syscall_trap | Pal_trap _ ->
+      invalid_arg "Cpu.run_subprogram: trap inside an uninterruptible body"
+  in
+  loop ()
+
+let pp_outcome ppf = function
+  | Continue -> Format.pp_print_string ppf "continue"
+  | Halted -> Format.pp_print_string ppf "halted"
+  | Syscall_trap -> Format.pp_print_string ppf "syscall"
+  | Pal_trap n -> Format.fprintf ppf "call_pal %d" n
+  | Fault f -> Format.fprintf ppf "fault: %a" Addr_space.pp_fault f

@@ -1,0 +1,46 @@
+(** The instruction interpreter.
+
+    [step] executes exactly one instruction of a context against a
+    [host] — the machine-provided view of translation, memory, time and
+    traps — and reports what happened. The machine (in the sim library)
+    owns the loop, the scheduler, and trap handling; keeping the
+    interpreter to single steps is what makes instruction-granularity
+    preemption, scripted interleavings, and exhaustive schedule
+    exploration possible. *)
+
+type ctx = { regs : Regfile.t; mutable pc : int; mutable program : Isa.instr array }
+
+val make_ctx : Isa.instr array -> ctx
+val copy_ctx : ctx -> ctx
+
+type outcome =
+  | Continue
+  | Halted (** [Halt] or fell off the end of the program *)
+  | Syscall_trap (** [Syscall] executed; number/args are in the registers *)
+  | Pal_trap of int (** [Call_pal n] executed *)
+  | Fault of Uldma_mmu.Addr_space.fault
+
+type host = {
+  translate :
+    Uldma_mmu.Addr_space.access -> int -> (Uldma_mmu.Addr_space.translation, Uldma_mmu.Addr_space.fault) result;
+  load : cacheable:bool -> int -> int; (** physical load (via write buffer + bus) *)
+  store : cacheable:bool -> int -> int -> unit;
+  barrier : unit -> unit; (** [Mb]: drain the write buffer *)
+  charge : Uldma_util.Units.ps -> unit; (** advance simulated time *)
+  instruction_ps : Uldma_util.Units.ps;
+  tlb_miss_ps : Uldma_util.Units.ps;
+  memory_barrier_ps : Uldma_util.Units.ps;
+}
+
+val step : ctx -> host -> outcome
+(** Execute one instruction, charging its cost. On [Fault] the pc is
+    left at the faulting instruction. [Syscall_trap]/[Pal_trap] return
+    with the pc already advanced past the trap instruction. *)
+
+val run_subprogram : Regfile.t -> Isa.instr array -> host -> outcome
+(** Execute a complete (trap-free) instruction sequence on the given
+    registers without any possibility of preemption — the PAL-mode
+    execution primitive. Returns [Halted] on normal completion, or the
+    first [Fault]. Raises [Invalid_argument] if the body traps. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

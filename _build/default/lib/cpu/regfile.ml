@@ -1,0 +1,22 @@
+type t = int array
+
+let zero_reg = 31
+
+let create () = Array.make Isa.num_regs 0
+
+let copy = Array.copy
+
+let check r = if r < 0 || r >= Isa.num_regs then invalid_arg (Printf.sprintf "Regfile: r%d" r)
+
+let get t r =
+  check r;
+  if r = zero_reg then 0 else t.(r)
+
+let set t r v =
+  check r;
+  if r <> zero_reg then t.(r) <- v
+
+let to_list = Array.to_list
+
+let pp ppf t =
+  Array.iteri (fun i v -> if v <> 0 then Format.fprintf ppf "r%d=%#x " i v) t

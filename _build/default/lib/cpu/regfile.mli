@@ -1,0 +1,16 @@
+(** The CPU register file. Register 31 is hardwired to zero, as on the
+    Alpha. *)
+
+type t
+
+val zero_reg : int
+
+val create : unit -> t
+val copy : t -> t
+
+val get : t -> Isa.reg -> int
+val set : t -> Isa.reg -> int -> unit
+(** Writes to register 31 are discarded. *)
+
+val to_list : t -> int list
+val pp : Format.formatter -> t -> unit

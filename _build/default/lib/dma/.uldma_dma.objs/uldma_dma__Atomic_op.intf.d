@@ -1,0 +1,1 @@
+lib/dma/atomic_op.mli: Format

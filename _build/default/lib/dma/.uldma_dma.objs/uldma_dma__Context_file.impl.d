@@ -1,0 +1,1 @@
+lib/dma/context_file.ml: Array Atomic_op Printf Status Transfer Uldma_mem

@@ -1,0 +1,1 @@
+lib/dma/context_file.mli: Atomic_op Transfer

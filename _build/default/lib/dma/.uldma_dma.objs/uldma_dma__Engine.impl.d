@@ -1,0 +1,1 @@
+lib/dma/engine.ml: Atomic_op Bus Bytes Clock Context_file Format Hashtbl Int64 Layout List Regmap Seq_matcher Status Transfer Txn Uldma_bus Uldma_mem Uldma_mmu Uldma_util Units

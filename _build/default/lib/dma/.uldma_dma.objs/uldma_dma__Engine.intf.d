@@ -1,0 +1,1 @@
+lib/dma/engine.mli: Atomic_op Bytes Context_file Format Seq_matcher Transfer Uldma_bus Uldma_util

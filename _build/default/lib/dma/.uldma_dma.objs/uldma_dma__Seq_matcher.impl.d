@@ -1,0 +1,1 @@
+lib/dma/seq_matcher.ml: Array Txn Uldma_bus

@@ -1,0 +1,1 @@
+lib/dma/seq_matcher.mli: Uldma_bus

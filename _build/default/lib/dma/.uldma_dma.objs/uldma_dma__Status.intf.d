@@ -1,0 +1,1 @@
+lib/dma/status.mli:

@@ -1,0 +1,1 @@
+lib/dma/transfer.ml: Bytes Char Format Printf Uldma_mem Uldma_util Units

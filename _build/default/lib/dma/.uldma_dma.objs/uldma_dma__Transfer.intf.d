@@ -1,0 +1,1 @@
+lib/dma/transfer.mli: Bytes Format Uldma_mem Uldma_util

@@ -1,0 +1,82 @@
+type slot = Dest | Src
+
+type context = {
+  index : int;
+  mutable key : int;
+  mutable owner_pid : int option;
+  mutable dest : int option;
+  mutable src : int option;
+  mutable size : int option;
+  mutable next_slot : slot;
+  mutable status : int;
+  mutable last_transfer : Transfer.t option;
+  mutable atomic_target : int option;
+  mutable atomic_pending : Atomic_op.pending;
+  mutable mailbox : int option;
+}
+
+type t = context array
+
+let fresh index =
+  {
+    index;
+    key = 0;
+    owner_pid = None;
+    dest = None;
+    src = None;
+    size = None;
+    next_slot = Dest;
+    status = Status.complete;
+    last_transfer = None;
+    atomic_target = None;
+    atomic_pending = Atomic_op.P_none;
+    mailbox = None;
+  }
+
+let create ~n =
+  if n < 1 || n > Uldma_mem.Layout.max_contexts then
+    invalid_arg (Printf.sprintf "Context_file.create: %d contexts" n);
+  Array.init n fresh
+
+let copy t = Array.map (fun c -> { c with index = c.index }) t
+
+let length = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg (Printf.sprintf "Context_file.get: context %d" i);
+  t.(i)
+
+let get_opt t i = if i < 0 || i >= Array.length t then None else Some t.(i)
+
+let set_key t ~context ~key = (get t context).key <- key
+
+let set_owner t ~context ~pid = (get t context).owner_pid <- pid
+
+let push_address c paddr =
+  match c.next_slot with
+  | Dest ->
+    c.dest <- Some paddr;
+    c.next_slot <- Src
+  | Src ->
+    c.src <- Some paddr;
+    c.next_slot <- Dest
+
+let args_ready c =
+  match (c.src, c.dest, c.size) with
+  | Some src, Some dest, Some size -> Some (src, dest, size)
+  | _, _, _ -> None
+
+let clear_args c =
+  c.dest <- None;
+  c.src <- None;
+  c.size <- None;
+  c.next_slot <- Dest
+
+let reset c =
+  clear_args c;
+  c.status <- Status.complete;
+  c.last_transfer <- None;
+  c.atomic_target <- None;
+  c.atomic_pending <- Atomic_op.P_none;
+  c.mailbox <- None

@@ -1,0 +1,60 @@
+(** The engine's register contexts (§3.1).
+
+    "The DMA engine is equipped with several (say 4 to 8) register
+    contexts. Each context has a source register, a destination
+    register, and a size register. [...] Distinct contexts are mapped
+    into distinct memory pages so that each process gets access rights
+    for only a single context."
+
+    A context accumulates the physical-address arguments delivered by
+    key-carrying stores (key-based method) or by extended shadow
+    accesses; the engine fires when the set is complete. Keys and
+    owners are written by the kernel only. *)
+
+type slot = Dest | Src
+
+type context = {
+  index : int;
+  mutable key : int;
+  mutable owner_pid : int option; (** oracle metadata, engine-invisible *)
+  mutable dest : int option;
+  mutable src : int option;
+  mutable size : int option;
+  mutable next_slot : slot;
+  mutable status : int;
+  mutable last_transfer : Transfer.t option;
+  mutable atomic_target : int option;
+  mutable atomic_pending : Atomic_op.pending;
+  mutable mailbox : int option;
+      (** local physical word for remote-atomic replies (kernel-set) *)
+}
+
+type t
+
+val create : n:int -> t
+(** [n] contexts; 1 <= n <= [Uldma_mem.Layout.max_contexts]. *)
+
+val copy : t -> t
+val length : t -> int
+val get : t -> int -> context
+(** Raises [Invalid_argument] out of range. *)
+
+val get_opt : t -> int -> context option
+
+val set_key : t -> context:int -> key:int -> unit
+val set_owner : t -> context:int -> pid:int option -> unit
+
+val push_address : context -> int -> unit
+(** Deposit a physical-address argument into the next slot
+    (dest first, then src, then wrapping back to dest). *)
+
+val args_ready : context -> (int * int * int) option
+(** [(src, dest, size)] when all three arguments are present. *)
+
+val clear_args : context -> unit
+(** Reset the argument slots (after a fire or a rejection), keeping
+    key, owner and status. *)
+
+val reset : context -> unit
+(** Full reset including status and pending atomics (context switch of
+    ownership). *)

@@ -1,0 +1,629 @@
+open Uldma_util
+open Uldma_mem
+open Uldma_bus
+module Shadow = Uldma_mmu.Shadow
+
+type mechanism =
+  | Shrimp_mapped
+  | Shrimp_two_step
+  | Flash
+  | Key_based
+  | Ext_shadow
+  | Ext_shadow_stateless
+  | Rep_args of Seq_matcher.variant
+
+type reject_reason =
+  | Bad_key
+  | No_context
+  | Wrong_context
+  | Incomplete_arguments
+  | Broken_sequence
+  | Bad_range
+  | Not_mapped_out
+  | Wrong_pid
+  | Unsupported
+
+type event =
+  | Started of Transfer.t
+  | Rejected of { reason : reject_reason; pid : int; at : Units.ps }
+  | Atomic_done of {
+      op : Atomic_op.t;
+      target : int;
+      result : int;
+      context : int option;
+      pid : int;
+      at : Units.ps;
+    }
+
+type counters = {
+  mutable started : int;
+  mutable rejected : int;
+  mutable key_rejected : int;
+  mutable atomics : int;
+  mutable remote_sends : int;
+}
+
+type packet_kind =
+  | Remote_write
+  | Remote_atomic of { op : Atomic_op.t; reply_paddr : int }
+      (* execute at the peer's [remote_addr]; deliver the old value to
+         the *local* physical word [reply_paddr] (the context mailbox) *)
+
+type outbound_packet = {
+  remote_addr : int; (* physical address on the peer node *)
+  payload : Bytes.t; (* Remote_write payload; empty for atomics *)
+  sent_at : Units.ps;
+  kind : packet_kind;
+}
+
+type pending_two_step = { p_dest : int; p_size : int; p_pid : int; p_ctx : int }
+(* [p_pid] is only consulted by the FLASH mechanism, and holds the
+   engine's [current_pid] register value at deposit time (maintained by
+   the modified kernel) — never the transaction's provenance. [p_ctx]
+   is only consulted by the contextless extended-shadow variant and is
+   the context id carried by the depositing shadow address. *)
+
+type t = {
+  clock : Clock.t;
+  backend : Transfer.backend;
+  ram_size : int;
+  mechanism : mechanism;
+  contexts : Context_file.t;
+  matcher : Seq_matcher.t;
+  mapped_out : (int, int) Hashtbl.t; (* src page base -> dst page base *)
+  mutable map_out_staged : int option;
+  mutable pending : pending_two_step option;
+  mutable current_pid : int;
+  mutable k_src : int;
+  mutable k_dst : int;
+  mutable k_status : int;
+  mutable k_atomic_target : int;
+  mutable k_atomic_pending : Atomic_op.pending;
+  mutable g_atomic_target : int option; (* shared atomic slot (PAL use) *)
+  mutable g_atomic_pending : Atomic_op.pending;
+  mutable last_transfer : Transfer.t option; (* for two-step status loads *)
+  mutable last_status : int;
+  mutable transfers : Transfer.t list; (* newest first *)
+  mutable events : event list; (* newest first *)
+  mutable outbound : outbound_packet list; (* newest first *)
+  counters : counters;
+}
+
+let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
+  {
+    clock;
+    backend;
+    ram_size;
+    mechanism;
+    contexts = Context_file.create ~n:n_contexts;
+    matcher =
+      (match mechanism with Rep_args v -> Seq_matcher.create v | _ -> Seq_matcher.create Seq_matcher.Five);
+    mapped_out = Hashtbl.create 16;
+    map_out_staged = None;
+    pending = None;
+    current_pid = -1;
+    k_src = 0;
+    k_dst = 0;
+    k_status = Status.complete;
+    k_atomic_target = 0;
+    k_atomic_pending = Atomic_op.P_none;
+    g_atomic_target = None;
+    g_atomic_pending = Atomic_op.P_none;
+    last_transfer = None;
+    last_status = Status.failure;
+    transfers = [];
+    events = [];
+    counters = { started = 0; rejected = 0; key_rejected = 0; atomics = 0; remote_sends = 0 };
+    outbound = [];
+  }
+
+let mechanism t = t.mechanism
+let contexts t = t.contexts
+
+let copy t ~clock ~backend =
+  {
+    t with
+    clock;
+    backend;
+    contexts = Context_file.copy t.contexts;
+    matcher = Seq_matcher.copy t.matcher;
+    mapped_out = Hashtbl.copy t.mapped_out;
+    counters = { t.counters with started = t.counters.started };
+  }
+
+let now t = Clock.now t.clock
+
+let push_event t e = t.events <- e :: t.events
+
+let reject t ~reason ~pid =
+  t.counters.rejected <- t.counters.rejected + 1;
+  if reason = Bad_key then t.counters.key_rejected <- t.counters.key_rejected + 1;
+  push_event t (Rejected { reason; pid; at = now t });
+  Status.failure
+
+let in_ram_range t addr size = addr >= 0 && size >= 0 && addr + size <= t.ram_size
+
+let in_remote_range addr size =
+  Layout.in_remote addr && size >= 0 && addr + size <= Layout.remote_limit
+
+let send_remote ?(kind = Remote_write) t ~remote_paddr ~payload =
+  t.outbound <-
+    { remote_addr = Layout.remote_offset remote_paddr; payload; sent_at = now t; kind }
+    :: t.outbound;
+  t.counters.remote_sends <- t.counters.remote_sends + 1
+
+let start_transfer t ~src ~dst ~size ~context ~pid =
+  let dst_ok = in_ram_range t dst size || in_remote_range dst size in
+  if size <= 0 || not (in_ram_range t src size) || not dst_ok then
+    reject t ~reason:Bad_range ~pid
+  else begin
+    if Layout.in_remote dst then
+      (* Telegraphos-style remote DMA: the payload leaves on the wire
+         instead of being copied locally *)
+      send_remote t ~remote_paddr:dst ~payload:(t.backend.Transfer.read_bytes src size)
+    else t.backend.Transfer.copy ~src ~dst ~len:size;
+    let tr =
+      {
+        Transfer.src;
+        dst;
+        size;
+        context;
+        pid;
+        started_at = now t;
+        duration = t.backend.Transfer.duration_ps size;
+      }
+    in
+    t.transfers <- tr :: t.transfers;
+    t.counters.started <- t.counters.started + 1;
+    push_event t (Started tr);
+    (match context with
+    | Some i ->
+      let c = Context_file.get t.contexts i in
+      c.Context_file.last_transfer <- Some tr;
+      c.Context_file.status <- Transfer.remaining tr ~now:(now t)
+    | None -> ());
+    t.last_transfer <- Some tr;
+    t.last_status <- Transfer.remaining tr ~now:(now t);
+    Transfer.remaining tr ~now:(now t)
+  end
+
+let context_transfer_end t i =
+  match (Context_file.get t.contexts i).Context_file.last_transfer with
+  | Some tr -> Some (Transfer.end_time tr)
+  | None -> None
+
+let last_transfer_end t =
+  match t.last_transfer with Some tr -> Some (Transfer.end_time tr) | None -> None
+
+let context_status t i =
+  let c = Context_file.get t.contexts i in
+  if Status.is_failure c.Context_file.status then c.Context_file.status
+  else
+    match c.Context_file.last_transfer with
+    | Some tr -> Transfer.remaining tr ~now:(now t)
+    | None -> c.Context_file.status
+
+let two_step_status t =
+  if Status.is_failure t.last_status then t.last_status
+  else
+    match t.last_transfer with
+    | Some tr -> Transfer.remaining tr ~now:(now t)
+    | None -> t.last_status
+
+(* ------------------------------------------------------------------ *)
+(* Atomic unit *)
+
+let run_atomic t ~op ~target ~context ~pid =
+  if not (Layout.is_word_aligned target) then reject t ~reason:Bad_range ~pid
+  else if in_ram_range t target Layout.word_size then begin
+    let result =
+      Atomic_op.execute op ~read:t.backend.Transfer.read_word ~write:t.backend.Transfer.write_word
+        ~target
+    in
+    t.counters.atomics <- t.counters.atomics + 1;
+    push_event t (Atomic_done { op; target; result; context; pid; at = now t });
+    result
+  end
+  else if in_remote_range target Layout.word_size then begin
+    (* Telegraphos-style remote atomic: ship the operation; the old
+       value comes back later into the context's kernel-set mailbox.
+       Without a mailbox there is nowhere to deliver the reply. *)
+    let mailbox =
+      match context with
+      | Some i -> (Context_file.get t.contexts i).Context_file.mailbox
+      | None -> None
+    in
+    match mailbox with
+    | None -> reject t ~reason:Incomplete_arguments ~pid
+    | Some reply_paddr ->
+      send_remote t ~remote_paddr:target ~payload:Bytes.empty
+        ~kind:(Remote_atomic { op; reply_paddr });
+      t.counters.atomics <- t.counters.atomics + 1;
+      push_event t
+        (Atomic_done { op; target; result = Status.in_progress; context; pid; at = now t });
+      Status.in_progress
+  end
+  else reject t ~reason:Bad_range ~pid
+
+let context_atomic_store c paddr_opt value =
+  (match paddr_opt with
+  | Some paddr -> c.Context_file.atomic_target <- Some paddr
+  | None -> ());
+  c.Context_file.atomic_pending <- Atomic_op.accumulate c.Context_file.atomic_pending value
+
+let context_atomic_exec t c ~expected_target ~pid =
+  let target_ok =
+    match (c.Context_file.atomic_target, expected_target) with
+    | Some tgt, Some expect -> if tgt = expect then Some tgt else None
+    | Some tgt, None -> Some tgt
+    | None, _ -> None
+  in
+  let finish result =
+    c.Context_file.atomic_target <- None;
+    c.Context_file.atomic_pending <- Atomic_op.P_none;
+    result
+  in
+  match (target_ok, c.Context_file.atomic_pending) with
+  | Some target, Atomic_op.P_ready op ->
+    finish (run_atomic t ~op ~target ~context:(Some c.Context_file.index) ~pid)
+  | Some _, (Atomic_op.P_none | Atomic_op.P_cas_expected _) | None, _ ->
+    finish (reject t ~reason:Incomplete_arguments ~pid)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel control page *)
+
+let kernel_store t offset value ~pid =
+  if offset = Regmap.k_source then t.k_src <- value
+  else if offset = Regmap.k_dest then t.k_dst <- value
+  else if offset = Regmap.k_size then
+    t.k_status <- start_transfer t ~src:t.k_src ~dst:t.k_dst ~size:value ~context:None ~pid
+  else if offset = Regmap.k_current_pid then t.current_pid <- value
+  else if offset = Regmap.k_invalidate then begin
+    t.pending <- None;
+    t.g_atomic_target <- None;
+    t.g_atomic_pending <- Atomic_op.P_none
+  end
+  else if offset = Regmap.k_map_out_src then t.map_out_staged <- Some (Layout.page_base value)
+  else if offset = Regmap.k_map_out_dst then begin
+    match t.map_out_staged with
+    | Some src_page ->
+      Hashtbl.replace t.mapped_out src_page (Layout.page_base value);
+      t.map_out_staged <- None
+    | None -> ()
+  end
+  else if offset = Regmap.k_atomic_target then t.k_atomic_target <- value
+  else if offset = Regmap.k_atomic_op then
+    t.k_atomic_pending <- Atomic_op.accumulate t.k_atomic_pending value
+  else if
+    offset >= Regmap.k_mailbox_base
+    && offset < Regmap.k_mailbox_base + (8 * Context_file.length t.contexts)
+  then begin
+    let context = (offset - Regmap.k_mailbox_base) / 8 in
+    (Context_file.get t.contexts context).Context_file.mailbox <-
+      (if value = 0 then None else Some value)
+  end
+  else if offset >= Regmap.k_key_base && offset < Regmap.k_key_base + (8 * Context_file.length t.contexts)
+  then begin
+    (* a key change is a change of ownership: wipe any argument state
+       the previous owner left behind, or the new owner's size+go could
+       fire a transfer with the old owner's physical addresses *)
+    let context = (offset - Regmap.k_key_base) / 8 in
+    Context_file.reset (Context_file.get t.contexts context);
+    Context_file.set_key t.contexts ~context ~key:value
+  end
+
+let kernel_load t offset ~pid =
+  if offset = Regmap.k_status then
+    if Status.is_failure t.k_status then t.k_status
+    else
+      match t.last_transfer with
+      | Some tr -> Transfer.remaining tr ~now:(now t)
+      | None -> t.k_status
+  else if offset = Regmap.k_atomic_op then begin
+    let pending = t.k_atomic_pending in
+    t.k_atomic_pending <- Atomic_op.P_none;
+    match pending with
+    | Atomic_op.P_ready op -> run_atomic t ~op ~target:t.k_atomic_target ~context:None ~pid
+    | Atomic_op.P_none | Atomic_op.P_cas_expected _ ->
+      reject t ~reason:Incomplete_arguments ~pid
+  end
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Register context pages *)
+
+let context_page_store t context offset value ~pid =
+  match Context_file.get_opt t.contexts context with
+  | None -> ignore (reject t ~reason:No_context ~pid : int)
+  | Some c ->
+    if offset = Regmap.c_atomic then context_atomic_store c None value
+    else c.Context_file.size <- Some value
+
+let context_page_load t context offset ~pid =
+  match Context_file.get_opt t.contexts context with
+  | None -> reject t ~reason:No_context ~pid
+  | Some c ->
+    if offset = Regmap.c_atomic then context_atomic_exec t c ~expected_target:None ~pid
+    else begin
+      match Context_file.args_ready c with
+      | Some (src, dest, size) ->
+        let status = start_transfer t ~src ~dst:dest ~size ~context:(Some context) ~pid in
+        Context_file.clear_args c;
+        c.Context_file.status <- status;
+        status
+      | None ->
+        if c.Context_file.dest <> None || c.Context_file.src <> None || c.Context_file.size <> None
+        then begin
+          Context_file.clear_args c;
+          let status = reject t ~reason:Incomplete_arguments ~pid in
+          c.Context_file.status <- status;
+          status
+        end
+        else context_status t context
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Shadow window: atomic accesses (§3.5) *)
+
+let decode_key value = (value asr 4, value land 0xf)
+
+let shadow_atomic t (d : Shadow.decoded) (op : Txn.op) value ~pid =
+  match (t.mechanism, op) with
+  | Ext_shadow, Txn.Store ->
+    (match Context_file.get_opt t.contexts d.Shadow.context with
+    | None -> ignore (reject t ~reason:No_context ~pid : int)
+    | Some c -> context_atomic_store c (Some d.Shadow.paddr) value);
+    0
+  | Ext_shadow, Txn.Load -> (
+    match Context_file.get_opt t.contexts d.Shadow.context with
+    | None -> reject t ~reason:No_context ~pid
+    | Some c -> context_atomic_exec t c ~expected_target:(Some d.Shadow.paddr) ~pid)
+  | Key_based, Txn.Store ->
+    (let key, context = decode_key value in
+     match Context_file.get_opt t.contexts context with
+     | None -> ignore (reject t ~reason:No_context ~pid : int)
+     | Some c ->
+       if c.Context_file.key = key then c.Context_file.atomic_target <- Some d.Shadow.paddr
+       else ignore (reject t ~reason:Bad_key ~pid : int));
+    0
+  | Key_based, Txn.Load -> reject t ~reason:Unsupported ~pid
+  | (Shrimp_two_step | Flash | Ext_shadow_stateless), Txn.Store ->
+    (* the shared atomic slot: one (target, op) pair for the whole
+       engine. Safe only when the two accesses cannot be interleaved,
+       i.e. when issued from PAL mode (sec. 2.7 + 3.5). *)
+    t.g_atomic_target <- Some d.Shadow.paddr;
+    t.g_atomic_pending <- Atomic_op.accumulate t.g_atomic_pending value;
+    0
+  | (Shrimp_two_step | Flash | Ext_shadow_stateless), Txn.Load -> (
+    let target = t.g_atomic_target and pending = t.g_atomic_pending in
+    t.g_atomic_target <- None;
+    t.g_atomic_pending <- Atomic_op.P_none;
+    match (target, pending) with
+    | Some target, Atomic_op.P_ready op when target = d.Shadow.paddr ->
+      run_atomic t ~op ~target ~context:None ~pid
+    | _, _ -> reject t ~reason:Incomplete_arguments ~pid)
+  | (Shrimp_mapped | Rep_args _), Txn.Load -> reject t ~reason:Unsupported ~pid
+  | (Shrimp_mapped | Rep_args _), Txn.Store ->
+    ignore (reject t ~reason:Unsupported ~pid : int);
+    0
+
+(* ------------------------------------------------------------------ *)
+(* Shadow window: DMA argument passing *)
+
+let shadow_store t (d : Shadow.decoded) value ~pid =
+  let discard r = ignore (r : int) in
+  match t.mechanism with
+  | Shrimp_mapped -> (
+    let src = d.Shadow.paddr in
+    match Hashtbl.find_opt t.mapped_out (Layout.page_base src) with
+    | Some dst_page ->
+      let dst = dst_page lor Layout.page_offset src in
+      t.last_status <- start_transfer t ~src ~dst ~size:value ~context:None ~pid
+    | None ->
+      t.last_status <- Status.failure;
+      discard (reject t ~reason:Not_mapped_out ~pid))
+  | Shrimp_two_step | Flash ->
+    t.pending <-
+      Some { p_dest = d.Shadow.paddr; p_size = value; p_pid = t.current_pid; p_ctx = 0 }
+  | Ext_shadow_stateless ->
+    (* sec. 3.2, no-register-context engine: remember the context id
+       carried in the shadow physical address itself *)
+    t.pending <-
+      Some
+        { p_dest = d.Shadow.paddr; p_size = value; p_pid = 0; p_ctx = d.Shadow.context }
+  | Key_based -> (
+    let key, context = decode_key value in
+    match Context_file.get_opt t.contexts context with
+    | None -> discard (reject t ~reason:No_context ~pid)
+    | Some c ->
+      if c.Context_file.key = key then Context_file.push_address c d.Shadow.paddr
+      else discard (reject t ~reason:Bad_key ~pid))
+  | Ext_shadow -> (
+    match Context_file.get_opt t.contexts d.Shadow.context with
+    | None -> discard (reject t ~reason:No_context ~pid)
+    | Some c ->
+      c.Context_file.dest <- Some d.Shadow.paddr;
+      c.Context_file.size <- Some value)
+  | Rep_args _ -> (
+    match Seq_matcher.feed t.matcher Txn.Store ~paddr:d.Shadow.paddr ~value with
+    | Seq_matcher.Accepted | Seq_matcher.Rejected -> ()
+    | Seq_matcher.Fired { src; dst; size } ->
+      (* cannot happen: all patterns end on a load; fire anyway *)
+      t.last_status <- start_transfer t ~src ~dst ~size ~context:None ~pid)
+
+let shadow_load t (d : Shadow.decoded) ~pid =
+  match t.mechanism with
+  | Shrimp_mapped -> two_step_status t
+  | Shrimp_two_step -> (
+    match t.pending with
+    | Some { p_dest; p_size; _ } ->
+      t.pending <- None;
+      let status = start_transfer t ~src:d.Shadow.paddr ~dst:p_dest ~size:p_size ~context:None ~pid in
+      t.last_status <- status;
+      status
+    | None ->
+      t.last_status <- Status.failure;
+      reject t ~reason:Incomplete_arguments ~pid)
+  | Ext_shadow_stateless -> (
+    match t.pending with
+    | Some { p_dest; p_size; p_ctx; _ } ->
+      t.pending <- None;
+      if p_ctx <> d.Shadow.context then begin
+        t.last_status <- Status.failure;
+        reject t ~reason:Wrong_context ~pid
+      end
+      else begin
+        let status =
+          start_transfer t ~src:d.Shadow.paddr ~dst:p_dest ~size:p_size ~context:None ~pid
+        in
+        t.last_status <- status;
+        status
+      end
+    | None ->
+      t.last_status <- Status.failure;
+      reject t ~reason:Incomplete_arguments ~pid)
+  | Flash -> (
+    match t.pending with
+    | Some { p_dest; p_size; p_pid; _ } ->
+      t.pending <- None;
+      if p_pid <> t.current_pid then begin
+        t.last_status <- Status.failure;
+        reject t ~reason:Wrong_pid ~pid
+      end
+      else begin
+        let status =
+          start_transfer t ~src:d.Shadow.paddr ~dst:p_dest ~size:p_size ~context:None ~pid
+        in
+        t.last_status <- status;
+        status
+      end
+    | None ->
+      t.last_status <- Status.failure;
+      reject t ~reason:Incomplete_arguments ~pid)
+  | Key_based ->
+    (* the key-based protocol never loads from the shadow window *)
+    reject t ~reason:Unsupported ~pid
+  | Ext_shadow -> (
+    match Context_file.get_opt t.contexts d.Shadow.context with
+    | None -> reject t ~reason:No_context ~pid
+    | Some c -> (
+      match (c.Context_file.dest, c.Context_file.size) with
+      | Some dest, Some size ->
+        let status =
+          start_transfer t ~src:d.Shadow.paddr ~dst:dest ~size ~context:(Some d.Shadow.context) ~pid
+        in
+        Context_file.clear_args c;
+        c.Context_file.status <- status;
+        status
+      | None, _ | _, None ->
+        Context_file.clear_args c;
+        let status = reject t ~reason:Incomplete_arguments ~pid in
+        c.Context_file.status <- status;
+        status))
+  | Rep_args _ -> (
+    match Seq_matcher.feed t.matcher Txn.Load ~paddr:d.Shadow.paddr ~value:0 with
+    | Seq_matcher.Accepted -> Status.in_progress
+    | Seq_matcher.Rejected -> reject t ~reason:Broken_sequence ~pid
+    | Seq_matcher.Fired { src; dst; size } ->
+      let status = start_transfer t ~src ~dst ~size ~context:None ~pid in
+      t.last_status <- status;
+      status)
+
+(* ------------------------------------------------------------------ *)
+
+(* Telegraphos remote write: an ordinary uncached store to a
+   remote-window page becomes a single-word packet. Remote loads would
+   need a round trip; like Telegraphos, we reject them. *)
+let handle_remote t (txn : Txn.t) =
+  match txn.Txn.op with
+  | Txn.Store ->
+    let payload = Bytes.create Layout.word_size in
+    Bytes.set_int64_le payload 0 (Int64.of_int txn.Txn.value);
+    send_remote t ~remote_paddr:txn.Txn.paddr ~payload;
+    0
+  | Txn.Load -> reject t ~reason:Unsupported ~pid:txn.Txn.pid
+
+let handle t (txn : Txn.t) =
+  let pid = txn.Txn.pid in
+  if Layout.in_remote txn.Txn.paddr then handle_remote t txn
+  else if Layout.in_mmio txn.Txn.paddr then begin
+    let page = Layout.page_base txn.Txn.paddr and offset = Layout.page_offset txn.Txn.paddr in
+    if page = Layout.kernel_control_page then
+      match txn.Txn.op with
+      | Txn.Store ->
+        kernel_store t offset txn.Txn.value ~pid;
+        0
+      | Txn.Load -> kernel_load t offset ~pid
+    else
+      match Layout.context_of_mmio txn.Txn.paddr with
+      | Some context -> (
+        match txn.Txn.op with
+        | Txn.Store ->
+          context_page_store t context offset txn.Txn.value ~pid;
+          0
+        | Txn.Load -> context_page_load t context offset ~pid)
+      | None -> 0
+  end
+  else
+    match Shadow.decode txn.Txn.paddr with
+    | Some d ->
+      if d.Shadow.atomic then shadow_atomic t d txn.Txn.op txn.Txn.value ~pid
+      else begin
+        match txn.Txn.op with
+        | Txn.Store ->
+          shadow_store t d txn.Txn.value ~pid;
+          0
+        | Txn.Load -> shadow_load t d ~pid
+      end
+    | None -> 0
+
+let device t =
+  {
+    Bus.claims =
+      (fun paddr -> Layout.in_mmio paddr || Layout.is_shadow paddr || Layout.in_remote paddr);
+    Bus.handle = handle t;
+  }
+
+let set_context_owner t ~context ~pid = Context_file.set_owner t.contexts ~context ~pid
+
+let invalidate_pending t = t.pending <- None
+
+let set_current_pid t pid = t.current_pid <- pid
+
+let map_out t ~src_page ~dst_page =
+  Hashtbl.replace t.mapped_out (Layout.page_base src_page) (Layout.page_base dst_page)
+
+let mapped_out_dst t ~src_page = Hashtbl.find_opt t.mapped_out (Layout.page_base src_page)
+
+let events t = List.rev t.events
+
+let clear_events t = t.events <- []
+
+let transfers t = List.rev t.transfers
+
+let take_outbound t =
+  let packets = List.rev t.outbound in
+  t.outbound <- [];
+  packets
+
+let counters t = t.counters
+
+let pp_reject_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Bad_key -> "bad key"
+    | No_context -> "no such register context"
+    | Wrong_context -> "wrong register context"
+    | Incomplete_arguments -> "incomplete arguments"
+    | Broken_sequence -> "broken access sequence"
+    | Bad_range -> "address range outside RAM"
+    | Not_mapped_out -> "page has no mapped-out twin"
+    | Wrong_pid -> "pending arguments belong to another process"
+    | Unsupported -> "operation unsupported by this mechanism")
+
+let pp_event ppf = function
+  | Started tr -> Format.fprintf ppf "started: %a" Transfer.pp tr
+  | Rejected { reason; pid; at } ->
+    Format.fprintf ppf "rejected (%a) pid=%d at %a" pp_reject_reason reason pid Units.pp_time at
+  | Atomic_done { op; target; result; pid; _ } ->
+    Format.fprintf ppf "%a at %#x -> %d (pid %d)" Atomic_op.pp op target result pid

@@ -1,0 +1,138 @@
+(** The network-interface DMA engine.
+
+    One engine instance implements one of the paper's initiation
+    mechanisms on its shadow window, *plus* the classic kernel path
+    through the kernel control page (always available — Fig. 1's
+    baseline works no matter which user-level mechanism the board is
+    configured with), *plus* the atomic-operation unit (§3.5).
+
+    The engine is a bus device: it claims every MMIO and shadow
+    physical address and decodes the transaction stream. It never looks
+    at a transaction's provenance pid — with one deliberate exception:
+    the FLASH mechanism reads the [current_pid] register that a
+    *modified kernel* updates on every context switch, which is exactly
+    the kernel modification the paper is arguing against. *)
+
+type mechanism =
+  | Shrimp_mapped (** §2.4: one-access DMA to the page's mapped-out twin *)
+  | Shrimp_two_step (** §2.5 (and §2.7 PAL): store dest+size, load src *)
+  | Flash (** §2.6: two-step, validated against the kernel-maintained pid *)
+  | Key_based (** §3.1, Fig. 3 *)
+  | Ext_shadow (** §3.2, Fig. 4, with register contexts *)
+  | Ext_shadow_stateless
+      (** §3.2's no-register-context engine: "when it receives pairs of
+          STORE and LOAD instructions, it checks the CONTEXT_ID values
+          of the two physical addresses. If they are different, the DMA
+          operation is not started and an error code is returned." *)
+  | Rep_args of Seq_matcher.variant (** §3.3, Fig. 7 *)
+
+type reject_reason =
+  | Bad_key
+  | No_context
+  | Wrong_context
+  | Incomplete_arguments
+  | Broken_sequence
+  | Bad_range
+  | Not_mapped_out
+  | Wrong_pid (** FLASH: pending args belong to a switched-out process *)
+  | Unsupported
+
+type event =
+  | Started of Transfer.t
+  | Rejected of { reason : reject_reason; pid : int; at : Uldma_util.Units.ps }
+  | Atomic_done of {
+      op : Atomic_op.t;
+      target : int;
+      result : int;
+      context : int option;
+      pid : int;
+      at : Uldma_util.Units.ps;
+    }
+
+type counters = {
+  mutable started : int;
+  mutable rejected : int;
+  mutable key_rejected : int;
+  mutable atomics : int;
+  mutable remote_sends : int;
+}
+
+type packet_kind =
+  | Remote_write
+  | Remote_atomic of { op : Atomic_op.t; reply_paddr : int }
+      (** execute at the peer's [remote_addr]; the old value is
+          delivered back into the sender's local word [reply_paddr]
+          (the context's kernel-set mailbox) *)
+
+type outbound_packet = {
+  remote_addr : int; (** physical address on the peer node *)
+  payload : Bytes.t; (** [Remote_write] payload; empty for atomics *)
+  sent_at : Uldma_util.Units.ps;
+  kind : packet_kind;
+}
+
+type t
+
+val create :
+  clock:Uldma_bus.Clock.t ->
+  backend:Transfer.backend ->
+  ram_size:int ->
+  mechanism:mechanism ->
+  ?n_contexts:int ->
+  unit ->
+  t
+(** [n_contexts] defaults to 4 ("say 4 to 8", §3.1). *)
+
+val mechanism : t -> mechanism
+val contexts : t -> Context_file.t
+val device : t -> Uldma_bus.Bus.device
+(** Register with [Bus.register_device]. *)
+
+val copy : t -> clock:Uldma_bus.Clock.t -> backend:Transfer.backend -> t
+(** Snapshot for the interleaving explorer; the caller supplies the
+    copied clock and a backend bound to the copied RAM. *)
+
+(** {1 Privileged operations}
+
+    These model kernel accesses to the (never user-mapped) control
+    page. The kernel performs them through the bus so they are charged
+    bus time; tests may also call the direct helpers below. *)
+
+val set_context_owner : t -> context:int -> pid:int option -> unit
+(** Oracle metadata only (which process the OS gave the context to). *)
+
+val invalidate_pending : t -> unit
+(** SHRIMP-2 context-switch hook action. *)
+
+val set_current_pid : t -> int -> unit
+(** FLASH context-switch hook action. *)
+
+val map_out : t -> src_page:int -> dst_page:int -> unit
+(** SHRIMP-1: install a mapped-out entry (physical page bases). *)
+
+val mapped_out_dst : t -> src_page:int -> int option
+
+(** {1 Observation} *)
+
+val events : t -> event list
+(** All events, oldest first. *)
+
+val clear_events : t -> unit
+val transfers : t -> Transfer.t list
+(** Started transfers, oldest first. *)
+
+val take_outbound : t -> outbound_packet list
+(** Drain the outbound network queue, oldest first. Remote-window
+    stores contribute single-word packets; DMA transfers whose
+    destination names remote memory contribute their whole payload
+    (Telegraphos-style remote writes). *)
+
+val counters : t -> counters
+val context_status : t -> int -> int
+
+val context_transfer_end : t -> int -> Uldma_util.Units.ps option
+(** Completion time of the context's last transfer (for sys_dma_wait). *)
+
+val last_transfer_end : t -> Uldma_util.Units.ps option
+val pp_reject_reason : Format.formatter -> reject_reason -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,20 @@
+let k_source = 0x00
+let k_dest = 0x08
+let k_size = 0x10
+let k_status = 0x18
+let k_current_pid = 0x20
+let k_invalidate = 0x28
+let k_map_out_src = 0x30
+let k_map_out_dst = 0x38
+let k_atomic_target = 0x40
+let k_atomic_op = 0x48
+let k_key_base = 0x80
+
+let key_offset ~context = k_key_base + (8 * context)
+
+let k_mailbox_base = 0x100
+
+let mailbox_offset ~context = k_mailbox_base + (8 * context)
+
+let c_size = 0x00
+let c_atomic = 0x08

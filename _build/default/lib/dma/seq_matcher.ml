@@ -1,0 +1,107 @@
+open Uldma_bus
+
+type variant = Three | Four | Five
+
+type fire = { src : int; dst : int; size : int }
+
+type reply = Accepted | Fired of fire | Rejected
+
+(* What each step of a pattern expects. [Dest_set]/[Src_set] bind the
+   address role; the [_match] forms require equality with the binding. *)
+type addr_role = Dest_set | Dest_match | Src_set | Src_match
+
+type step = { op : Txn.op; role : addr_role; carries_size : bool }
+
+let pattern = function
+  | Three ->
+    [|
+      { op = Txn.Load; role = Src_set; carries_size = false };
+      { op = Txn.Store; role = Dest_set; carries_size = true };
+      { op = Txn.Load; role = Src_match; carries_size = false };
+    |]
+  | Four ->
+    [|
+      { op = Txn.Store; role = Dest_set; carries_size = true };
+      { op = Txn.Load; role = Src_set; carries_size = false };
+      { op = Txn.Store; role = Dest_match; carries_size = true };
+      { op = Txn.Load; role = Src_match; carries_size = false };
+    |]
+  | Five ->
+    [|
+      { op = Txn.Store; role = Dest_set; carries_size = true };
+      { op = Txn.Load; role = Src_set; carries_size = false };
+      { op = Txn.Store; role = Dest_match; carries_size = true };
+      { op = Txn.Load; role = Src_match; carries_size = false };
+      { op = Txn.Load; role = Dest_match; carries_size = false };
+    |]
+
+type t = {
+  variant : variant;
+  steps : step array;
+  mutable index : int;
+  mutable dest : int;
+  mutable src : int;
+  mutable size : int;
+}
+
+let create variant = { variant; steps = pattern variant; index = 0; dest = -1; src = -1; size = -1 }
+
+let copy t = { t with variant = t.variant }
+
+let variant t = t.variant
+
+let sequence_length v = Array.length (pattern v)
+
+let reset t =
+  t.index <- 0;
+  t.dest <- -1;
+  t.src <- -1;
+  t.size <- -1
+
+let position t = t.index
+
+(* Try to accept [op/paddr/value] as step [t.index]. *)
+let accept t op paddr value =
+  let step = t.steps.(t.index) in
+  if step.op <> op then false
+  else
+    let addr_ok =
+      match step.role with
+      | Dest_set ->
+        t.dest <- paddr;
+        true
+      | Src_set ->
+        t.src <- paddr;
+        true
+      | Dest_match -> paddr = t.dest
+      | Src_match -> paddr = t.src
+    in
+    let size_ok =
+      if not step.carries_size then true
+      else if t.size < 0 then begin
+        t.size <- value;
+        true
+      end
+      else value = t.size
+    in
+    if addr_ok && size_ok then begin
+      t.index <- t.index + 1;
+      true
+    end
+    else false
+
+let feed t op ~paddr ~value =
+  if accept t op paddr value then
+    if t.index = Array.length t.steps then begin
+      let fire = { src = t.src; dst = t.dest; size = t.size } in
+      reset t;
+      Fired fire
+    end
+    else Accepted
+  else begin
+    (* "If it sees anything out of this order, the DMA engine resets
+       itself" — and the offending access may begin a new sequence. *)
+    reset t;
+    ignore (accept t op paddr value : bool);
+    Rejected
+  end

@@ -1,0 +1,46 @@
+(** The repeated-passing-of-arguments recogniser (§3.3).
+
+    The engine watches the *global* stream of shadow accesses (it has
+    no register contexts in this mode — that is the method's selling
+    point) and fires a DMA only when it sees a complete well-formed
+    sequence:
+
+    - [Three] (Dubnicki's original): LOAD s, STORE d, LOAD s — with
+      accesses 1 and 3 to the same address. Vulnerable (Fig. 5).
+    - [Four]: STORE d, LOAD s, STORE d, LOAD s — 1,3 equal and 2,4
+      equal. Vulnerable (Fig. 6).
+    - [Five] (the paper's method, Fig. 7): STORE d, LOAD s, STORE d,
+      LOAD s, LOAD d — 1,3,5 equal and 2,4 equal. "If it sees anything
+      out of this order, the DMA engine resets itself."
+
+    Both stores carry the transfer size and must agree.
+
+    On a mismatch the engine resets and then considers the offending
+    access as a potential first element of a fresh sequence (this is
+    exactly what makes the Fig. 5 attack on [Three] work, so it must be
+    modelled faithfully). *)
+
+type variant = Three | Four | Five
+
+type fire = { src : int; dst : int; size : int }
+
+type reply =
+  | Accepted (** consistent continuation, sequence not yet complete *)
+  | Fired of fire (** this access completed a valid sequence *)
+  | Rejected (** inconsistent: the engine reset itself *)
+
+type t
+
+val create : variant -> t
+val copy : t -> t
+val variant : t -> variant
+
+val sequence_length : variant -> int
+
+val feed : t -> Uldma_bus.Txn.op -> paddr:int -> value:int -> reply
+
+val reset : t -> unit
+
+val position : t -> int
+(** How many accesses of the current candidate sequence have been
+    accepted (0 = idle). *)

@@ -1,0 +1,59 @@
+open Uldma_util
+
+type t = {
+  src : int;
+  dst : int;
+  size : int;
+  context : int option;
+  pid : int;
+  started_at : Units.ps;
+  duration : Units.ps;
+}
+
+type backend = {
+  copy : src:int -> dst:int -> len:int -> unit;
+  read_word : int -> int;
+  write_word : int -> int -> unit;
+  read_bytes : int -> int -> Bytes.t;
+  duration_ps : int -> Units.ps;
+}
+
+let null_backend =
+  {
+    copy = (fun ~src:_ ~dst:_ ~len:_ -> ());
+    read_word = (fun _ -> 0);
+    write_word = (fun _ _ -> ());
+    read_bytes = (fun _ len -> Bytes.make len '\000');
+    duration_ps = (fun _ -> 0);
+  }
+
+let local_backend ram ~setup_ps ~bytes_per_s =
+  {
+    copy = (fun ~src ~dst ~len -> Uldma_mem.Phys_mem.blit ram ~src ~dst ~len);
+    read_word = Uldma_mem.Phys_mem.load_word ram;
+    write_word = Uldma_mem.Phys_mem.store_word ram;
+    read_bytes =
+      (fun addr len ->
+        let b = Bytes.create len in
+        for i = 0 to len - 1 do
+          Bytes.set b i (Char.chr (Uldma_mem.Phys_mem.load_byte ram (addr + i)))
+        done;
+        b);
+    duration_ps = (fun n -> setup_ps + Units.transfer_ps ~bytes_per_s n);
+  }
+
+let remaining t ~now =
+  if t.duration <= 0 then 0
+  else
+    let elapsed = now - t.started_at in
+    if elapsed >= t.duration then 0
+    else if elapsed <= 0 then t.size
+    else t.size - (t.size * elapsed / t.duration)
+
+let end_time t = t.started_at + t.duration
+
+let pp ppf t =
+  Format.fprintf ppf "DMA %#x -> %#x (%d bytes, pid %d%s, at %a, %a on the wire)" t.src t.dst
+    t.size t.pid
+    (match t.context with Some c -> Printf.sprintf ", ctx %d" c | None -> "")
+    Units.pp_time t.started_at Units.pp_time t.duration

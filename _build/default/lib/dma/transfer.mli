@@ -1,0 +1,44 @@
+(** Started DMA transfers and the data-movement backend.
+
+    The engine applies a transfer's memory effect at initiation time
+    and models its wire time as a duration; status reads report the
+    bytes remaining as of the current simulated instant, which is what
+    §3.1 says a register-context read returns.
+
+    The [pid] field is provenance for the test oracle only — the engine
+    never consults it when deciding whether to start a transfer. *)
+
+type t = {
+  src : int; (** source physical address *)
+  dst : int;
+  size : int;
+  context : int option; (** register context, when one was involved *)
+  pid : int; (** provenance of the initiating transaction (oracle only) *)
+  started_at : Uldma_util.Units.ps;
+  duration : Uldma_util.Units.ps;
+}
+
+type backend = {
+  copy : src:int -> dst:int -> len:int -> unit;
+  read_word : int -> int; (** for the atomic unit *)
+  write_word : int -> int -> unit;
+  read_bytes : int -> int -> Bytes.t; (** payload extraction for remote sends *)
+  duration_ps : int -> Uldma_util.Units.ps; (** wire time for n bytes *)
+}
+
+val null_backend : backend
+(** No data is moved and transfers complete instantly — Table 1's
+    methodology ("No DMA data transfer was actually performed. Only the
+    DMA arguments were passed to the network interface."). *)
+
+val local_backend :
+  Uldma_mem.Phys_mem.t -> setup_ps:Uldma_util.Units.ps -> bytes_per_s:float -> backend
+(** Copies within local RAM, with wire time [setup + size/bandwidth]. *)
+
+val remaining : t -> now:Uldma_util.Units.ps -> int
+(** Bytes still to transfer at [now]: [size] at the start, 0 from
+    [started_at + duration] on. *)
+
+val end_time : t -> Uldma_util.Units.ps
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/io/disk.ml: Bytes Printf Uldma_util Units

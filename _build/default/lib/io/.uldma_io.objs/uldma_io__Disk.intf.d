@@ -1,0 +1,1 @@
+lib/io/disk.mli: Bytes Uldma_util

@@ -1,0 +1,117 @@
+open Uldma_util
+
+type geometry = {
+  name : string;
+  rpm : int;
+  avg_seek_ms : float;
+  bytes_per_s : float;
+  block_size : int;
+  blocks : int;
+  controller_setup_ps : Units.ps;
+}
+
+let disk_1996 =
+  {
+    name = "1996 SCSI disk (5400 rpm)";
+    rpm = 5400;
+    avg_seek_ms = 9.0;
+    bytes_per_s = 5e6;
+    block_size = 4096;
+    blocks = 262_144 (* 1 GB *);
+    controller_setup_ps = Units.us 50.0;
+  }
+
+let disk_modern =
+  {
+    name = "modern disk (7200 rpm)";
+    rpm = 7200;
+    avg_seek_ms = 8.0;
+    bytes_per_s = 160e6;
+    block_size = 4096;
+    blocks = 16_777_216;
+    controller_setup_ps = Units.us 20.0;
+  }
+
+type t = {
+  geometry : geometry;
+  image : Bytes.t;
+  mutable head : int;
+  mutable requests : int;
+}
+
+let create geometry =
+  if geometry.blocks <= 0 || geometry.block_size <= 0 then invalid_arg "Disk.create";
+  (* back only a modest prefix with real bytes; the timing model covers
+     the whole geometry *)
+  let backed = min geometry.blocks 1024 in
+  {
+    geometry;
+    image = Bytes.make (backed * geometry.block_size) '\000';
+    head = 0;
+    requests = 0;
+  }
+
+let copy t = { t with image = Bytes.copy t.image }
+
+let geometry t = t.geometry
+
+let backed_blocks t = Bytes.length t.image / t.geometry.block_size
+
+let seek_ps t ~from ~target =
+  if from = target then Units.us 100.0 (* settle only *)
+  else
+    let distance = float_of_int (abs (target - from)) /. float_of_int t.geometry.blocks in
+    (* a + b*sqrt(d), calibrated so the 1/3-stroke seek equals avg_seek *)
+    let avg = t.geometry.avg_seek_ms in
+    Units.us (1000.0 *. ((0.3 *. avg) +. (0.7 *. avg *. sqrt (distance *. 3.0))))
+
+let rotational_ps t =
+  (* half a revolution on average *)
+  Units.us (0.5 *. 60_000_000.0 /. float_of_int t.geometry.rpm /. 1000.0 *. 1000.0)
+
+let transfer_ps t = Units.transfer_ps ~bytes_per_s:t.geometry.bytes_per_s t.geometry.block_size
+
+let service_time t ~block =
+  t.geometry.controller_setup_ps + seek_ps t ~from:t.head ~target:block + rotational_ps t
+  + transfer_ps t
+
+let check_block t block =
+  if block < 0 || block >= t.geometry.blocks then
+    Error (Printf.sprintf "block %d outside disk (%d blocks)" block t.geometry.blocks)
+  else Ok ()
+
+let serve t ~block =
+  let time = service_time t ~block in
+  t.head <- block;
+  t.requests <- t.requests + 1;
+  time
+
+let read_block t ~block =
+  match check_block t block with
+  | Error _ as e -> e
+  | Ok () ->
+    let time = serve t ~block in
+    let data =
+      if block < backed_blocks t then
+        Bytes.sub t.image (block * t.geometry.block_size) t.geometry.block_size
+      else Bytes.make t.geometry.block_size '\000'
+    in
+    Ok (data, time)
+
+let write_block t ~block data =
+  if Bytes.length data <> t.geometry.block_size then
+    Error
+      (Printf.sprintf "write of %d bytes; block size is %d" (Bytes.length data)
+         t.geometry.block_size)
+  else
+    match check_block t block with
+    | Error _ as e -> e
+    | Ok () ->
+      let time = serve t ~block in
+      if block < backed_blocks t then
+        Bytes.blit data 0 t.image (block * t.geometry.block_size) t.geometry.block_size;
+      Ok time
+
+let head t = t.head
+
+let requests_served t = t.requests

@@ -1,0 +1,53 @@
+(** A magnetic-disk model.
+
+    The paper's opening contrast: "DMA has been heavily used to
+    transfer data between (fast) main memory and (slow) magnetic disks
+    ... since the overhead of the operating system involvement in the
+    initiation of a DMA was small compared to the DMA data transfer
+    itself, no attempt was made to allow user applications to start DMA
+    operations" — network transfers broke that assumption. This model
+    supplies the disk side of that comparison: millisecond-scale
+    service times (seek + rotational latency + media transfer) against
+    which an 18.6 µs syscall is indeed negligible.
+
+    Service time: seek is distance-dependent
+    ([min + span*sqrt(d/blocks)]), rotation costs half a revolution on
+    average, transfer is block_size over the media rate. The head
+    position persists across requests, so sequential access is cheap
+    and random access pays. *)
+
+type geometry = {
+  name : string;
+  rpm : int;
+  avg_seek_ms : float; (** average (1/3-stroke) seek *)
+  bytes_per_s : float; (** media transfer rate *)
+  block_size : int;
+  blocks : int;
+  controller_setup_ps : Uldma_util.Units.ps;
+}
+
+val disk_1996 : geometry
+(** A mid-90s SCSI disk: 5400 rpm, 9 ms average seek, 5 MB/s media. *)
+
+val disk_modern : geometry
+(** 7200 rpm, 8 ms seek, 160 MB/s media — faster media, same
+    mechanical latencies. *)
+
+type t
+
+val create : geometry -> t
+val copy : t -> t
+val geometry : t -> geometry
+
+val service_time : t -> block:int -> Uldma_util.Units.ps
+(** Time to service a request at [block] from the current head
+    position, without moving the head. *)
+
+val read_block : t -> block:int -> (Bytes.t * Uldma_util.Units.ps, string) result
+(** The block's contents and the service time; moves the head. *)
+
+val write_block : t -> block:int -> Bytes.t -> (Uldma_util.Units.ps, string) result
+(** Writes exactly [block_size] bytes; moves the head. *)
+
+val head : t -> int
+val requests_served : t -> int

@@ -1,0 +1,1 @@
+lib/mem/perms.mli: Format

@@ -1,0 +1,21 @@
+type t = { read : bool; write : bool }
+
+let none = { read = false; write = false }
+let read_only = { read = true; write = false }
+let read_write = { read = true; write = true }
+let write_only = { read = false; write = true }
+
+let allows_read t = t.read
+let allows_write t = t.write
+
+let subsumes a b = (a.read || not b.read) && (a.write || not b.write)
+
+let union a b = { read = a.read || b.read; write = a.write || b.write }
+let inter a b = { read = a.read && b.read; write = a.write && b.write }
+
+let equal a b = a.read = b.read && a.write = b.write
+
+let to_string t =
+  (if t.read then "r" else "-") ^ if t.write then "w" else "-"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

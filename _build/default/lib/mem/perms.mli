@@ -1,0 +1,22 @@
+(** Page access permissions, as checked by the MMU on every access and
+    by the kernel's [check_size] when it initiates a DMA itself. *)
+
+type t = { read : bool; write : bool }
+
+val none : t
+val read_only : t
+val read_write : t
+val write_only : t
+
+val allows_read : t -> bool
+val allows_write : t -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff every access allowed by [b] is allowed by [a]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,60 @@
+type t = { data : Bytes.t }
+
+exception Fault of int
+
+let create ~size =
+  if size <= 0 || not (Layout.is_page_aligned size) then
+    invalid_arg (Printf.sprintf "Phys_mem.create: size %d not page-aligned" size);
+  if size > Layout.max_ram_size then
+    invalid_arg "Phys_mem.create: size exceeds Layout.max_ram_size";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let copy t = { data = Bytes.copy t.data }
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then raise (Fault addr)
+
+let check_word t addr =
+  check t addr Layout.word_size;
+  if not (Layout.is_word_aligned addr) then raise (Fault addr)
+
+let load_word t addr =
+  check_word t addr;
+  Int64.to_int (Bytes.get_int64_le t.data addr)
+
+let store_word t addr value =
+  check_word t addr;
+  Bytes.set_int64_le t.data addr (Int64.of_int value)
+
+let load_byte t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let store_byte t addr value =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (value land 0xff))
+
+let blit t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let fill t ~addr ~len ~byte =
+  check t addr len;
+  Bytes.fill t.data addr len (Char.chr (byte land 0xff))
+
+let checksum t ~addr ~len =
+  check t addr len;
+  let acc = ref 0 in
+  for i = 0 to len - 1 do
+    let b = Char.code (Bytes.get t.data (addr + i)) in
+    acc := ((!acc * 131) + b) land max_int
+  done;
+  !acc
+
+let equal_range a b ~addr ~len =
+  check a addr len;
+  check b addr len;
+  Bytes.sub a.data addr len = Bytes.sub b.data addr len

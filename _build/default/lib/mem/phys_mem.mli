@@ -1,0 +1,40 @@
+(** Byte-addressable physical RAM.
+
+    The DMA engine's transfer executor and the CPU's cacheable accesses
+    both resolve here. MMIO and shadow addresses never reach this
+    module: the bus routes them to the engine first. *)
+
+type t
+
+exception Fault of int
+(** Raised with the offending physical address on an out-of-range or
+    misaligned access. *)
+
+val create : size:int -> t
+(** Zero-initialised RAM of [size] bytes; [size] must be page-aligned
+    and at most [Layout.max_ram_size]. *)
+
+val size : t -> int
+
+val copy : t -> t
+(** Deep copy, for interleaving-explorer snapshots. *)
+
+val load_word : t -> int -> int
+(** 8-byte aligned load. The top byte is truncated into OCaml's 63-bit
+    [int]; all simulated programs use values that fit. *)
+
+val store_word : t -> int -> int -> unit
+
+val load_byte : t -> int -> int
+val store_byte : t -> int -> int -> unit
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** The DMA copy primitive. Handles overlapping ranges correctly. *)
+
+val fill : t -> addr:int -> len:int -> byte:int -> unit
+
+val checksum : t -> addr:int -> len:int -> int
+(** Order-sensitive checksum of a byte range, used by tests to compare
+    regions cheaply. *)
+
+val equal_range : t -> t -> addr:int -> len:int -> bool

@@ -1,0 +1,1 @@
+lib/mmu/addr_space.ml: Format Layout Page_table Perms Pte Tlb Uldma_mem

@@ -1,0 +1,1 @@
+lib/mmu/addr_space.mli: Format Page_table Pte Tlb Uldma_mem

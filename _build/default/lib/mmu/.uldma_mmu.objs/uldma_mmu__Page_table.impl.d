@@ -1,0 +1,1 @@
+lib/mmu/page_table.ml: Hashtbl Layout Perms Pte Uldma_mem

@@ -1,0 +1,1 @@
+lib/mmu/page_table.mli: Pte Uldma_mem

@@ -1,0 +1,1 @@
+lib/mmu/shadow.ml: Layout Printf Uldma_mem

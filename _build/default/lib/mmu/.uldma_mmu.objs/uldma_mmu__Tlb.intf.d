@@ -1,0 +1,1 @@
+lib/mmu/tlb.mli: Page_table Pte

@@ -1,0 +1,32 @@
+open Uldma_mem
+
+type t = { entries : (int, Pte.t) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let copy t = { entries = Hashtbl.copy t.entries }
+
+let map t ~vpage pte = Hashtbl.replace t.entries vpage pte
+
+let unmap t ~vpage = Hashtbl.remove t.entries vpage
+
+let find t ~vpage = Hashtbl.find_opt t.entries vpage
+
+let mem t ~vpage = Hashtbl.mem t.entries vpage
+
+let iter t f = Hashtbl.iter f t.entries
+
+let cardinal t = Hashtbl.length t.entries
+
+let mapped_range t ~vaddr ~len ~perms =
+  if len <= 0 then true
+  else
+    let first = Layout.page_of vaddr and last = Layout.page_of (vaddr + len - 1) in
+    let rec check page =
+      if page > last then true
+      else
+        match find t ~vpage:page with
+        | Some pte when Perms.subsumes pte.Pte.perms perms -> check (page + 1)
+        | Some _ | None -> false
+    in
+    check first

@@ -1,0 +1,19 @@
+(** A per-process page table: virtual page number -> PTE. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val map : t -> vpage:int -> Pte.t -> unit
+(** Install or replace a mapping. *)
+
+val unmap : t -> vpage:int -> unit
+val find : t -> vpage:int -> Pte.t option
+val mem : t -> vpage:int -> bool
+val iter : t -> (int -> Pte.t -> unit) -> unit
+val cardinal : t -> int
+
+val mapped_range : t -> vaddr:int -> len:int -> perms:Uldma_mem.Perms.t -> bool
+(** True iff every page of [\[vaddr, vaddr+len)] is mapped with at least
+    the given permissions — the kernel's [check_size] from Fig. 1. *)

@@ -1,0 +1,10 @@
+type t = { frame : int; perms : Uldma_mem.Perms.t; cacheable : bool }
+
+let make ?(cacheable = true) ~frame ~perms () = { frame; perms; cacheable }
+
+let equal a b =
+  a.frame = b.frame && Uldma_mem.Perms.equal a.perms b.perms && a.cacheable = b.cacheable
+
+let pp ppf t =
+  Format.fprintf ppf "{frame=%#x perms=%a %s}" t.frame Uldma_mem.Perms.pp t.perms
+    (if t.cacheable then "cached" else "uncached")

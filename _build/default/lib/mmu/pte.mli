@@ -1,0 +1,11 @@
+(** Page-table entries. *)
+
+type t = {
+  frame : int; (** physical page-frame number (may be a shadow frame) *)
+  perms : Uldma_mem.Perms.t;
+  cacheable : bool; (** shadow and MMIO pages are mapped uncacheable *)
+}
+
+val make : ?cacheable:bool -> frame:int -> perms:Uldma_mem.Perms.t -> unit -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type entry = { vpage : int; pte : Pte.t }
+
+type stats = { hits : int; misses : int }
+
+type t = {
+  slots : entry option array;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(slots = 64) () =
+  if not (is_power_of_two slots) then invalid_arg "Tlb.create: slots must be a power of two";
+  { slots = Array.make slots None; mask = slots - 1; hits = 0; misses = 0 }
+
+let copy t = { t with slots = Array.copy t.slots }
+
+let slot_of t vpage = vpage land t.mask
+
+let lookup t ~vpage =
+  match t.slots.(slot_of t vpage) with
+  | Some e when e.vpage = vpage -> Some e.pte
+  | Some _ | None -> None
+
+let fill t ~vpage pte = t.slots.(slot_of t vpage) <- Some { vpage; pte }
+
+let translate t page_table ~vpage =
+  match lookup t ~vpage with
+  | Some pte ->
+    t.hits <- t.hits + 1;
+    Some (pte, `Hit)
+  | None -> (
+    t.misses <- t.misses + 1;
+    match Page_table.find page_table ~vpage with
+    | Some pte ->
+      fill t ~vpage pte;
+      Some (pte, `Miss)
+    | None -> None)
+
+let invalidate t ~vpage =
+  match t.slots.(slot_of t vpage) with
+  | Some e when e.vpage = vpage -> t.slots.(slot_of t vpage) <- None
+  | Some _ | None -> ()
+
+let flush t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let stats t : stats = { hits = t.hits; misses = t.misses }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,34 @@
+(** A direct-mapped TLB.
+
+    Functionally it is a transparent cache over the page table; it
+    exists so that (a) translation costs can distinguish hits from
+    misses, and (b) context switches have a realistic TLB-flush effect,
+    both of which feed the timing model's account of why kernel-level
+    DMA initiation is expensive. *)
+
+type t
+
+type stats = { hits : int; misses : int }
+
+val create : ?slots:int -> unit -> t
+(** [slots] defaults to 64 and must be a power of two. *)
+
+val copy : t -> t
+
+val lookup : t -> vpage:int -> Pte.t option
+(** Probe without filling. *)
+
+val fill : t -> vpage:int -> Pte.t -> unit
+
+val translate : t -> Page_table.t -> vpage:int -> (Pte.t * [ `Hit | `Miss ]) option
+(** Probe, falling back to the page table and filling on a miss;
+    [None] if the page table has no entry either. *)
+
+val invalidate : t -> vpage:int -> unit
+(** Remove one entry if present (used when the OS revokes a mapping). *)
+
+val flush : t -> unit
+(** Drop everything (context switch). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/net/netif.ml: Bytes Link List Uldma_util Units

@@ -1,0 +1,1 @@
+lib/net/netif.mli: Bytes Link Uldma_util

@@ -1,0 +1,16 @@
+open Uldma_util
+
+type t = { name : string; bytes_per_s : float; latency_ps : Units.ps }
+
+let atm155 = { name = "ATM 155Mbps"; bytes_per_s = Units.mbps 155.0; latency_ps = Units.us 10.0 }
+let atm622 = { name = "ATM 622Mbps"; bytes_per_s = Units.mbps 622.0; latency_ps = Units.us 8.0 }
+let gigabit = { name = "Gigabit LAN"; bytes_per_s = Units.mbps 1000.0; latency_ps = Units.us 5.0 }
+let hic1355 = { name = "HIC/IEEE-1355"; bytes_per_s = Units.mbps 800.0; latency_ps = Units.us 2.0 }
+
+let all = [ atm155; atm622; gigabit; hic1355 ]
+
+let wire_time_ps t n = t.latency_ps + Units.transfer_ps ~bytes_per_s:t.bytes_per_s n
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.0f MB/s, %a latency)" t.name (t.bytes_per_s /. 1e6) Units.pp_time
+    t.latency_ps

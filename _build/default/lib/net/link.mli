@@ -1,0 +1,26 @@
+(** Interconnect link models.
+
+    §2.2's motivation: "ATM networks that provide 155 Mbps are common
+    today, and will soon be upgraded to 622 Mbps. Gigabit LANs have
+    already started to appear in the market." These three presets (plus
+    a HIC/IEEE-1355 one, the technology of the ARCHES project that
+    funded the paper) drive the initiation-overhead-versus-wire-time
+    crossover experiment. *)
+
+type t = {
+  name : string;
+  bytes_per_s : float;
+  latency_ps : Uldma_util.Units.ps; (** propagation + switch latency *)
+}
+
+val atm155 : t
+val atm622 : t
+val gigabit : t
+val hic1355 : t
+
+val all : t list
+
+val wire_time_ps : t -> int -> Uldma_util.Units.ps
+(** Latency + serialisation time for a payload of n bytes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+open Uldma_util
+
+type packet = {
+  dst_paddr : int;
+  payload : Bytes.t;
+  depart_at : Units.ps;
+  arrive_at : Units.ps;
+}
+
+type t = {
+  link : Link.t;
+  mutable queue : packet list; (* arrival order: oldest first *)
+  mutable delivered : int;
+  mutable busy_until : Units.ps; (* link serialisation point *)
+}
+
+let create ~link = { link; queue = []; delivered = 0; busy_until = 0 }
+
+let link t = t.link
+
+let send t ~now ~dst_paddr ~payload =
+  (* serialisation starts when the link is free *)
+  let depart_at = max now t.busy_until in
+  let arrive_at = depart_at + Link.wire_time_ps t.link (Bytes.length payload) in
+  t.busy_until <- depart_at + Units.transfer_ps ~bytes_per_s:t.link.Link.bytes_per_s (Bytes.length payload);
+  t.queue <- t.queue @ [ { dst_paddr; payload; depart_at; arrive_at } ]
+
+let poll t ~now apply =
+  let arrived, pending = List.partition (fun p -> p.arrive_at <= now) t.queue in
+  t.queue <- pending;
+  List.iter apply arrived;
+  t.delivered <- t.delivered + List.length arrived;
+  List.length arrived
+
+let in_flight t = List.length t.queue
+
+let delivered t = t.delivered
+
+let next_arrival t =
+  match t.queue with [] -> None | p :: _ -> Some p.arrive_at
+
+let drain_all t apply =
+  let n = List.length t.queue in
+  List.iter apply t.queue;
+  t.delivered <- t.delivered + n;
+  t.queue <- [];
+  n

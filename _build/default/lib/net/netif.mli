@@ -1,0 +1,28 @@
+(** A point-to-point network interface: packets depart when the DMA
+    engine hands them over and arrive after the link's wire time.
+    The receiving side applies arrived packets to its own physical
+    memory when polled. *)
+
+type packet = {
+  dst_paddr : int;
+  payload : Bytes.t;
+  depart_at : Uldma_util.Units.ps;
+  arrive_at : Uldma_util.Units.ps;
+}
+
+type t
+
+val create : link:Link.t -> t
+val link : t -> Link.t
+
+val send : t -> now:Uldma_util.Units.ps -> dst_paddr:int -> payload:Bytes.t -> unit
+
+val poll : t -> now:Uldma_util.Units.ps -> (packet -> unit) -> int
+(** Deliver (in arrival order) every packet whose [arrive_at] has
+    passed; returns how many were delivered. *)
+
+val in_flight : t -> int
+val delivered : t -> int
+val next_arrival : t -> Uldma_util.Units.ps option
+val drain_all : t -> (packet -> unit) -> int
+(** Deliver everything regardless of time (end-of-run settling). *)

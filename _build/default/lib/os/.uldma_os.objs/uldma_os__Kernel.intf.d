@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Process Sched Uldma_bus Uldma_cpu Uldma_dma Uldma_io Uldma_mem Uldma_util

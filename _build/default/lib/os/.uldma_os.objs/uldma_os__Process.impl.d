@@ -1,0 +1,1 @@
+lib/os/process.ml: Addr_space Cpu Format Uldma_cpu Uldma_mmu Uldma_util

@@ -1,0 +1,1 @@
+lib/os/process.mli: Format Uldma_cpu Uldma_mmu Uldma_util

@@ -1,0 +1,1 @@
+lib/os/sched.ml: List Rng Uldma_util

@@ -1,0 +1,1 @@
+lib/os/vm.ml: Layout Uldma_mem

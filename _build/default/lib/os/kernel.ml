@@ -1,0 +1,584 @@
+open Uldma_util
+open Uldma_mem
+open Uldma_mmu
+open Uldma_bus
+open Uldma_cpu
+open Uldma_dma
+
+type backend_spec = Null | Local of { bytes_per_s : float }
+
+type config = {
+  timing : Timing.t;
+  ram_size : int;
+  mechanism : Engine.mechanism;
+  n_contexts : int;
+  backend : backend_spec;
+  write_buffer : Write_buffer.mode;
+  sched : Sched.policy;
+  seed : int;
+  disk : Uldma_io.Disk.geometry option;
+}
+
+let default_config =
+  {
+    timing = Timing.alpha3000_300;
+    ram_size = 4 * 1024 * 1024;
+    mechanism = Engine.Ext_shadow;
+    n_contexts = 4;
+    backend = Null;
+    write_buffer = Write_buffer.Ordered;
+    sched = Sched.Run_to_completion;
+    seed = 42;
+    disk = None;
+  }
+
+type hook = Shrimp_invalidate | Flash_inform
+
+type t = {
+  config : config;
+  clock : Clock.t;
+  ram : Phys_mem.t;
+  bus : Bus.t;
+  engine : Engine.t;
+  write_buffer : Write_buffer.t;
+  mutable sched : Sched.t;
+  vm : Vm.t;
+  pal : Pal.t;
+  rng : Rng.t;
+  mutable procs : Process.t list; (* ascending pid *)
+  mutable next_pid : int;
+  mutable running : int option;
+  mutable force_switch : bool;
+  mutable hooks : hook list;
+  mutable console : (int * int) list; (* newest first *)
+  mutable context_switches : int;
+  mutable contexts_free : int list;
+  disk : Uldma_io.Disk.t option;
+}
+
+let kernel_pid = -1
+
+let build_backend spec ram =
+  match spec with
+  | Null -> Transfer.null_backend
+  | Local { bytes_per_s } -> Transfer.local_backend ram ~setup_ps:(Units.ns 400.0) ~bytes_per_s
+
+let create config =
+  let clock = Clock.create () in
+  let ram = Phys_mem.create ~size:config.ram_size in
+  let bus = Bus.create ~clock ~timing:config.timing ~ram in
+  let backend = build_backend config.backend ram in
+  let engine =
+    Engine.create ~clock ~backend ~ram_size:config.ram_size ~mechanism:config.mechanism
+      ~n_contexts:config.n_contexts ()
+  in
+  Bus.register_device bus (Engine.device engine);
+  let rec range i n = if i >= n then [] else i :: range (i + 1) n in
+  {
+    config;
+    clock;
+    ram;
+    bus;
+    engine;
+    write_buffer = Write_buffer.create config.write_buffer;
+    sched = Sched.create config.sched;
+    vm = Vm.create ~ram_size:config.ram_size;
+    pal = Pal.create ();
+    rng = Rng.create ~seed:config.seed;
+    procs = [];
+    next_pid = 1;
+    running = None;
+    force_switch = false;
+    hooks = [];
+    console = [];
+    context_switches = 0;
+    contexts_free = range 0 config.n_contexts;
+    disk = Option.map Uldma_io.Disk.create config.disk;
+  }
+
+let copy t =
+  let clock = Clock.copy t.clock in
+  let ram = Phys_mem.copy t.ram in
+  let bus = Bus.create ~clock ~timing:(Bus.timing t.bus) ~ram in
+  let backend = build_backend t.config.backend ram in
+  let engine = Engine.copy t.engine ~clock ~backend in
+  Bus.register_device bus (Engine.device engine);
+  {
+    t with
+    clock;
+    ram;
+    bus;
+    engine;
+    write_buffer = Write_buffer.copy t.write_buffer;
+    sched = Sched.copy t.sched;
+    vm = Vm.copy t.vm;
+    pal = Pal.copy t.pal;
+    rng = Rng.copy t.rng;
+    procs = List.map Process.copy t.procs;
+    disk = Option.map Uldma_io.Disk.copy t.disk;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let config t = t.config
+let clock t = t.clock
+let now_ps t = Clock.now t.clock
+let bus t = t.bus
+let engine t = t.engine
+let timing t = Bus.timing t.bus
+let ram t = t.ram
+let pal t = t.pal
+let processes t = t.procs
+let find_process t pid = List.find_opt (fun p -> p.Process.pid = pid) t.procs
+let runnable_pids t =
+  List.filter_map (fun p -> if Process.is_runnable p then Some p.Process.pid else None) t.procs
+let running t = t.running
+let console t = List.rev t.console
+let context_switches t = t.context_switches
+
+let set_sched_policy t policy = t.sched <- Sched.create policy
+
+let charge t ps = Clock.advance t.clock ps
+
+(* privileged uncached access, charged bus time, issued as the kernel *)
+let kstore t paddr value = Bus.store t.bus ~pid:kernel_pid ~cacheable:false paddr value
+
+(* ------------------------------------------------------------------ *)
+(* Setup services *)
+
+let spawn t ~name ~program ?(superuser = false) () =
+  let p = Process.make ~pid:t.next_pid ~name ~program ~superuser in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- t.procs @ [ p ];
+  p
+
+let alloc_pages t (p : Process.t) ~n ~perms =
+  if n <= 0 then invalid_arg "Kernel.alloc_pages: n <= 0";
+  let base = p.Process.next_va in
+  if base + (n * Layout.page_size) > Vm.shadow_va_offset then
+    failwith "Kernel.alloc_pages: user data region exhausted";
+  for i = 0 to n - 1 do
+    match Vm.alloc_frame t.vm with
+    | None -> failwith "Kernel.alloc_pages: out of physical frames"
+    | Some frame ->
+      Phys_mem.fill t.ram ~addr:(frame * Layout.page_size) ~len:Layout.page_size ~byte:0;
+      Addr_space.map_page p.Process.addr_space
+        ~vpage:(Layout.page_of (base + (i * Layout.page_size)))
+        (Pte.make ~frame ~perms ())
+  done;
+  p.Process.next_va <- base + (n * Layout.page_size);
+  base
+
+let share_pages t ~from_process ~vaddr ~n ~into ~perms =
+  ignore t;
+  let base = into.Process.next_va in
+  for i = 0 to n - 1 do
+    let src_page = Layout.page_of (vaddr + (i * Layout.page_size)) in
+    match Addr_space.find_page from_process.Process.addr_space ~vpage:src_page with
+    | None -> failwith "Kernel.share_pages: source page unmapped"
+    | Some pte ->
+      Addr_space.map_page into.Process.addr_space
+        ~vpage:(Layout.page_of (base + (i * Layout.page_size)))
+        (Pte.make ~frame:pte.Pte.frame ~perms ())
+  done;
+  into.Process.next_va <- base + (n * Layout.page_size);
+  base
+
+let map_remote_pages t (p : Process.t) ~remote_paddr ~n ~perms =
+  ignore t;
+  if not (Layout.is_page_aligned remote_paddr) || n <= 0 then
+    invalid_arg "Kernel.map_remote_pages: unaligned or empty";
+  if not (Layout.in_remote (Layout.remote_base + remote_paddr)) then
+    invalid_arg "Kernel.map_remote_pages: peer address outside the remote window";
+  let base = p.Process.next_va in
+  for i = 0 to n - 1 do
+    let frame = (Layout.remote_base + remote_paddr + (i * Layout.page_size)) lsr Layout.page_shift in
+    Addr_space.map_page p.Process.addr_space
+      ~vpage:(Layout.page_of (base + (i * Layout.page_size)))
+      (Pte.make ~cacheable:false ~frame ~perms ())
+  done;
+  p.Process.next_va <- base + (n * Layout.page_size);
+  base
+
+let shadow_context t (p : Process.t) =
+  match (t.config.mechanism, p.Process.dma_context) with
+  | (Engine.Ext_shadow | Engine.Ext_shadow_stateless), Some context -> context
+  | (Engine.Ext_shadow | Engine.Ext_shadow_stateless), None ->
+    failwith "Kernel.map_shadow_alias: extended shadow addressing requires an allocated DMA context"
+  | _, _ -> 0
+
+let map_shadow_alias t (p : Process.t) ~vaddr ~n ~window =
+  let context = shadow_context t p in
+  let va_offset =
+    match window with `Dma -> Vm.shadow_va_offset | `Atomic -> Vm.atomic_va_offset
+  in
+  for i = 0 to n - 1 do
+    let va = vaddr + (i * Layout.page_size) in
+    match Addr_space.find_page p.Process.addr_space ~vpage:(Layout.page_of va) with
+    | None -> failwith "Kernel.map_shadow_alias: data page unmapped"
+    | Some pte ->
+      let paddr = pte.Pte.frame lsl Layout.page_shift in
+      let shadow_paddr =
+        match window with
+        | `Dma -> Shadow.encode_ctx ~context paddr
+        | `Atomic -> Shadow.encode_atomic ~context paddr
+      in
+      Addr_space.map_page p.Process.addr_space
+        ~vpage:(Layout.page_of (va + va_offset))
+        (Pte.make ~cacheable:false ~frame:(shadow_paddr lsr Layout.page_shift)
+           ~perms:pte.Pte.perms ())
+  done;
+  vaddr + va_offset
+
+let alloc_dma_context t (p : Process.t) =
+  match t.contexts_free with
+  | [] -> None
+  | context :: rest ->
+    t.contexts_free <- rest;
+    let key = Rng.dma_key t.rng in
+    kstore t (Layout.kernel_control_page + Regmap.key_offset ~context) key;
+    Engine.set_context_owner t.engine ~context ~pid:(Some p.Process.pid);
+    let frame = Layout.context_page context lsr Layout.page_shift in
+    Addr_space.map_page p.Process.addr_space
+      ~vpage:(Layout.page_of Vm.context_page_va)
+      (Pte.make ~cacheable:false ~frame ~perms:Perms.read_write ());
+    p.Process.dma_context <- Some context;
+    p.Process.dma_key <- Some key;
+    Some (context, key, Vm.context_page_va)
+
+let set_atomic_mailbox t (p : Process.t) ~vaddr =
+  match p.Process.dma_context with
+  | None -> invalid_arg "Kernel.set_atomic_mailbox: process has no DMA context"
+  | Some context ->
+    if not (Layout.is_word_aligned vaddr) then
+      invalid_arg "Kernel.set_atomic_mailbox: unaligned mailbox";
+    if
+      not
+        (Addr_space.check_range p.Process.addr_space ~vaddr ~len:Layout.word_size
+           ~perms:Perms.read_write)
+    then invalid_arg "Kernel.set_atomic_mailbox: mailbox not writable by the process";
+    (match Addr_space.peek_paddr p.Process.addr_space vaddr with
+    | Some paddr -> kstore t (Layout.kernel_control_page + Regmap.mailbox_offset ~context) paddr
+    | None -> invalid_arg "Kernel.set_atomic_mailbox: mailbox unmapped")
+
+let free_dma_context t (p : Process.t) =
+  match p.Process.dma_context with
+  | None -> ()
+  | Some context ->
+    t.contexts_free <- context :: t.contexts_free;
+    (* rotate the key immediately: the engine wipes the context's
+       argument state and any copy of the old key becomes worthless *)
+    kstore t (Layout.kernel_control_page + Regmap.key_offset ~context) (Rng.dma_key t.rng);
+    Engine.set_context_owner t.engine ~context ~pid:None;
+    Addr_space.unmap_page p.Process.addr_space ~vpage:(Layout.page_of Vm.context_page_va);
+    p.Process.dma_context <- None;
+    p.Process.dma_key <- None
+
+let install_pal t ~index body = Pal.install t.pal ~index body
+
+let map_out_page t (p : Process.t) ~vaddr ~dst_paddr =
+  match Addr_space.find_page p.Process.addr_space ~vpage:(Layout.page_of vaddr) with
+  | None -> failwith "Kernel.map_out_page: source page unmapped"
+  | Some pte ->
+    kstore t (Layout.kernel_control_page + Regmap.k_map_out_src) (pte.Pte.frame lsl Layout.page_shift);
+    kstore t (Layout.kernel_control_page + Regmap.k_map_out_dst) dst_paddr
+
+let install_shrimp_hook t = if not (List.mem Shrimp_invalidate t.hooks) then t.hooks <- Shrimp_invalidate :: t.hooks
+let install_flash_hook t = if not (List.mem Flash_inform t.hooks) then t.hooks <- Flash_inform :: t.hooks
+let kernel_modified t = t.hooks <> []
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let wbuf_emit t pid ~paddr ~value = Bus.store t.bus ~pid ~cacheable:false paddr value
+
+let flush_write_buffer t pid = Write_buffer.flush t.write_buffer ~emit:(wbuf_emit t pid)
+
+let context_switch t (next : Process.t) =
+  let prev_pid = match t.running with Some pid -> pid | None -> kernel_pid in
+  charge t (Timing.context_switch_ps (timing t));
+  flush_write_buffer t prev_pid;
+  Addr_space.flush_tlb next.Process.addr_space;
+  List.iter
+    (fun hook ->
+      match hook with
+      | Shrimp_invalidate -> kstore t (Layout.kernel_control_page + Regmap.k_invalidate) 0
+      | Flash_inform ->
+        kstore t (Layout.kernel_control_page + Regmap.k_current_pid) next.Process.pid)
+    t.hooks;
+  Sched.note_switch t.sched;
+  t.context_switches <- t.context_switches + 1;
+  t.running <- Some next.Process.pid
+
+let host_for t (p : Process.t) =
+  let tm = timing t in
+  {
+    Cpu.translate = (fun access vaddr -> Addr_space.translate p.Process.addr_space access vaddr);
+    load =
+      (fun ~cacheable paddr ->
+        if cacheable then Bus.load t.bus ~pid:p.Process.pid ~cacheable:true paddr
+        else
+          match Write_buffer.load t.write_buffer ~paddr with
+          | `Forwarded v ->
+            charge t (Timing.cached_access_ps tm);
+            v
+          | `To_bus -> Bus.load t.bus ~pid:p.Process.pid ~cacheable:false paddr);
+    store =
+      (fun ~cacheable paddr value ->
+        if cacheable then Bus.store t.bus ~pid:p.Process.pid ~cacheable:true paddr value
+        else
+          Write_buffer.store t.write_buffer ~emit:(wbuf_emit t p.Process.pid) ~paddr ~value);
+    barrier = (fun () -> Write_buffer.barrier t.write_buffer ~emit:(wbuf_emit t p.Process.pid));
+    charge = charge t;
+    instruction_ps = Timing.instruction_ps tm;
+    tlb_miss_ps = Timing.tlb_miss_ps tm;
+    memory_barrier_ps = Timing.memory_barrier_ps tm;
+  }
+
+let regs (p : Process.t) = p.Process.ctx.Cpu.regs
+let reg p i = Regfile.get (regs p) i
+let set_reg p i v = Regfile.set (regs p) i v
+
+let control_reg offset = Layout.kernel_control_page + offset
+
+let sys_dma_impl t (p : Process.t) =
+  let tm = timing t in
+  let vsrc = reg p 1 and vdst = reg p 2 and size = reg p 3 in
+  charge t (2 * Timing.translate_ps tm);
+  charge t (Timing.check_size_ps tm);
+  let space = p.Process.addr_space in
+  let ok =
+    size > 0
+    && Addr_space.check_range space ~vaddr:vsrc ~len:size ~perms:Perms.read_only
+    && Addr_space.check_range space ~vaddr:vdst ~len:size ~perms:Perms.write_only
+  in
+  if not ok then set_reg p 0 Status.failure
+  else
+    match (Addr_space.peek_paddr space vsrc, Addr_space.peek_paddr space vdst) with
+    | Some psrc, Some pdst ->
+      (* Fig. 1: three stores then a status load, all uninterrupted in
+         kernel mode. *)
+      Bus.store t.bus ~pid:p.Process.pid ~cacheable:false (control_reg Regmap.k_source) psrc;
+      Bus.store t.bus ~pid:p.Process.pid ~cacheable:false (control_reg Regmap.k_dest) pdst;
+      Bus.store t.bus ~pid:p.Process.pid ~cacheable:false (control_reg Regmap.k_size) size;
+      set_reg p 0 (Bus.load t.bus ~pid:p.Process.pid ~cacheable:false (control_reg Regmap.k_status))
+    | None, _ | _, None -> set_reg p 0 Status.failure
+
+let sys_atomic_impl t (p : Process.t) =
+  let tm = timing t in
+  let vtarget = reg p 1 and op = reg p 2 and arg1 = reg p 3 and arg2 = reg p 4 in
+  charge t (Timing.translate_ps tm);
+  charge t (Timing.check_size_ps tm);
+  let space = p.Process.addr_space in
+  let ok =
+    Addr_space.check_range space ~vaddr:vtarget ~len:Layout.word_size ~perms:Perms.read_write
+  in
+  match (ok, Addr_space.peek_paddr space vtarget) with
+  | true, Some ptarget ->
+    let pid = p.Process.pid in
+    Bus.store t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_target) ptarget;
+    if op = Sysno.atomic_add then
+      Bus.store t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_op)
+        (Atomic_op.encode_add arg1)
+    else if op = Sysno.atomic_fetch_store then
+      Bus.store t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_op)
+        (Atomic_op.encode_fetch_store arg1)
+    else if op = Sysno.atomic_cas then begin
+      Bus.store t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_op)
+        (Atomic_op.encode_cas_expected arg1);
+      Bus.store t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_op)
+        (Atomic_op.encode_cas_new arg2)
+    end;
+    if op = Sysno.atomic_add || op = Sysno.atomic_fetch_store || op = Sysno.atomic_cas then
+      set_reg p 0 (Bus.load t.bus ~pid ~cacheable:false (control_reg Regmap.k_atomic_op))
+    else set_reg p 0 Status.failure
+  | false, _ | _, None -> set_reg p 0 Status.failure
+
+let block_until t (p : Process.t) at = p.Process.state <- Process.Blocked_until (max at (now_ps t))
+
+let sys_dma_wait_impl t (p : Process.t) =
+  let completion =
+    match p.Process.dma_context with
+    | Some context -> Engine.context_transfer_end t.engine context
+    | None -> Engine.last_transfer_end t.engine
+  in
+  match completion with
+  | Some at ->
+    set_reg p 0 0;
+    if at > now_ps t then block_until t p at
+  | None -> set_reg p 0 (-1)
+
+(* Disk DMA, the classic way: the kernel checks and translates, the
+   controller moves a block while the process sleeps and others run. *)
+let sys_disk_impl t (p : Process.t) ~write =
+  let tm = timing t in
+  charge t (Timing.translate_ps tm);
+  charge t (Timing.check_size_ps tm);
+  match t.disk with
+  | None -> set_reg p 0 (-1)
+  | Some disk ->
+    let block = reg p 1 and vaddr = reg p 2 in
+    let block_size = (Uldma_io.Disk.geometry disk).Uldma_io.Disk.block_size in
+    let perms = if write then Perms.read_only else Perms.write_only in
+    let ok = Addr_space.check_range p.Process.addr_space ~vaddr ~len:block_size ~perms in
+    (match (ok, Addr_space.peek_paddr p.Process.addr_space vaddr) with
+    | true, Some paddr ->
+      let outcome =
+        if write then begin
+          let data = Bytes.create block_size in
+          for i = 0 to block_size - 1 do
+            Bytes.set data i (Char.chr (Phys_mem.load_byte t.ram (paddr + i)))
+          done;
+          Uldma_io.Disk.write_block disk ~block data
+        end
+        else
+          match Uldma_io.Disk.read_block disk ~block with
+          | Ok (data, time) ->
+            for i = 0 to block_size - 1 do
+              Phys_mem.store_byte t.ram (paddr + i) (Char.code (Bytes.get data i))
+            done;
+            Ok time
+          | Error message -> Error message
+      in
+      (match outcome with
+      | Ok service ->
+        set_reg p 0 0;
+        block_until t p (now_ps t + service)
+      | Error _ -> set_reg p 0 (-1))
+    | false, _ | _, None -> set_reg p 0 (-1))
+
+let handle_syscall t (p : Process.t) =
+  charge t (Timing.syscall_ps (timing t));
+  flush_write_buffer t p.Process.pid;
+  p.Process.syscalls <- p.Process.syscalls + 1;
+  let number = reg p 0 in
+  if number = Sysno.sys_exit then Process.kill p Process.Normal
+  else if number = Sysno.sys_yield then t.force_switch <- true
+  else if number = Sysno.sys_dma then sys_dma_impl t p
+  else if number = Sysno.sys_atomic then sys_atomic_impl t p
+  else if number = Sysno.sys_get_time then
+    set_reg p 0 (now_ps t / Units.ps_per_ns)
+  else if number = Sysno.sys_print then t.console <- (p.Process.pid, reg p 1) :: t.console
+  else if number = Sysno.sys_disk_read then sys_disk_impl t p ~write:false
+  else if number = Sysno.sys_disk_write then sys_disk_impl t p ~write:true
+  else if number = Sysno.sys_sleep then
+    block_until t p (now_ps t + (reg p 1 * Units.ps_per_ns))
+  else if number = Sysno.sys_dma_wait then sys_dma_wait_impl t p
+  else if number = Sysno.sys_sbrk then begin
+    let n = reg p 1 in
+    match alloc_pages t p ~n ~perms:Perms.read_write with
+    | va -> set_reg p 0 va
+    | exception (Failure _ | Invalid_argument _) -> set_reg p 0 (-1)
+  end
+  else Process.kill p (Process.Killed (Printf.sprintf "bad syscall %d" number))
+
+let handle_pal t (p : Process.t) index =
+  charge t (Timing.pal_call_ps (timing t));
+  match Pal.get t.pal index with
+  | None -> Process.kill p (Process.Killed (Printf.sprintf "PAL function %d not installed" index))
+  | Some body -> (
+    (* PAL mode: the whole body executes with interrupts off. *)
+    match Cpu.run_subprogram (regs p) body (host_for t p) with
+    | Cpu.Halted -> ()
+    | Cpu.Fault f ->
+      flush_write_buffer t p.Process.pid;
+      Process.kill p (Process.Killed_fault f)
+    | Cpu.Continue | Cpu.Syscall_trap | Cpu.Pal_trap _ -> assert false)
+
+let exec_one t (p : Process.t) =
+  let t0 = now_ps t in
+  let outcome = Cpu.step p.Process.ctx (host_for t p) in
+  p.Process.instructions_retired <- p.Process.instructions_retired + 1;
+  (match outcome with
+  | Cpu.Continue -> ()
+  | Cpu.Halted ->
+    flush_write_buffer t p.Process.pid;
+    Process.kill p Process.Normal
+  | Cpu.Fault f ->
+    flush_write_buffer t p.Process.pid;
+    Process.kill p (Process.Killed_fault f)
+  | Cpu.Syscall_trap -> handle_syscall t p
+  | Cpu.Pal_trap index -> handle_pal t p index);
+  p.Process.cpu_time_ps <- p.Process.cpu_time_ps + (now_ps t - t0)
+
+let wake_sleepers t =
+  List.iter
+    (fun (p : Process.t) ->
+      match p.Process.state with
+      | Process.Blocked_until at when at <= now_ps t -> p.Process.state <- Process.Ready
+      | Process.Blocked_until _ | Process.Ready | Process.Exited _ -> ())
+    t.procs
+
+let soonest_wake t =
+  List.fold_left
+    (fun acc (p : Process.t) ->
+      match p.Process.state with
+      | Process.Blocked_until at -> (
+        match acc with Some best -> Some (min best at) | None -> Some at)
+      | Process.Ready | Process.Exited _ -> acc)
+    None t.procs
+
+let rec step t =
+  wake_sleepers t;
+  let runnable = runnable_pids t in
+  let runnable =
+    if t.force_switch then begin
+      t.force_switch <- false;
+      match (t.running, runnable) with
+      | Some cur, _ :: _ :: _ -> List.filter (fun pid -> pid <> cur) runnable
+      | _, _ -> runnable
+    end
+    else runnable
+  in
+  match Sched.pick t.sched ~current:t.running ~runnable with
+  | None -> (
+    (* nothing runnable: if someone is sleeping, idle the machine
+       forward to the next wake time *)
+    match soonest_wake t with
+    | Some at ->
+      charge t (at - now_ps t);
+      step t
+    | None -> `Idle)
+  | Some pid -> (
+    match find_process t pid with
+    | None -> `Idle
+    | Some p ->
+      if t.running <> Some pid then context_switch t p;
+      exec_one t p;
+      `Stepped pid)
+
+let step_pid t pid =
+  match find_process t pid with
+  | Some p when Process.is_runnable p ->
+    if t.running <> Some pid then context_switch t p;
+    exec_one t p;
+    `Ok
+  | Some _ | None -> `Not_runnable
+
+type run_result = All_exited | Max_steps | Predicate
+
+let run_until t ?(max_steps = 20_000_000) pred =
+  let rec loop n =
+    if pred t then Predicate
+    else if n >= max_steps then Max_steps
+    else match step t with `Idle -> All_exited | `Stepped _ -> loop (n + 1)
+  in
+  loop 0
+
+let run t ?max_steps () =
+  match run_until t ?max_steps (fun _ -> false) with
+  | Predicate -> assert false
+  | (All_exited | Max_steps) as r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Harness access *)
+
+let user_paddr _t (p : Process.t) vaddr =
+  match Addr_space.peek_paddr p.Process.addr_space vaddr with
+  | Some paddr -> paddr
+  | None -> failwith (Printf.sprintf "Kernel.user_paddr: %#x unmapped" vaddr)
+
+let read_user t p vaddr = Phys_mem.load_word t.ram (user_paddr t p vaddr)
+
+let write_user t p vaddr value = Phys_mem.store_word t.ram (user_paddr t p vaddr) value

@@ -1,0 +1,151 @@
+(** The operating-system kernel — and, because this simulator has one
+    CPU, the machine's execution loop.
+
+    The kernel is deliberately *unmodified* by default: it knows
+    nothing about user-level DMA beyond the standard services any UNIX
+    provides (build address spaces, create mappings — including shadow
+    mappings, which are set up with ordinary mmap-like calls at
+    initialisation time — and serve [sys_dma] the classic way).
+
+    The SHRIMP-2 and FLASH baselines *require* a modified context
+    switch handler; that modification is modelled as explicit,
+    installable hooks ([install_shrimp_hook], [install_flash_hook]).
+    [kernel_modified] reports whether any such hook is installed — the
+    paper's mechanisms all run with it false, and the safety test suite
+    checks exactly that. *)
+
+type backend_spec = Null | Local of { bytes_per_s : float }
+
+type config = {
+  timing : Uldma_bus.Timing.t;
+  ram_size : int;
+  mechanism : Uldma_dma.Engine.mechanism;
+  n_contexts : int;
+  backend : backend_spec;
+  write_buffer : Uldma_bus.Write_buffer.mode;
+  sched : Sched.policy;
+  seed : int;
+  disk : Uldma_io.Disk.geometry option;
+      (** attach a disk (served by [sys_disk_read]/[sys_disk_write]);
+          [None] by default *)
+}
+
+val default_config : config
+(** alpha3000_300 timing, 4 MiB RAM, [Ext_shadow], 4 contexts, [Null]
+    backend, ordered write buffer, run-to-completion scheduling. *)
+
+type t
+
+val create : config -> t
+val copy : t -> t
+(** Deep snapshot (explorer support): processes, RAM, engine, clock,
+    scheduler and write buffer are all duplicated. *)
+
+(** {1 Accessors} *)
+
+val config : t -> config
+val clock : t -> Uldma_bus.Clock.t
+val now_ps : t -> Uldma_util.Units.ps
+val bus : t -> Uldma_bus.Bus.t
+val engine : t -> Uldma_dma.Engine.t
+val timing : t -> Uldma_bus.Timing.t
+val ram : t -> Uldma_mem.Phys_mem.t
+val pal : t -> Uldma_cpu.Pal.t
+val processes : t -> Process.t list
+val find_process : t -> int -> Process.t option
+val runnable_pids : t -> int list
+val running : t -> int option
+val console : t -> (int * int) list
+(** (pid, value) pairs from [sys_print], oldest first. *)
+
+val context_switches : t -> int
+
+val set_sched_policy : t -> Sched.policy -> unit
+(** Replace the scheduling policy mid-run (used by randomized attack
+    campaigns that set up deterministically, then run preemptively). *)
+
+(** {1 Process and memory setup (host-level kernel services)} *)
+
+val spawn : t -> name:string -> program:Uldma_cpu.Isa.instr array -> ?superuser:bool -> unit -> Process.t
+
+val alloc_pages : t -> Process.t -> n:int -> perms:Uldma_mem.Perms.t -> int
+(** Map [n] fresh zeroed pages; returns the first virtual address.
+    Raises [Failure] when out of frames. *)
+
+val share_pages :
+  t -> from_process:Process.t -> vaddr:int -> n:int -> into:Process.t -> perms:Uldma_mem.Perms.t -> int
+(** Map the frames backing [from_process]'s pages into [into]'s address
+    space with (possibly weaker) [perms]; returns the new vaddr. *)
+
+val map_remote_pages :
+  t -> Process.t -> remote_paddr:int -> n:int -> perms:Uldma_mem.Perms.t -> int
+(** Map [n] pages of the peer node's physical memory (Telegraphos-style
+    NOW shared memory) into the process at a fresh virtual address.
+    [remote_paddr] is the page-aligned physical address on the peer.
+    Uncached stores there become single-word network packets; passing
+    such an address as a DMA destination ships the payload remotely
+    (drain with [Uldma_dma.Engine.take_outbound] or [Uldma_sim.Cluster]). *)
+
+val map_shadow_alias : t -> Process.t -> vaddr:int -> n:int -> window:[ `Dma | `Atomic ] -> int
+(** Create the process's shadow aliases for [n] existing data pages.
+    The alias of address [a] is [a + Vm.shadow_va_offset] (or
+    [atomic_va_offset]); aliases are uncacheable and carry the
+    process's register-context id in the physical address when the
+    engine mechanism is [Ext_shadow] (§3.2). Alias permissions mirror
+    the data pages' permissions — this is precisely how shadow
+    addressing inherits protection from the MMU. *)
+
+val alloc_dma_context : t -> Process.t -> (int * int * int) option
+(** Assign a free register context: returns (context id, key, va of the
+    mapped context page). The key is stored in the engine "in memory
+    locations unreadable by user processes" via the control page. *)
+
+val set_atomic_mailbox : t -> Process.t -> vaddr:int -> unit
+(** Point the process's register context's atomic-reply mailbox at one
+    of its own writable words: the old value of a *remote* atomic
+    operation is delivered there when the reply packet arrives. Only
+    the kernel can set it, because it is stored as a physical address
+    (the process cannot aim it at memory it does not own). *)
+
+val free_dma_context : t -> Process.t -> unit
+
+val install_pal : t -> index:int -> Uldma_cpu.Isa.instr array -> (unit, string) result
+(** Privileged: install a PAL function (§2.7). *)
+
+val map_out_page : t -> Process.t -> vaddr:int -> dst_paddr:int -> unit
+(** SHRIMP-1: declare [dst_paddr]'s page the mapped-out twin of the
+    page backing [vaddr]. *)
+
+(** {1 Kernel modification (for the SHRIMP-2 / FLASH baselines only)} *)
+
+val install_shrimp_hook : t -> unit
+val install_flash_hook : t -> unit
+val kernel_modified : t -> bool
+
+(** {1 Execution} *)
+
+type run_result = All_exited | Max_steps | Predicate
+
+val step : t -> [ `Stepped of int | `Idle ]
+(** Let the scheduler pick a process and execute one instruction
+    (handling any trap it raises to completion). [`Idle] when nothing
+    is runnable. *)
+
+val step_pid : t -> int -> [ `Ok | `Not_runnable ]
+(** Force one instruction of a specific process (interleaving
+    explorer); performs a context switch if needed. *)
+
+val run : t -> ?max_steps:int -> unit -> run_result
+val run_until : t -> ?max_steps:int -> (t -> bool) -> run_result
+(** The predicate is evaluated after every instruction. *)
+
+(** {1 Harness access to user memory} *)
+
+val read_user : t -> Process.t -> int -> int
+(** Word-read a user virtual address, bypassing timing (harness only).
+    Raises [Failure] if unmapped. *)
+
+val write_user : t -> Process.t -> int -> int -> unit
+
+val user_paddr : t -> Process.t -> int -> int
+(** Translate without access checks (harness/oracle use). *)

@@ -1,0 +1,15 @@
+let sys_exit = 0
+let sys_yield = 1
+let sys_dma = 2
+let sys_atomic = 3
+let sys_get_time = 4
+let sys_print = 5
+let sys_sbrk = 6
+let sys_sleep = 7
+let sys_dma_wait = 8
+let sys_disk_read = 9
+let sys_disk_write = 10
+
+let atomic_add = 1
+let atomic_fetch_store = 2
+let atomic_cas = 3

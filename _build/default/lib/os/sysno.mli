@@ -1,0 +1,48 @@
+(** System call numbers and conventions.
+
+    Convention: the syscall number is in r0; arguments in r1..r5; the
+    result is returned in r0. *)
+
+val sys_exit : int
+val sys_yield : int
+
+val sys_dma : int
+(** Fig. 1: r1 = vsource, r2 = vdestination, r3 = size; returns the
+    engine status (-1 on any protection/translation failure). *)
+
+val sys_atomic : int
+(** §3.5 kernel baseline: r1 = vtarget, r2 = op (see below), r3 =
+    operand (CAS: expected), r4 = CAS new value; returns the old
+    value, or -1 on failure. *)
+
+val atomic_add : int
+val atomic_fetch_store : int
+val atomic_cas : int
+
+val sys_get_time : int
+(** Returns the simulated time in nanoseconds. *)
+
+val sys_print : int
+(** Appends (pid, r1) to the kernel console, for test observation. *)
+
+val sys_sbrk : int
+(** r1 = number of pages; maps fresh zeroed read-write pages and
+    returns their base virtual address in r0 (-1 when out of memory). *)
+
+val sys_sleep : int
+(** r1 = nanoseconds; blocks the process for at least that long. *)
+
+val sys_dma_wait : int
+(** Block until the last DMA transfer of the process's register context
+    (or, without a context, the engine's last transfer) completes.
+    r0 = 0, or -1 when there is nothing to wait for. *)
+
+val sys_disk_read : int
+(** r1 = block number, r2 = destination virtual address (one block).
+    The process blocks for the disk service time while other processes
+    run; r0 = 0 or -1. Kernel-initiated by design — the paper's point
+    is that millisecond disk service dwarfs the syscall, unlike network
+    transfers. *)
+
+val sys_disk_write : int
+(** r1 = block number, r2 = source virtual address (one block). *)

@@ -1,0 +1,34 @@
+open Uldma_mem
+
+type t = { mutable free : int list; total : int; mutable n_free : int }
+
+let reserved_frames = 16
+
+let create ~ram_size =
+  let frames = ram_size / Layout.page_size in
+  if frames <= reserved_frames then invalid_arg "Vm.create: RAM too small";
+  let free = ref [] in
+  for f = frames - 1 downto reserved_frames do
+    free := f :: !free
+  done;
+  { free = !free; total = frames - reserved_frames; n_free = frames - reserved_frames }
+
+let copy t = { t with free = t.free }
+
+let alloc_frame t =
+  match t.free with
+  | [] -> None
+  | f :: rest ->
+    t.free <- rest;
+    t.n_free <- t.n_free - 1;
+    Some f
+
+let free_frame t f =
+  t.free <- f :: t.free;
+  t.n_free <- t.n_free + 1
+
+let frames_free t = t.n_free
+
+let shadow_va_offset = 0x4000_0000
+let atomic_va_offset = 0x8000_0000
+let context_page_va = 0x2000_0000

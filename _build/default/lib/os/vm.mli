@@ -1,0 +1,23 @@
+(** Physical frame allocator and the virtual-address conventions the
+    kernel uses when building user address spaces. *)
+
+type t
+
+val create : ram_size:int -> t
+(** Frames 0..15 are reserved for the kernel. *)
+
+val copy : t -> t
+val alloc_frame : t -> int option
+val free_frame : t -> int -> unit
+val frames_free : t -> int
+
+val shadow_va_offset : int
+(** A process's shadow alias of data page [v] lives at
+    [v + shadow_va_offset] — a fixed offset, so user stubs compute
+    shadow addresses with a single Add. *)
+
+val atomic_va_offset : int
+(** Same, for the atomic-operation shadow window (§3.5). *)
+
+val context_page_va : int
+(** Where the process's register-context page is mapped. *)

@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Bytes Char Engine Hashtbl Int64 Kernel List Netif Phys_mem Uldma_bus Uldma_dma Uldma_mem Uldma_net Uldma_os Uldma_util Units

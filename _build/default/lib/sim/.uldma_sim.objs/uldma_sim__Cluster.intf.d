@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Uldma_mem Uldma_net Uldma_os Uldma_util

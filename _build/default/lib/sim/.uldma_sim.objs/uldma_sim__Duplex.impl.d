@@ -1,0 +1,1 @@
+lib/sim/duplex.ml: Bytes Char Engine Int64 Kernel List Netif Phys_mem Uldma_bus Uldma_dma Uldma_mem Uldma_net Uldma_os

@@ -1,0 +1,1 @@
+lib/sim/duplex.mli: Uldma_net Uldma_os Uldma_util

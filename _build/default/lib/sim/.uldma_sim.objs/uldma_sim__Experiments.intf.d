@@ -1,0 +1,1 @@
+lib/sim/experiments.mli: Uldma_net Uldma_util

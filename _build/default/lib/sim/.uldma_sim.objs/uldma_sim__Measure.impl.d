@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Asm Isa Kernel List Perms Process Sched Stats Uldma Uldma_cpu Uldma_mem Uldma_os Uldma_util Uldma_workload Units

@@ -1,0 +1,1 @@
+lib/sim/measure.mli: Uldma Uldma_os Uldma_util

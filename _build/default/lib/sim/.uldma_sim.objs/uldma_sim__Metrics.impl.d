@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Engine Format Kernel List Printf Process Tbl Uldma_bus Uldma_dma Uldma_os Uldma_util Units

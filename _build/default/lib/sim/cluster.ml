@@ -1,0 +1,96 @@
+open Uldma_util
+open Uldma_mem
+open Uldma_os
+open Uldma_dma
+open Uldma_net
+
+type t = {
+  sender : Kernel.t;
+  receiver_ram : Phys_mem.t;
+  nif : Netif.t;
+  reply_nif : Netif.t; (* atomic replies travelling back *)
+  atomic_requests : (int, Uldma_dma.Atomic_op.t * int) Hashtbl.t;
+      (* in-flight atomic requests keyed by peer address *)
+  mutable transfers_seen : int;
+  mutable bytes_delivered : int;
+  mutable last_arrival : Units.ps;
+}
+
+let create ~link ~config =
+  {
+    sender = Kernel.create config;
+    receiver_ram = Phys_mem.create ~size:config.Kernel.ram_size;
+    nif = Netif.create ~link;
+    reply_nif = Netif.create ~link;
+    atomic_requests = Hashtbl.create 16;
+    transfers_seen = 0;
+    bytes_delivered = 0;
+    last_arrival = 0;
+  }
+
+let sender t = t.sender
+let receiver_ram t = t.receiver_ram
+let netif t = t.nif
+
+type payload_kind = Write | Atomic of Uldma_dma.Atomic_op.t * int
+
+let deliver t kind (p : Netif.packet) =
+  (match kind p.Netif.dst_paddr with
+  | Write ->
+    let len = Bytes.length p.Netif.payload in
+    for i = 0 to len - 1 do
+      Phys_mem.store_byte t.receiver_ram (p.Netif.dst_paddr + i)
+        (Char.code (Bytes.get p.Netif.payload i))
+    done;
+    t.bytes_delivered <- t.bytes_delivered + len
+  | Atomic (op, reply_paddr) ->
+    let old_value =
+      Uldma_dma.Atomic_op.execute op
+        ~read:(Phys_mem.load_word t.receiver_ram)
+        ~write:(Phys_mem.store_word t.receiver_ram)
+        ~target:p.Netif.dst_paddr
+    in
+    let reply = Bytes.create 8 in
+    Bytes.set_int64_le reply 0 (Int64.of_int old_value);
+    Netif.send t.reply_nif ~now:p.Netif.arrive_at ~dst_paddr:reply_paddr ~payload:reply);
+  t.last_arrival <- max t.last_arrival p.Netif.arrive_at
+
+let enqueue_new t =
+  List.iter
+    (fun (p : Engine.outbound_packet) ->
+      t.transfers_seen <- t.transfers_seen + 1;
+      (match p.Engine.kind with
+      | Engine.Remote_write -> ()
+      | Engine.Remote_atomic { op; reply_paddr } ->
+        Hashtbl.replace t.atomic_requests p.Engine.remote_addr (op, reply_paddr));
+      Netif.send t.nif ~now:p.Engine.sent_at ~dst_paddr:p.Engine.remote_addr
+        ~payload:p.Engine.payload)
+    (Engine.take_outbound (Kernel.engine t.sender))
+
+let kind_of t dst =
+  match Hashtbl.find_opt t.atomic_requests dst with
+  | Some (op, reply) ->
+    Hashtbl.remove t.atomic_requests dst;
+    Atomic (op, reply)
+  | None -> Write
+
+let deliver_reply t (p : Netif.packet) =
+  let ram = Kernel.ram t.sender in
+  Phys_mem.store_word ram p.Netif.dst_paddr (Int64.to_int (Bytes.get_int64_le p.Netif.payload 0));
+  t.last_arrival <- max t.last_arrival p.Netif.arrive_at
+
+let pump t =
+  enqueue_new t;
+  let n = Netif.poll t.nif ~now:(Kernel.now_ps t.sender) (deliver t (kind_of t)) in
+  n + Netif.poll t.reply_nif ~now:(Kernel.now_ps t.sender) (deliver_reply t)
+
+let settle t =
+  enqueue_new t;
+  let n = Netif.drain_all t.nif (deliver t (kind_of t)) in
+  let n = n + Netif.drain_all t.reply_nif (deliver_reply t) in
+  if t.last_arrival > Kernel.now_ps t.sender then
+    Uldma_bus.Clock.advance (Kernel.clock t.sender) (t.last_arrival - Kernel.now_ps t.sender);
+  n
+
+let bytes_delivered t = t.bytes_delivered
+let last_arrival_ps t = t.last_arrival

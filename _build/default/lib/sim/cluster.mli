@@ -1,0 +1,31 @@
+(** A minimal two-node NOW: a sender machine whose DMA engine ships
+    remote-window writes over a link, and a receiver node modelled as
+    remote physical memory.
+
+    The convention is Telegraphos's: the kernel maps peer-node memory
+    into a process with [Kernel.map_remote_pages]; stores and DMA
+    destinations naming that window leave the sender as packets
+    ([Uldma_dma.Engine.take_outbound]); [pump] moves them over the link
+    and applies arrivals to receiver RAM at their peer physical
+    address. Local DMA (both endpoints in sender RAM) keeps working
+    side by side through the configured backend. *)
+
+type t
+
+val create : link:Uldma_net.Link.t -> config:Uldma_os.Kernel.config -> t
+
+val sender : t -> Uldma_os.Kernel.t
+val receiver_ram : t -> Uldma_mem.Phys_mem.t
+val netif : t -> Uldma_net.Netif.t
+
+val pump : t -> int
+(** Enqueue packets for transfers started since the last pump, then
+    deliver everything whose arrival time has passed. Returns packets
+    delivered. *)
+
+val settle : t -> int
+(** Deliver all in-flight packets regardless of time (end of run);
+    advances the sender clock to the last arrival. *)
+
+val bytes_delivered : t -> int
+val last_arrival_ps : t -> Uldma_util.Units.ps

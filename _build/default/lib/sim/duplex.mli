@@ -1,0 +1,37 @@
+(** A two-node NOW with a full machine on each side.
+
+    Unlike {!Cluster} (sender machine + passive remote memory), both
+    nodes here run kernels, processes and engines; each node's
+    remote-window traffic is delivered into the *other* node's physical
+    RAM after the link's wire time. The co-simulation loop always
+    advances the node whose clock is behind, so cross-node timing
+    (e.g. ping-pong round trips) is causally consistent: a packet sent
+    at sender-time t arrives no earlier than receiver-time t + wire.
+
+    Used by the ping-pong latency experiment and available to
+    applications that need genuine request/response behaviour. *)
+
+type node = A | B
+
+type t
+
+val create :
+  link:Uldma_net.Link.t -> config_a:Uldma_os.Kernel.config -> config_b:Uldma_os.Kernel.config -> t
+
+val kernel : t -> node -> Uldma_os.Kernel.t
+val peer : node -> node
+
+type stop = All_exited | Max_steps | Predicate
+
+val run : t -> ?max_steps:int -> ?until:(t -> bool) -> unit -> stop
+(** Interleave the two machines (lowest clock first), shipping
+    remote-window packets between them, until both machines have
+    exited and the wire is empty — or the bound/predicate fires.
+    In-flight packets are still delivered to an exited node (its RAM
+    outlives its processes). *)
+
+val now_ps : t -> Uldma_util.Units.ps
+(** The later of the two node clocks. *)
+
+val packets_delivered : t -> node -> int
+(** Packets delivered *into* the given node so far. *)

@@ -1,0 +1,154 @@
+open Uldma_util
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+module Mech = Uldma.Mech
+module Api = Uldma.Api
+module Stub_loop = Uldma_workload.Stub_loop
+
+type result = {
+  mechanism : string;
+  iterations : int;
+  successes : int;
+  total_us : float;
+  us_per_initiation : float;
+  ni_accesses : int;
+}
+
+let pages = 8 (* distinct pages cycled through, power of two *)
+
+let initiation ?(base = Kernel.default_config) ?(iterations = 1000) ?(transfer_size = 1024)
+    (mech : Mech.t) =
+  let config = Api.kernel_config ~base mech in
+  let kernel = Kernel.create config in
+  let p = Kernel.spawn kernel ~name:("measure-" ^ mech.Mech.name) ~program:[||] () in
+  let src = Kernel.alloc_pages kernel p ~n:pages ~perms:Perms.read_write in
+  let dst = Kernel.alloc_pages kernel p ~n:pages ~perms:Perms.read_write in
+  let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages } ~dst:{ Mech.vaddr = dst; pages }
+  in
+  Process.set_program p
+    (Stub_loop.build_loop
+       {
+         Stub_loop.iterations;
+         transfer_size;
+         src_base = src;
+         dst_base = dst;
+         pages;
+         result_va;
+       }
+       ~emit_dma:prepared.Mech.emit_dma);
+  let t0 = Kernel.now_ps kernel in
+  (match Kernel.run kernel ~max_steps:(200 * iterations * 10) () with
+  | Kernel.All_exited -> ()
+  | Kernel.Max_steps -> failwith ("Measure.initiation: " ^ mech.Mech.name ^ " did not finish")
+  | Kernel.Predicate -> assert false);
+  let total_ps = Kernel.now_ps kernel - t0 in
+  let successes = Stub_loop.read_successes kernel p ~result_va in
+  {
+    mechanism = mech.Mech.name;
+    iterations;
+    successes;
+    total_us = Units.to_us total_ps;
+    us_per_initiation = Units.to_us total_ps /. float_of_int iterations;
+    ni_accesses = mech.Mech.ni_accesses;
+  }
+
+type contention_result = { mechanism : string; runs : int; latency_us : Stats.summary }
+
+(* One complete initiation, wall-clock, with a compute process
+   stealing the CPU at random instruction boundaries: the latency the
+   *user* observes, including preemptions landing mid-stub (and, for
+   the repeated-passing method, the retries they cause). *)
+let single_contended_run (mech : Mech.t) ~seed =
+  let base =
+    {
+      Kernel.default_config with
+      Kernel.ram_size = 64 * 8192;
+      sched = Sched.Random_preempt { probability = 0.25; seed };
+    }
+  in
+  let config = Api.kernel_config ~base mech in
+  let kernel = Kernel.create config in
+  let victim = Kernel.spawn kernel ~name:"victim" ~program:[||] () in
+  let src = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let dst = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let result_va = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    mech.Mech.prepare kernel victim ~src:{ Mech.vaddr = src; pages = 1 }
+      ~dst:{ Mech.vaddr = dst; pages = 1 }
+  in
+  Process.set_program victim
+    (Stub_loop.build_single ~vsrc:src ~vdst:dst ~size:1024 ~result_va
+       ~emit_dma:prepared.Mech.emit_dma);
+  let busy = Kernel.spawn kernel ~name:"busy" ~program:[||] () in
+  let asm = Asm.create () in
+  let loop = Asm.fresh_label asm "busy" in
+  Asm.li asm 10 0;
+  Asm.li asm 11 100_000;
+  Asm.label asm loop;
+  Asm.add asm 12 12 (Isa.Imm 1);
+  Asm.add asm 10 10 (Isa.Imm 1);
+  Asm.blt asm 10 11 loop;
+  Asm.halt asm;
+  Process.set_program busy (Asm.assemble asm);
+  let t0 = Kernel.now_ps kernel in
+  (match
+     Kernel.run_until kernel ~max_steps:2_000_000 (fun _ ->
+         not (Process.is_runnable victim))
+   with
+  | Kernel.Predicate -> ()
+  | Kernel.All_exited | Kernel.Max_steps ->
+    failwith ("Measure.single_contended_run: " ^ mech.Mech.name ^ " did not finish"));
+  if Stub_loop.read_successes kernel victim ~result_va <> 1 then
+    failwith ("Measure.single_contended_run: " ^ mech.Mech.name ^ " failed its DMA");
+  Units.to_us (Kernel.now_ps kernel - t0)
+
+let initiation_under_contention ?(runs = 150) (mech : Mech.t) =
+  let samples = List.init runs (fun i -> single_contended_run mech ~seed:(i + 1)) in
+  { mechanism = mech.Mech.name; runs; latency_us = Stats.of_list samples }
+
+type atomic_result = {
+  variant : string;
+  iterations : int;
+  us_per_op : float;
+  final_counter : int;
+}
+
+let atomic_add_initiation ?(base = Kernel.default_config) ?(iterations = 1000) variant =
+  let config =
+    match Uldma.Atomic.engine_mechanism variant with
+    | Some mechanism -> { base with Kernel.mechanism; backend = Kernel.Local { bytes_per_s = 1e9 } }
+    | None -> { base with Kernel.backend = Kernel.Local { bytes_per_s = 1e9 } }
+  in
+  let kernel = Kernel.create config in
+  let p = Kernel.spawn kernel ~name:"measure-atomic" ~program:[||] () in
+  let counter_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    Uldma.Atomic.prepare variant kernel p ~region:{ Mech.vaddr = counter_va; pages = 1 }
+  in
+  let asm = Asm.create () in
+  let loop = Asm.fresh_label asm "atomic_loop" in
+  Asm.li asm 10 0;
+  Asm.li asm 11 iterations;
+  Asm.li asm 5 1 (* operand: add 1 *);
+  Asm.label asm loop;
+  Asm.li asm 1 counter_va (* r1 = vtarget *);
+  prepared.Uldma.Atomic.emit_add asm ~operand:5;
+  Asm.add asm 10 10 (Isa.Imm 1);
+  Asm.blt asm 10 11 loop;
+  Asm.halt asm;
+  Process.set_program p (Asm.assemble asm);
+  let t0 = Kernel.now_ps kernel in
+  (match Kernel.run kernel ~max_steps:(200 * iterations * 10) () with
+  | Kernel.All_exited -> ()
+  | Kernel.Max_steps -> failwith "Measure.atomic_add_initiation: did not finish"
+  | Kernel.Predicate -> assert false);
+  let total_ps = Kernel.now_ps kernel - t0 in
+  {
+    variant = Uldma.Atomic.variant_name variant;
+    iterations;
+    us_per_op = Units.to_us total_ps /. float_of_int iterations;
+    final_counter = Kernel.read_user kernel p counter_va;
+  }

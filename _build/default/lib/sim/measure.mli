@@ -1,0 +1,50 @@
+(** The latency-measurement harness for Table 1 and its sweeps.
+
+    Reproduces the paper's methodology (§3.4): a single process
+    initiates [iterations] DMA operations in a loop, successive
+    operations on different pages "so as to eliminate any caching
+    effects", with no payload movement ([Null] backend — "No DMA data
+    transfer was actually performed"); the average initiation time is
+    the simulated-clock delta divided by the iteration count. *)
+
+type result = {
+  mechanism : string;
+  iterations : int;
+  successes : int; (** initiations the stub saw succeed (should = iterations) *)
+  total_us : float;
+  us_per_initiation : float;
+  ni_accesses : int; (** engine-visible accesses per initiation, by design *)
+}
+
+val initiation :
+  ?base:Uldma_os.Kernel.config ->
+  ?iterations:int ->
+  ?transfer_size:int ->
+  Uldma.Mech.t ->
+  result
+(** Defaults: the paper's setup (alpha3000_300 timing, [Null] backend,
+    1000 iterations, 1 KiB nominal size). *)
+
+type contention_result = {
+  mechanism : string;
+  runs : int;
+  latency_us : Uldma_util.Stats.summary;
+}
+
+val initiation_under_contention : ?runs:int -> Uldma.Mech.t -> contention_result
+(** Wall-clock latency of one complete initiation while a compute
+    process preempts at random instruction boundaries (25% per
+    instruction), across [runs] seeds — the user-visible latency tail,
+    including mid-stub preemptions and any retries they cause. *)
+
+type atomic_result = {
+  variant : string;
+  iterations : int;
+  us_per_op : float;
+  final_counter : int; (** must equal [iterations] — correctness check *)
+}
+
+val atomic_add_initiation :
+  ?base:Uldma_os.Kernel.config -> ?iterations:int -> Uldma.Atomic.variant -> atomic_result
+(** A loop of user-initiated atomic_add(1) on one counter word; the
+    backend is [Local] so the adds are real. *)

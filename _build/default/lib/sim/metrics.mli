@@ -1,0 +1,37 @@
+(** Machine accounting: where the simulated time went.
+
+    A [snapshot] summarises a finished (or running) machine — per
+    process: instructions retired, syscalls, attributed CPU time;
+    machine-wide: context switches, engine activity, bus utilization.
+    Useful for fairness checks and for understanding what a workload
+    actually did ([to_table] renders the standard report). *)
+
+type process_row = {
+  pid : int;
+  name : string;
+  state : string;
+  instructions : int;
+  syscalls : int;
+  cpu_time_us : float;
+  share : float; (** fraction of all attributed CPU time *)
+}
+
+type t = {
+  processes : process_row list;
+  elapsed_us : float;
+  context_switches : int;
+  bus_busy_us : float;
+  bus_utilization : float; (** busy / elapsed *)
+  transfers_started : int;
+  initiations_rejected : int;
+  atomics : int;
+  remote_sends : int;
+}
+
+val snapshot : Uldma_os.Kernel.t -> t
+
+val to_table : t -> Uldma_util.Tbl.t
+
+val fairness_spread : t -> float
+(** max/min CPU-time ratio across non-exited-abnormally processes with
+    any attributed time; 1.0 = perfectly fair. *)

@@ -1,0 +1,1 @@
+lib/util/tbl.ml: Buffer List Printf String

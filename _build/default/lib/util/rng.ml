@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let child_seed = Int64.to_int (int64 t) in
+  create ~seed:child_seed
+
+(* Non-negative 62-bit value, safe to use as an OCaml [int]. *)
+let positive_int t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  positive_int t mod bound
+
+let int_in t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t x =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. (mantissa /. 9007199254740992.0)
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> assert false
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let dma_key t = Int64.to_int (Int64.shift_right_logical (int64 t) 6)

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that whole experiments replay bit-for-bit from a seed.
+    The global [Random] module is never used anywhere in this code base. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent clone continuing from the same stream position. *)
+
+val split : t -> t
+(** Derive a statistically independent child generator, advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [\[lo, hi\]] inclusive. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val dma_key : t -> int
+(** A 58-bit non-negative key for the key-based DMA mechanism — the
+    paper's "close to 60 bits available for the key field", trimmed so
+    that KEY#CONTEXT_ID (key shifted left by the 4-bit context field)
+    still fits OCaml's 63-bit [int]. *)

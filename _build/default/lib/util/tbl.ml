@@ -1,0 +1,99 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Tbl.add_row: %d cells for %d columns (table %S)"
+         (List.length cells) (List.length t.columns) t.title);
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let data_rows t =
+  List.filter_map (function Cells c -> Some c | Rule -> None) (List.rev t.rows)
+
+let widths t =
+  let init = List.map (fun (h, _) -> String.length h) t.columns in
+  let max_row acc cells = List.map2 (fun w c -> max w (String.length c)) acc cells in
+  List.fold_left max_row init (data_rows t)
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let aligns = List.map snd t.columns in
+  let buf = Buffer.create 512 in
+  let line ch =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      ws;
+    Buffer.add_char buf '\n'
+  in
+  let row cells als =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let w = List.nth ws i and a = List.nth als i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  line '-';
+  row (List.map fst t.columns) (List.map (fun _ -> Left) t.columns);
+  line '=';
+  List.iter
+    (function Cells cells -> row cells aligns | Rule -> line '-')
+    (List.rev t.rows);
+  line '-';
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  emit (List.map fst t.columns);
+  List.iter emit (data_rows t);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f x =
+  let s = Printf.sprintf "%.3f" x in
+  (* trim trailing zeros but keep at least one decimal *)
+  let len = String.length s in
+  let rec last i = if i > 0 && s.[i] = '0' && s.[i - 1] <> '.' then last (i - 1) else i in
+  String.sub s 0 (last (len - 1) + 1)
+
+let cell_us x = Printf.sprintf "%.1f" x

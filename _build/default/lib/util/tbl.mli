@@ -1,0 +1,34 @@
+(** ASCII / CSV table rendering for benchmark and experiment output.
+
+    Every table or figure the benchmark harness regenerates is printed
+    through this module so that output formatting is uniform and easily
+    diffed against EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A fresh table with the given title and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity does not match
+    the number of columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator between row groups. *)
+
+val render : t -> string
+(** Render as an ASCII box table, title first. *)
+
+val to_csv : t -> string
+(** Render as CSV (header row + data rows; separators are skipped). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Format a float cell with 3 decimals, trailing-zero trimmed. *)
+
+val cell_us : float -> string
+(** Format a microsecond quantity, e.g. "18.6". *)

@@ -1,0 +1,39 @@
+type ps = int
+
+let ps_per_ns = 1_000
+let ps_per_us = 1_000_000
+
+let ns x = int_of_float (Float.round (x *. float_of_int ps_per_ns))
+let us x = int_of_float (Float.round (x *. float_of_int ps_per_us))
+let to_ns p = float_of_int p /. float_of_int ps_per_ns
+let to_us p = float_of_int p /. float_of_int ps_per_us
+
+let cycle_ps ~hz =
+  assert (hz > 0);
+  int_of_float (Float.round (1e12 /. float_of_int hz))
+
+let cycles ~hz n = n * cycle_ps ~hz
+
+let pp_time ppf p =
+  let abs = abs p in
+  if abs < ps_per_ns then Format.fprintf ppf "%d ps" p
+  else if abs < ps_per_us then Format.fprintf ppf "%.1f ns" (to_ns p)
+  else if abs < 1_000 * ps_per_us then Format.fprintf ppf "%.2f us" (to_us p)
+  else Format.fprintf ppf "%.3f ms" (to_us p /. 1000.0)
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let mbps m = m *. 1e6 /. 8.0
+
+let transfer_ps ~bytes_per_s n =
+  if n <= 0 then 0
+  else int_of_float (Float.round (float_of_int n /. bytes_per_s *. 1e12))
+
+let pp_bytes ppf n =
+  if n < 1024 then Format.fprintf ppf "%d B" n
+  else if n < 1024 * 1024 then
+    if n mod 1024 = 0 then Format.fprintf ppf "%d KiB" (n / 1024)
+    else Format.fprintf ppf "%.1f KiB" (float_of_int n /. 1024.0)
+  else if n mod (1024 * 1024) = 0 then Format.fprintf ppf "%d MiB" (n / (1024 * 1024))
+  else Format.fprintf ppf "%.1f MiB" (float_of_int n /. (1024.0 *. 1024.0))

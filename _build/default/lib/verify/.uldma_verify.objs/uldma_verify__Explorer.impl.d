@@ -1,0 +1,1 @@
+lib/verify/explorer.ml: Bus Kernel List Txn Uldma_bus Uldma_os

@@ -1,0 +1,1 @@
+lib/verify/explorer.mli: Uldma_os

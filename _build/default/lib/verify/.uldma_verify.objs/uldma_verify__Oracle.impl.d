@@ -1,0 +1,1 @@
+lib/verify/oracle.ml: Addr_space Engine Format Kernel List Perms Process Transfer Uldma_dma Uldma_mem Uldma_mmu Uldma_os

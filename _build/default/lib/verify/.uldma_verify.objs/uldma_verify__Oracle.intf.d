@@ -1,0 +1,1 @@
+lib/verify/oracle.mli: Format Uldma_dma Uldma_os

@@ -1,0 +1,58 @@
+open Uldma_bus
+open Uldma_os
+
+type 'v result = {
+  paths : int;
+  violations : ('v * int list) list;
+  truncated : bool;
+}
+
+(* Engine-visible transactions issued by [pid] so far, via the bus
+   trace. Kernel accesses (context-switch hooks, pid -1) and other
+   processes' drained stores must not count as the leg's NI access. *)
+let ni_accesses kernel pid =
+  List.length (List.filter (fun t -> t.Txn.pid = pid) (Bus.trace (Kernel.bus kernel)))
+
+let advance_one_leg kernel pid ~max_instructions =
+  Bus.set_trace (Kernel.bus kernel) true;
+  let start = ni_accesses kernel pid in
+  let rec loop n =
+    if n >= max_instructions then `Stuck
+    else
+      match Kernel.step_pid kernel pid with
+      | `Not_runnable -> `Exited
+      | `Ok -> if ni_accesses kernel pid > start then `Progress else loop (n + 1)
+  in
+  loop 0
+
+let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 200_000) ~check () =
+  let paths = ref 0 in
+  let violations = ref [] in
+  let truncated = ref false in
+  let rec go kernel schedule =
+    if !paths >= max_paths then truncated := true
+    else begin
+      let runnable =
+        List.filter (fun pid -> List.mem pid (Kernel.runnable_pids kernel)) pids
+      in
+      match runnable with
+      | [] -> begin
+        incr paths;
+        match check kernel with
+        | Some v -> violations := (v, List.rev schedule) :: !violations
+        | None -> ()
+      end
+      | _ :: _ ->
+        List.iter
+          (fun pid ->
+            if not !truncated then begin
+              let fork = Kernel.copy kernel in
+              match advance_one_leg fork pid ~max_instructions:max_instructions_per_leg with
+              | `Progress | `Exited -> go fork (pid :: schedule)
+              | `Stuck -> truncated := true
+            end)
+          runnable
+    end
+  in
+  go (Kernel.copy root) [];
+  { paths = !paths; violations = List.rev !violations; truncated = !truncated }

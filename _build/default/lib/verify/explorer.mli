@@ -1,0 +1,39 @@
+(** Exhaustive bounded interleaving exploration — a machine-checked
+    version of the paper's §3.3.1 correctness argument (Fig. 8).
+
+    The explorer enumerates *every* schedule of a set of processes and
+    evaluates a safety check at every terminal state. Enumerating at
+    single-instruction granularity would be wasteful: instructions that
+    do not touch the network interface only affect the issuing
+    process's private registers and private memory, so interleavings
+    that differ only in their placement commute. The explorer therefore
+    branches at {e NI-access granularity}: one scheduling "leg" runs a
+    process up to and including its next uncached (engine-visible) bus
+    transaction. This is exactly the granularity of the paper's own
+    Fig. 5/6/8 interleaving diagrams.
+
+    States are forked with [Kernel.copy]; use a small RAM in the root
+    kernel's config to keep exploration cheap. *)
+
+type 'v result = {
+  paths : int; (** complete schedules explored *)
+  violations : ('v * int list) list;
+      (** violation + the pid schedule (one pid per leg) that reached it *)
+  truncated : bool; (** a bound was hit; exploration is incomplete *)
+}
+
+val explore :
+  root:Uldma_os.Kernel.t ->
+  pids:int list ->
+  ?max_instructions_per_leg:int ->
+  ?max_paths:int ->
+  check:(Uldma_os.Kernel.t -> 'v option) ->
+  unit ->
+  'v result
+(** [check] runs at each terminal state (all of [pids] exited or
+    stuck). Defaults: 2000 instructions per leg, 200_000 paths. The
+    root kernel is not mutated. *)
+
+val advance_one_leg : Uldma_os.Kernel.t -> int -> max_instructions:int -> [ `Progress | `Exited | `Stuck ]
+(** Run pid until its next NI access completes (or it exits). Exposed
+    for tests. *)

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Asm Isa Kernel Layout List Perms Phys_mem Process Regfile Rng Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_os Uldma_util Units

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Uldma Uldma_cpu Uldma_os Uldma_util

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Asm Engine Isa Kernel Layout List Perms Printf Process Sched Seq_matcher Stub_loop Uldma Uldma_bus Uldma_cpu Uldma_dma Uldma_mem Uldma_mmu Uldma_os Uldma_verify Vm

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Uldma_dma Uldma_os Uldma_util Uldma_verify

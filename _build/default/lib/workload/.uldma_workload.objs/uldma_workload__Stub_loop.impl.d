@@ -1,0 +1,1 @@
+lib/workload/stub_loop.ml: Asm Isa Kernel Layout Regfile Uldma Uldma_cpu Uldma_mem Uldma_os

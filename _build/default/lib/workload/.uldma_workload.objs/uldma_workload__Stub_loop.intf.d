@@ -1,0 +1,1 @@
+lib/workload/stub_loop.mli: Uldma_cpu Uldma_os

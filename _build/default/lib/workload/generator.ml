@@ -1,0 +1,106 @@
+open Uldma_util
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+module Mech = Uldma.Mech
+
+type request = { src_page : int; dst_page : int; size : int }
+
+type plan = { pages : int; requests : request list; seed : int }
+
+let random_plan rng ~pages ~requests ~max_size =
+  let max_size = min max_size Layout.page_size in
+  let make _ =
+    {
+      src_page = Rng.int rng pages;
+      dst_page = Rng.int rng pages;
+      size = Rng.int_in rng ~lo:8 ~hi:max_size land lnot 7;
+    }
+  in
+  { pages; requests = List.init requests make; seed = Rng.int rng max_int }
+
+let r_successes = 16
+let r_result = 17
+
+let build_program plan ~src_base ~dst_base ~result_va ~emit_dma =
+  let asm = Asm.create () in
+  Asm.li asm r_successes 0;
+  List.iter
+    (fun request ->
+      Asm.li asm Mech.reg_vsrc (src_base + (request.src_page * Layout.page_size));
+      Asm.li asm Mech.reg_vdst (dst_base + (request.dst_page * Layout.page_size));
+      Asm.li asm Mech.reg_size request.size;
+      emit_dma asm;
+      let skip = Asm.fresh_label asm "skip" in
+      Asm.blt asm Mech.reg_status Regfile.zero_reg skip;
+      Asm.add asm r_successes r_successes (Isa.Imm 1);
+      Asm.label asm skip)
+    plan.requests;
+  Asm.li asm r_result result_va;
+  Asm.store asm ~base:r_result ~off:0 r_successes;
+  Asm.halt asm;
+  Asm.assemble asm
+
+type outcome = {
+  successes : int;
+  transfers : int;
+  dst_checksum : int;
+  simulated_us : float;
+  kernel_modified : bool;
+}
+
+let busy_loop_program iterations =
+  let asm = Asm.create () in
+  let loop = Asm.fresh_label asm "busy" in
+  Asm.li asm 10 0;
+  Asm.li asm 11 iterations;
+  Asm.label asm loop;
+  Asm.add asm 12 12 (Isa.Imm 1);
+  Asm.add asm 10 10 (Isa.Imm 1);
+  Asm.blt asm 10 11 loop;
+  Asm.halt asm;
+  Asm.assemble asm
+
+let run plan ~(mech : Mech.t) ~sched ~with_interference =
+  let base =
+    {
+      Kernel.default_config with
+      Kernel.ram_size = (64 + (4 * plan.pages)) * Layout.page_size;
+      backend = Kernel.Local { bytes_per_s = 1e9 };
+      sched;
+    }
+  in
+  let config = Uldma.Api.kernel_config ~base mech in
+  let kernel = Kernel.create config in
+  let p = Kernel.spawn kernel ~name:("diff-" ^ mech.Mech.name) ~program:[||] () in
+  let src_base = Kernel.alloc_pages kernel p ~n:plan.pages ~perms:Perms.read_write in
+  let dst_base = Kernel.alloc_pages kernel p ~n:plan.pages ~perms:Perms.read_write in
+  let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  (* deterministic source pattern, independent of the mechanism *)
+  let pattern = Rng.create ~seed:plan.seed in
+  for w = 0 to (plan.pages * Layout.page_size / 8) - 1 do
+    Kernel.write_user kernel p (src_base + (8 * w)) (Rng.int pattern (1 lsl 30))
+  done;
+  let prepared =
+    mech.Mech.prepare kernel p
+      ~src:{ Mech.vaddr = src_base; pages = plan.pages }
+      ~dst:{ Mech.vaddr = dst_base; pages = plan.pages }
+  in
+  Process.set_program p
+    (build_program plan ~src_base ~dst_base ~result_va ~emit_dma:prepared.Mech.emit_dma);
+  if with_interference then
+    ignore (Kernel.spawn kernel ~name:"busy" ~program:(busy_loop_program 5000) () : Process.t);
+  let t0 = Kernel.now_ps kernel in
+  (match Kernel.run kernel ~max_steps:5_000_000 () with
+  | Kernel.All_exited -> ()
+  | Kernel.Max_steps | Kernel.Predicate ->
+    failwith ("Generator.run: " ^ mech.Mech.name ^ " did not finish"));
+  let dst_paddr = Kernel.user_paddr kernel p dst_base in
+  {
+    successes = Kernel.read_user kernel p result_va;
+    transfers = List.length (Uldma_dma.Engine.transfers (Kernel.engine kernel));
+    dst_checksum =
+      Phys_mem.checksum (Kernel.ram kernel) ~addr:dst_paddr ~len:(plan.pages * Layout.page_size);
+    simulated_us = Units.to_us (Kernel.now_ps kernel - t0);
+    kernel_modified = Kernel.kernel_modified kernel;
+  }

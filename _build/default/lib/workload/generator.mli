@@ -1,0 +1,42 @@
+(** Random DMA workload generation and differential execution.
+
+    A [plan] is a mechanism-independent list of transfer requests over
+    a page region plus a deterministic source-data seed. [run] executes
+    the same plan through any initiation mechanism on a fresh machine;
+    because machines are constructed identically, the destination
+    region's physical contents must be byte-identical across all
+    correct mechanisms — the differential oracle the test suite uses.
+
+    (SHRIMP-1 is excluded from differential comparison by its nature:
+    its destination is the source page's mapped-out twin, not the
+    requested destination.) *)
+
+type request = { src_page : int; dst_page : int; size : int }
+
+type plan = { pages : int; requests : request list; seed : int }
+
+val random_plan : Uldma_util.Rng.t -> pages:int -> requests:int -> max_size:int -> plan
+(** Word-aligned sizes in [\[8, max_size\]]; pages drawn uniformly. *)
+
+type outcome = {
+  successes : int; (** initiations the program saw succeed *)
+  transfers : int; (** transfers the engine started *)
+  dst_checksum : int; (** checksum of the whole destination region *)
+  simulated_us : float;
+  kernel_modified : bool;
+}
+
+val run :
+  plan -> mech:Uldma.Mech.t -> sched:Uldma_os.Sched.policy -> with_interference:bool -> outcome
+(** Execute the plan on a fresh machine configured for [mech].
+    [with_interference] adds a compute-only process so the DMA program
+    is preempted mid-sequence under preemptive schedulers. *)
+
+val build_program :
+  plan ->
+  src_base:int ->
+  dst_base:int ->
+  result_va:int ->
+  emit_dma:(Uldma_cpu.Asm.t -> unit) ->
+  Uldma_cpu.Isa.instr array
+(** The generated user program (exposed for tests). *)

@@ -1,0 +1,405 @@
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+open Uldma_dma
+module Mech = Uldma.Mech
+module Oracle = Uldma_verify.Oracle
+module Explorer = Uldma_verify.Explorer
+
+type t = {
+  kernel : Kernel.t;
+  victim : Process.t;
+  attacker : Process.t;
+  intents : Oracle.intent list;
+  victim_result_va : int;
+  attacker_result_va : int option; (* when the attacker also reports *)
+  transfer_size : int;
+  mutable labels : (int * string) list; (* physical page base -> name *)
+}
+
+type leg = V | M
+
+let transfer_size = 256
+
+(* A small machine is plenty for two processes and keeps
+   explorer snapshots cheap. *)
+let make_kernel mechanism =
+  let kernel =
+    Kernel.create
+      {
+        Kernel.default_config with
+        Kernel.ram_size = 64 * Layout.page_size;
+        mechanism;
+        sched = Sched.Round_robin { quantum = 50 };
+      }
+  in
+  (* record the engine-visible access stream for [access_timeline] *)
+  Uldma_bus.Bus.set_trace (Kernel.bus kernel) true;
+  kernel
+
+let page_label kernel p va name = (Layout.page_base (Kernel.user_paddr kernel p va), name)
+
+(* Victim: one DMA A -> B through [mech], reporting its result. *)
+let make_victim kernel (mech : Mech.t) ~emit_override =
+  let victim = Kernel.spawn kernel ~name:"victim" ~program:[||] () in
+  let a = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let b = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let result = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    mech.Mech.prepare kernel victim ~src:{ Mech.vaddr = a; pages = 1 }
+      ~dst:{ Mech.vaddr = b; pages = 1 }
+  in
+  let emit = match emit_override with Some e -> e | None -> prepared.Mech.emit_dma in
+  Process.set_program victim
+    (Stub_loop.build_single ~vsrc:a ~vdst:b ~size:transfer_size ~result_va:result ~emit_dma:emit);
+  let intent =
+    Oracle.intent_of_regions kernel victim ~vsrc:a ~vdst:b ~size:transfer_size ~requests:1
+  in
+  (victim, a, b, result, intent)
+
+let shadow reg_data reg_shadow asm =
+  Asm.add asm reg_shadow reg_data (Isa.Imm Vm.shadow_va_offset)
+
+(* The Fig. 5 attacker: S(foo) L(foo) L(C) L(C) over its own pages. *)
+let fig5_attacker kernel =
+  let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  let foo = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  let c = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:foo ~n:1 ~window:`Dma : int);
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:c ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 foo;
+  Asm.li asm 13 c;
+  shadow 12 20 asm;
+  shadow 13 21 asm;
+  Asm.li asm 3 transfer_size;
+  Asm.store asm ~base:20 ~off:0 3 (* STORE foo-sized TO shadow(foo) *);
+  Asm.mb asm;
+  Asm.load asm 4 ~base:20 ~off:0 (* LOAD FROM shadow(foo) *);
+  Asm.load asm 4 ~base:21 ~off:0 (* LOAD FROM shadow(C) *);
+  Asm.load asm 4 ~base:21 ~off:0 (* LOAD FROM shadow(C) - fires C->B *);
+  Asm.halt asm;
+  Process.set_program attacker (Asm.assemble asm);
+  (attacker, [ page_label kernel attacker foo "foo"; page_label kernel attacker c "C" ])
+
+let fig5 () =
+  let mech = Uldma.Rep_args.mech_of_variant Seq_matcher.Three in
+  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Three) in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
+  let attacker, attacker_labels = fig5_attacker kernel in
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels =
+      page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
+  }
+
+(* V's accesses: L(A) S(B) L(A); M's: S(foo) L(foo) L(C) L(C). *)
+let fig5_schedule = [ V; M; M; M; V; M; V ]
+
+(* The Fig. 6 attacker: a single LOAD from shadow(A), where it has
+   legitimate read access to A. *)
+let fig6 () =
+  let mech = Uldma.Rep_args.mech_of_variant Seq_matcher.Four in
+  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Four) in
+  let victim, a, _b, result, intent = make_victim kernel mech ~emit_override:None in
+  let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  let a_shared =
+    Kernel.share_pages kernel ~from_process:victim ~vaddr:a ~n:1 ~into:attacker
+      ~perms:Perms.read_only
+  in
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:a_shared ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 a_shared;
+  shadow 12 20 asm;
+  Asm.load asm 4 ~base:20 ~off:0 (* LOAD FROM shadow(A): completes V's sequence *);
+  Asm.halt asm;
+  Process.set_program attacker (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels =
+      [
+        page_label kernel victim a "A";
+        page_label kernel victim _b "B";
+      ];
+  }
+
+(* V's accesses: S(B) L(A) S(B) [M: L(A) fires] V: L(A) rejected. *)
+let fig6_schedule = [ V; V; V; M; V ]
+
+(* The §2.5 race: the attacker overwrites the single pending
+   (dest,size) slot between the victim's store and load. *)
+let two_step_race ~mech ~mechanism ~hook =
+  let kernel = make_kernel mechanism in
+  let victim, _a, _b, result, intent =
+    make_victim kernel
+      {
+        mech with
+        Mech.prepare =
+          (fun k p ~src ~dst ->
+            match mechanism with
+            | Engine.Shrimp_two_step -> Uldma.Shrimp2.prepare_raw ~install_hook:hook k p ~src ~dst
+            | Engine.Flash -> Uldma.Flash.prepare_raw ~install_hook:hook k p ~src ~dst
+            | _ -> mech.Mech.prepare k p ~src ~dst);
+      }
+      ~emit_override:None
+  in
+  let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  let d = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:d ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 d;
+  shadow 12 20 asm;
+  Asm.li asm 3 transfer_size;
+  Asm.store asm ~base:20 ~off:0 3 (* STORE size TO shadow(D): overwrites pending dest *);
+  Asm.mb asm;
+  Asm.halt asm;
+  Process.set_program attacker (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels = [ page_label kernel attacker d "D" ];
+  }
+
+let shrimp2_race ~hook = two_step_race ~mech:Uldma.Shrimp2.mech ~mechanism:Engine.Shrimp_two_step ~hook
+
+let flash_race ~hook = two_step_race ~mech:Uldma.Flash.mech ~mechanism:Engine.Flash ~hook
+
+let shrimp2_schedule = [ V; M; V ]
+
+(* The same three-leg race against the contextless extended-shadow
+   engine: the interloper's store carries ITS context bits, so the
+   victim's load makes a mismatched pair and the engine refuses —
+   safety without any kernel hook (sec. 3.2). *)
+let ext_stateless_race () =
+  let mech = Uldma.Ext_shadow.mech_stateless in
+  let kernel = make_kernel Engine.Ext_shadow_stateless in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
+  let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  (match Kernel.alloc_dma_context kernel attacker with
+  | Some _ -> ()
+  | None -> failwith "no context for attacker");
+  let d = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:d ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 d;
+  shadow 12 20 asm;
+  Asm.li asm 3 transfer_size;
+  Asm.store asm ~base:20 ~off:0 3;
+  Asm.mb asm;
+  Asm.halt asm;
+  Process.set_program attacker (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels =
+      [
+        page_label kernel victim a "A";
+        page_label kernel victim b "B";
+        page_label kernel attacker d "D";
+      ];
+  }
+
+let rep5_scenario ~emit =
+  let mech = Uldma.Rep_args.mech in
+  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Five) in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:emit in
+  let attacker, attacker_labels = fig5_attacker kernel in
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels =
+      page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
+  }
+
+let rep5 () = rep5_scenario ~emit:(Some Uldma.Rep_args.emit_dma_five_no_retry)
+
+(* A second adversary shape against the five-access method: the
+   attacker issues S(X) S(X) L(X) on its own page X, trying to splice
+   the victim's loads of A into steps 2/4 of its own sequence and so
+   exfiltrate A into X. The victim's interleaved stores make this
+   impossible (sec. 3.3.1), which the explorer verifies. *)
+let rep5_splice () =
+  let mech = Uldma.Rep_args.mech in
+  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Five) in
+  let victim, a, b, result, intent =
+    make_victim kernel mech ~emit_override:(Some Uldma.Rep_args.emit_dma_five_no_retry)
+  in
+  let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  let x = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:x ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 x;
+  shadow 12 20 asm;
+  Asm.li asm 3 transfer_size;
+  Asm.store asm ~base:20 ~off:0 3;
+  Asm.mb asm;
+  Asm.store asm ~base:20 ~off:0 3;
+  Asm.mb asm;
+  Asm.load asm 4 ~base:20 ~off:0;
+  Asm.halt asm;
+  Process.set_program attacker (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    labels =
+      [
+        page_label kernel victim a "A";
+        page_label kernel victim b "B";
+        page_label kernel attacker x "X";
+      ];
+  }
+
+let rep5_with_retry () = rep5_scenario ~emit:None
+
+(* Both processes legitimately use the same mechanism on their own
+   buffers; the "attacker" here is just a concurrent tenant. Safety =
+   both DMAs happen exactly once with no argument mixing, under every
+   schedule — the atomicity claim of sec. 3.1/3.2. *)
+let contested (mech : Mech.t) mechanism =
+  let kernel = make_kernel mechanism in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
+  let attacker = Kernel.spawn kernel ~name:"tenant" ~program:[||] () in
+  let c = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  let d = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  let tenant_result = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
+  let prepared =
+    mech.Mech.prepare kernel attacker ~src:{ Mech.vaddr = c; pages = 1 }
+      ~dst:{ Mech.vaddr = d; pages = 1 }
+  in
+  Process.set_program attacker
+    (Stub_loop.build_single ~vsrc:c ~vdst:d ~size:transfer_size ~result_va:tenant_result
+       ~emit_dma:prepared.Mech.emit_dma);
+  let tenant_intent =
+    Oracle.intent_of_regions kernel attacker ~vsrc:c ~vdst:d ~size:transfer_size ~requests:1
+  in
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent; tenant_intent ];
+    victim_result_va = result;
+    attacker_result_va = Some tenant_result;
+    transfer_size;
+    labels =
+      [
+        page_label kernel victim a "A";
+        page_label kernel victim b "B";
+        page_label kernel attacker c "C";
+        page_label kernel attacker d "D";
+      ];
+  }
+
+let ext_shadow_contested () = contested Uldma.Ext_shadow.mech Engine.Ext_shadow
+
+let key_contested () = contested Uldma.Key_dma.mech Engine.Key_based
+
+let pal_contested () = contested Uldma.Pal_dma.mech Engine.Shrimp_two_step
+
+let pid_of t = function V -> t.victim.Process.pid | M -> t.attacker.Process.pid
+
+let run_legs t legs =
+  List.iter
+    (fun leg ->
+      ignore
+        (Explorer.advance_one_leg t.kernel (pid_of t leg) ~max_instructions:2000
+          : [ `Progress | `Exited | `Stuck ]))
+    legs
+
+let finish t ?(max_steps = 200_000) () =
+  ignore (Kernel.run t.kernel ~max_steps () : Kernel.run_result)
+
+let run_random t ~seed ~switch_probability =
+  Kernel.set_sched_policy t.kernel (Sched.Random_preempt { probability = switch_probability; seed });
+  finish t ()
+
+let report t =
+  let successes = Stub_loop.read_successes t.kernel t.victim ~result_va:t.victim_result_va in
+  let reported = [ (t.victim.Process.pid, successes) ] in
+  let reported =
+    match t.attacker_result_va with
+    | Some result_va ->
+      (t.attacker.Process.pid, Stub_loop.read_successes t.kernel t.attacker ~result_va) :: reported
+    | None -> reported
+  in
+  Oracle.check ~kernel:t.kernel ~intents:t.intents ~reported_successes:reported
+
+let victim_successes t = Stub_loop.read_successes t.kernel t.victim ~result_va:t.victim_result_va
+
+let victim_last_status t = Stub_loop.read_last_status t.kernel t.victim ~result_va:t.victim_result_va
+
+let transfers t = Engine.transfers (Kernel.engine t.kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Access-timeline rendering (the paper's interleaving diagrams) *)
+
+let label_of_paddr t paddr =
+  let describe base offset =
+    match List.assoc_opt (Layout.page_base base) t.labels with
+    | Some name -> if offset = 0 then name else Printf.sprintf "%s+%#x" name offset
+    | None -> Printf.sprintf "%#x" (base lor offset)
+  in
+  match Uldma_mmu.Shadow.decode paddr with
+  | Some d ->
+    let inner = describe (Layout.page_base d.Uldma_mmu.Shadow.paddr) (Layout.page_offset d.Uldma_mmu.Shadow.paddr) in
+    if d.Uldma_mmu.Shadow.atomic then Printf.sprintf "atomic_shadow(%s)" inner
+    else Printf.sprintf "shadow(%s)" inner
+  | None -> (
+    match Layout.context_of_mmio paddr with
+    | Some context -> Printf.sprintf "context%d_page" context
+    | None ->
+      if Layout.in_mmio paddr then "engine_control_page"
+      else describe (Layout.page_base paddr) (Layout.page_offset paddr))
+
+let access_timeline t =
+  let actor pid =
+    if pid = t.victim.Process.pid then "victim"
+    else if pid = t.attacker.Process.pid then "attacker"
+    else if pid < 0 then "kernel"
+    else Printf.sprintf "pid%d" pid
+  in
+  List.filter_map
+    (fun (txn : Uldma_bus.Txn.t) ->
+      if txn.Uldma_bus.Txn.pid < 0 then None
+      else
+        let rendered =
+          match txn.Uldma_bus.Txn.op with
+          | Uldma_bus.Txn.Store ->
+            Printf.sprintf "STORE %#x TO %s" txn.Uldma_bus.Txn.value
+              (label_of_paddr t txn.Uldma_bus.Txn.paddr)
+          | Uldma_bus.Txn.Load ->
+            Printf.sprintf "LOAD FROM %s" (label_of_paddr t txn.Uldma_bus.Txn.paddr)
+        in
+        Some (txn.Uldma_bus.Txn.at, actor txn.Uldma_bus.Txn.pid, rendered))
+    (Uldma_bus.Bus.trace (Kernel.bus t.kernel))

@@ -1,0 +1,106 @@
+(** Two-process attack scenarios reproducing the paper's interleaving
+    figures, plus randomized adversarial campaigns.
+
+    A scenario holds a victim that initiates one DMA (A -> B) with some
+    mechanism, and an attacker running an adversarial access sequence.
+    [run_legs] drives an exact interleaving at NI-access granularity
+    (the granularity of the paper's Fig. 5/6/8 diagrams); [finish] lets
+    both run to completion afterwards; [report] audits the run with the
+    safety oracle. *)
+
+type t = {
+  kernel : Uldma_os.Kernel.t;
+  victim : Uldma_os.Process.t;
+  attacker : Uldma_os.Process.t;
+  intents : Uldma_verify.Oracle.intent list;
+  victim_result_va : int;
+  attacker_result_va : int option;
+      (** set in the contested scenarios, where the second process also
+          runs a legitimate DMA and reports its outcome *)
+  transfer_size : int;
+  mutable labels : (int * string) list;
+      (** physical page base -> symbolic name (A, B, C, foo, D) *)
+}
+
+type leg = V | M
+
+val fig5 : unit -> t
+(** The Fig. 5 attack on the 3-access repeated-passing variant: the
+    attacker splices shadow(C) into the victim's sequence, starting a
+    C -> B transfer. Drive with [fig5_schedule]. *)
+
+val fig5_schedule : leg list
+
+val fig6 : unit -> t
+(** The Fig. 6 attack on the 4-access variant: the attacker (with
+    read-only access to A) completes the victim's sequence; the DMA
+    starts but the victim is told it failed. *)
+
+val fig6_schedule : leg list
+
+val shrimp2_race : hook:bool -> t
+(** The §2.5 argument-mixing race on SHRIMP-2. With [hook:false] the
+    kernel is unmodified and the race starts an A -> D transfer into
+    the attacker's page; with [hook:true] the modified kernel
+    invalidates pending arguments at every context switch. *)
+
+val shrimp2_schedule : leg list
+
+val ext_stateless_race : unit -> t
+(** The same race against §3.2's contextless extended-shadow engine:
+    safe with an unmodified kernel, because the attacker's store
+    carries its own context bits and the pair mismatches. *)
+
+val flash_race : hook:bool -> t
+(** Same race against the FLASH mechanism; safe only with the
+    kernel-maintained current-process register ([hook:true]). *)
+
+val rep5 : unit -> t
+(** The five-access method (no retry loop, for bounded exploration)
+    against the Fig. 5-style attacker. *)
+
+val rep5_with_retry : unit -> t
+
+val rep5_splice : unit -> t
+(** The five-access method against a store-splice adversary: the
+    attacker issues S(X) S(X) L(X) on its own page, hoping the victim's
+    loads of A fill its sequence's load slots and exfiltrate A into X.
+    The §3.3.1 argument covers this shape too; the explorer confirms. *)
+
+val ext_shadow_contested : unit -> t
+(** Two tenants, each running one legitimate ext-shadow DMA on its own
+    register context. Exhaustive exploration must find both transfers
+    happening exactly once under every schedule (§3.2 atomicity). *)
+
+val key_contested : unit -> t
+(** Same, for the key-based mechanism (§3.1). *)
+
+val pal_contested : unit -> t
+(** Same, for the PAL method (§2.7): the two-access window is
+    uninterruptible, so even the single pending slot cannot mix. *)
+
+val run_legs : t -> leg list -> unit
+(** Advance the named process by one NI access per leg. *)
+
+val finish : t -> ?max_steps:int -> unit -> unit
+(** Round-robin both processes until they exit. *)
+
+val run_random : t -> seed:int -> switch_probability:float -> unit
+(** Run the whole scenario under a randomized preemptive schedule
+    (10%-per-instruction switches by default semantics of the seed). *)
+
+val report : t -> Uldma_verify.Oracle.report
+val victim_successes : t -> int
+val victim_last_status : t -> int
+val transfers : t -> Uldma_dma.Transfer.t list
+
+val access_timeline : t -> (Uldma_util.Units.ps * string * string) list
+(** The engine-visible access stream of the run, in bus order, with
+    symbolic page names (A, B, C, foo, D) — a regeneration of the
+    paper's Fig. 5/6 interleaving diagrams. Each entry is
+    (time, actor, rendered access). Requires the scenario to have been
+    driven by [run_legs]/[finish] (tracing is on by default). *)
+
+val label_of_paddr : t -> int -> string
+(** Symbolic name for a physical address ("A+0x40", "shadow(C)"), used
+    by [access_timeline]. *)

@@ -1,0 +1,45 @@
+(** User-program builders around the mechanism stubs.
+
+    Every built program counts the initiations whose status was
+    non-negative (success, §3.1) in a register and stores, on exit,
+    the success count at [result_va] and the last status at
+    [result_va + 8] — the channel through which the harness and the
+    oracle learn what the process believes happened.
+
+    The measurement loop reproduces the paper's Table 1 methodology:
+    "we perform a simple test of initiating 1,000 DMA operations.
+    Successive DMA operations were done to (from) different addresses,
+    so as to eliminate any caching effects". *)
+
+type loop_spec = {
+  iterations : int;
+  transfer_size : int;
+  src_base : int; (** base of the source region *)
+  dst_base : int;
+  pages : int; (** pages cycled through; must be a power of two *)
+  result_va : int;
+}
+
+val build_loop : loop_spec -> emit_dma:(Uldma_cpu.Asm.t -> unit) -> Uldma_cpu.Isa.instr array
+
+val build_single :
+  vsrc:int ->
+  vdst:int ->
+  size:int ->
+  result_va:int ->
+  emit_dma:(Uldma_cpu.Asm.t -> unit) ->
+  Uldma_cpu.Isa.instr array
+(** One initiation, then record results and halt. *)
+
+val build_repeat :
+  n:int ->
+  vsrc:int ->
+  vdst:int ->
+  size:int ->
+  result_va:int ->
+  emit_dma:(Uldma_cpu.Asm.t -> unit) ->
+  Uldma_cpu.Isa.instr array
+(** [n] initiations of the same transfer (for contention scenarios). *)
+
+val read_successes : Uldma_os.Kernel.t -> Uldma_os.Process.t -> result_va:int -> int
+val read_last_status : Uldma_os.Kernel.t -> Uldma_os.Process.t -> result_va:int -> int

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Bus Clock Layout List Phys_mem QCheck2 QCheck_alcotest Timing Txn Uldma_bus Uldma_mem Uldma_util Units Write_buffer

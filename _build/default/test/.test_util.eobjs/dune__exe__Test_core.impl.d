@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asm Cpu Engine Isa Kernel Layout List Pal Perms Process Regfile Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_os Uldma_workload Vm

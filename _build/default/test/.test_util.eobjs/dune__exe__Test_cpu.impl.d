@@ -1,0 +1,1 @@
+test/test_cpu.ml: Addr_space Alcotest Array Asm Cpu Format Hashtbl Isa List Pal Printf QCheck2 QCheck_alcotest Regfile String Uldma_cpu Uldma_mem Uldma_mmu

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Filename List Uldma_sim Uldma_util

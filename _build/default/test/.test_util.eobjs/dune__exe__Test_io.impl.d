@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Asm Bytes Char Cpu Isa Kernel Layout Perms Process Regfile Result Sched Sysno Uldma_cpu Uldma_io Uldma_mem Uldma_os Uldma_util Units

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Layout List Perms Phys_mem Printf QCheck2 QCheck_alcotest Uldma_mem

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Addr_space Alcotest Hashtbl Layout List Page_table Perms Pte QCheck2 QCheck_alcotest Shadow Tlb Uldma_mem Uldma_mmu

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format List Printf QCheck2 QCheck_alcotest Rng Stats String Tbl Uldma_util Units

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Engine Kernel List Printf Process Sched Status Transfer Uldma Uldma_dma Uldma_mem Uldma_mmu Uldma_os Uldma_util Uldma_verify Uldma_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Kernel List Printf Process Rng Sched Uldma Uldma_cpu Uldma_dma Uldma_mem Uldma_os Uldma_util Uldma_verify Uldma_workload

@@ -1,0 +1,914 @@
+(* Tests for the dma library: the sequence matcher, register contexts,
+   atomic ops, transfers, and the engine's per-mechanism decoders. *)
+
+open Uldma_util
+open Uldma_mem
+open Uldma_mmu
+open Uldma_bus
+open Uldma_dma
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Seq_matcher *)
+
+let feed m op paddr value = Seq_matcher.feed m op ~paddr ~value
+
+let fired = function Seq_matcher.Fired _ -> true | Seq_matcher.Accepted | Seq_matcher.Rejected -> false
+
+let test_matcher_five_happy () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  let d = 0x1000 and s = 0x2000 and size = 64 in
+  checkb "s1" true (feed m Txn.Store d size = Seq_matcher.Accepted);
+  checkb "l2" true (feed m Txn.Load s 0 = Seq_matcher.Accepted);
+  checkb "s3" true (feed m Txn.Store d size = Seq_matcher.Accepted);
+  checkb "l4" true (feed m Txn.Load s 0 = Seq_matcher.Accepted);
+  match feed m Txn.Load d 0 with
+  | Seq_matcher.Fired f ->
+    checki "src" s f.Seq_matcher.src;
+    checki "dst" d f.Seq_matcher.dst;
+    checki "size" size f.Seq_matcher.size;
+    checki "reset after fire" 0 (Seq_matcher.position m)
+  | Seq_matcher.Accepted | Seq_matcher.Rejected -> Alcotest.fail "expected fire"
+
+let test_matcher_three_happy () =
+  let m = Seq_matcher.create Seq_matcher.Three in
+  let d = 0x1000 and s = 0x2000 in
+  ignore (feed m Txn.Load s 0);
+  ignore (feed m Txn.Store d 32);
+  checkb "fires" true (fired (feed m Txn.Load s 0))
+
+let test_matcher_four_happy () =
+  let m = Seq_matcher.create Seq_matcher.Four in
+  let d = 0x1000 and s = 0x2000 in
+  ignore (feed m Txn.Store d 32);
+  ignore (feed m Txn.Load s 0);
+  ignore (feed m Txn.Store d 32);
+  checkb "fires" true (fired (feed m Txn.Load s 0))
+
+let test_matcher_lengths () =
+  checki "three" 3 (Seq_matcher.sequence_length Seq_matcher.Three);
+  checki "four" 4 (Seq_matcher.sequence_length Seq_matcher.Four);
+  checki "five" 5 (Seq_matcher.sequence_length Seq_matcher.Five)
+
+let test_matcher_wrong_address_resets () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  ignore (feed m Txn.Store 0x1000 64);
+  ignore (feed m Txn.Load 0x2000 0);
+  (* third access to a different destination: reset *)
+  checkb "rejected" true (feed m Txn.Store 0x3000 64 = Seq_matcher.Rejected);
+  (* but the offender seeds a new sequence *)
+  checki "position 1" 1 (Seq_matcher.position m)
+
+let test_matcher_size_mismatch_resets () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  ignore (feed m Txn.Store 0x1000 64);
+  ignore (feed m Txn.Load 0x2000 0);
+  checkb "size changed" true (feed m Txn.Store 0x1000 65 = Seq_matcher.Rejected)
+
+let test_matcher_wrong_op_resets () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  ignore (feed m Txn.Store 0x1000 64);
+  (* second access must be a load *)
+  checkb "store rejected" true (feed m Txn.Store 0x2000 64 = Seq_matcher.Rejected);
+  (* the offending store seeds a fresh sequence (dest=0x2000) *)
+  ignore (feed m Txn.Load 0x4000 0);
+  ignore (feed m Txn.Store 0x2000 64);
+  ignore (feed m Txn.Load 0x4000 0);
+  checkb "new sequence completes" true (fired (feed m Txn.Load 0x2000 0))
+
+let test_matcher_load_cannot_seed_five () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  checkb "lone load rejected" true (feed m Txn.Load 0x1000 0 = Seq_matcher.Rejected);
+  checki "no seed" 0 (Seq_matcher.position m)
+
+let test_matcher_fig5_stream () =
+  (* the Fig. 5 interleaving at transaction level (Three variant) *)
+  let m = Seq_matcher.create Seq_matcher.Three in
+  let a = 0x1000 and b = 0x2000 and c = 0x3000 and foo = 0x4000 in
+  ignore (feed m Txn.Load a 0) (* V: 1 *);
+  ignore (feed m Txn.Store foo 8 (* M *));
+  ignore (feed m Txn.Load foo 0 (* M: no DMA started *));
+  ignore (feed m Txn.Load c 0 (* M: seeds new sequence *));
+  ignore (feed m Txn.Store b 64 (* V: 5 *));
+  match feed m Txn.Load c 0 with
+  | Seq_matcher.Fired f ->
+    checki "malicious source" c f.Seq_matcher.src;
+    checki "victim destination" b f.Seq_matcher.dst
+  | Seq_matcher.Accepted | Seq_matcher.Rejected -> Alcotest.fail "Fig. 5 attack should fire"
+
+let test_matcher_fig6_stream () =
+  let m = Seq_matcher.create Seq_matcher.Four in
+  let a = 0x1000 and b = 0x2000 in
+  ignore (feed m Txn.Store b 64 (* V *));
+  ignore (feed m Txn.Load a 0 (* V *));
+  ignore (feed m Txn.Store b 64 (* V *));
+  checkb "attacker's load completes it" true (fired (feed m Txn.Load a 0 (* M *)));
+  (* the victim's own final load is now rejected *)
+  checkb "victim told failure" true (feed m Txn.Load a 0 = Seq_matcher.Rejected)
+
+let test_matcher_copy_independent () =
+  let m = Seq_matcher.create Seq_matcher.Five in
+  ignore (feed m Txn.Store 0x1000 64);
+  let m2 = Seq_matcher.copy m in
+  Seq_matcher.reset m2;
+  checki "original keeps position" 1 (Seq_matcher.position m);
+  checki "copy reset" 0 (Seq_matcher.position m2)
+
+(* after arbitrary noise on disjoint addresses, a clean five-access
+   sequence always fires on its final load *)
+let matcher_clean_sequence_fires =
+  qtest "seq_matcher: clean sequence fires after disjoint noise"
+    QCheck2.Gen.(list_size (int_range 0 12) (pair bool (int_range 0 7)))
+    (fun noise ->
+      let m = Seq_matcher.create Seq_matcher.Five in
+      List.iter
+        (fun (is_store, slot) ->
+          let paddr = 0x10_0000 + (slot * 8) in
+          ignore (feed m (if is_store then Txn.Store else Txn.Load) paddr 99))
+        noise;
+      let d = 0x1000 and s = 0x2000 in
+      ignore (feed m Txn.Store d 64);
+      ignore (feed m Txn.Load s 0);
+      ignore (feed m Txn.Store d 64);
+      ignore (feed m Txn.Load s 0);
+      match feed m Txn.Load d 0 with
+      | Seq_matcher.Fired f -> f.Seq_matcher.src = s && f.Seq_matcher.dst = d && f.Seq_matcher.size = 64
+      | Seq_matcher.Accepted | Seq_matcher.Rejected -> false)
+
+(* a fire implies the last five accesses were exactly the pattern *)
+let matcher_fire_implies_pattern =
+  qtest "seq_matcher: Fired implies a well-formed suffix" ~count:500
+    QCheck2.Gen.(list_size (int_range 5 40) (triple bool (int_range 0 3) (int_range 1 4)))
+    (fun stream ->
+      let m = Seq_matcher.create Seq_matcher.Five in
+      let history = ref [] in
+      List.for_all
+        (fun (is_store, slot, size) ->
+          let op = if is_store then Txn.Store else Txn.Load in
+          let paddr = 0x1000 + (slot * 8) in
+          history := (op, paddr, size) :: !history;
+          match feed m op paddr size with
+          | Seq_matcher.Fired f -> (
+            match !history with
+            | (Txn.Load, a5, _) :: (Txn.Load, a4, _) :: (Txn.Store, a3, v3)
+              :: (Txn.Load, a2, _) :: (Txn.Store, a1, v1) :: _ ->
+              a1 = a3 && a3 = a5 && a2 = a4 && v1 = v3 && f.Seq_matcher.dst = a1
+              && f.Seq_matcher.src = a2 && f.Seq_matcher.size = v1
+            | _ -> false)
+          | Seq_matcher.Accepted | Seq_matcher.Rejected -> true)
+        stream)
+
+(* ------------------------------------------------------------------ *)
+(* Context_file *)
+
+let test_ctx_create_bounds () =
+  checkb "zero rejected" true
+    (try
+       ignore (Context_file.create ~n:0 : Context_file.t);
+       false
+     with Invalid_argument _ -> true);
+  checkb "nine rejected" true
+    (try
+       ignore (Context_file.create ~n:9 : Context_file.t);
+       false
+     with Invalid_argument _ -> true);
+  checki "length" 4 (Context_file.length (Context_file.create ~n:4))
+
+let test_ctx_slots_alternate () =
+  let t = Context_file.create ~n:2 in
+  let c = Context_file.get t 0 in
+  Context_file.push_address c 0x100;
+  Context_file.push_address c 0x200;
+  Alcotest.(check (option int)) "dest first" (Some 0x100) c.Context_file.dest;
+  Alcotest.(check (option int)) "src second" (Some 0x200) c.Context_file.src;
+  checkb "not ready without size" true (Context_file.args_ready c = None);
+  c.Context_file.size <- Some 64;
+  Alcotest.(check (option (triple int int int)))
+    "ready" (Some (0x200, 0x100, 64)) (Context_file.args_ready c)
+
+let test_ctx_third_push_wraps () =
+  let t = Context_file.create ~n:1 in
+  let c = Context_file.get t 0 in
+  List.iter (Context_file.push_address c) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "dest overwritten" (Some 3) c.Context_file.dest
+
+let test_ctx_clear_and_reset () =
+  let t = Context_file.create ~n:1 in
+  let c = Context_file.get t 0 in
+  Context_file.set_key t ~context:0 ~key:42;
+  Context_file.push_address c 0x100;
+  c.Context_file.size <- Some 8;
+  c.Context_file.status <- -1;
+  Context_file.clear_args c;
+  checkb "args cleared" true (c.Context_file.dest = None && c.Context_file.size = None);
+  checki "key preserved" 42 c.Context_file.key;
+  checki "status preserved by clear" (-1) c.Context_file.status;
+  Context_file.reset c;
+  checki "status reset" 0 c.Context_file.status
+
+let test_ctx_get_bounds () =
+  let t = Context_file.create ~n:2 in
+  checkb "get_opt in range" true (Context_file.get_opt t 1 <> None);
+  checkb "get_opt out of range" true (Context_file.get_opt t 2 = None);
+  checkb "get raises" true
+    (try
+       ignore (Context_file.get t 5 : Context_file.context);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ctx_copy_independent () =
+  let t = Context_file.create ~n:2 in
+  Context_file.set_key t ~context:0 ~key:7;
+  let t2 = Context_file.copy t in
+  Context_file.set_key t2 ~context:0 ~key:9;
+  checki "original key" 7 (Context_file.get t 0).Context_file.key
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_op *)
+
+let test_atomic_encode_decode () =
+  let p = Atomic_op.accumulate Atomic_op.P_none (Atomic_op.encode_add 5) in
+  checkb "add ready" true (p = Atomic_op.P_ready (Atomic_op.Add 5));
+  let p = Atomic_op.accumulate Atomic_op.P_none (Atomic_op.encode_fetch_store 9) in
+  checkb "fetch_store ready" true (p = Atomic_op.P_ready (Atomic_op.Fetch_store 9))
+
+let test_atomic_cas_two_halves () =
+  let p = Atomic_op.accumulate Atomic_op.P_none (Atomic_op.encode_cas_expected 3) in
+  checkb "half" true (p = Atomic_op.P_cas_expected 3);
+  let p = Atomic_op.accumulate p (Atomic_op.encode_cas_new 8) in
+  checkb "complete" true (p = Atomic_op.P_ready (Atomic_op.Cas { expected = 3; new_value = 8 }))
+
+let test_atomic_cas_out_of_order () =
+  let p = Atomic_op.accumulate Atomic_op.P_none (Atomic_op.encode_cas_new 8) in
+  checkb "new without expected resets" true (p = Atomic_op.P_none)
+
+let test_atomic_bad_opcode () =
+  checkb "opcode 9 resets" true (Atomic_op.accumulate Atomic_op.P_none ((5 lsl 4) lor 9) = Atomic_op.P_none)
+
+let test_atomic_negative_operand () =
+  let p = Atomic_op.accumulate Atomic_op.P_none (Atomic_op.encode_add (-4)) in
+  checkb "negative add" true (p = Atomic_op.P_ready (Atomic_op.Add (-4)))
+
+let execute_on value op =
+  let cell = ref value in
+  let old = Atomic_op.execute op ~read:(fun _ -> !cell) ~write:(fun _ v -> cell := v) ~target:0 in
+  (old, !cell)
+
+let test_atomic_execute () =
+  Alcotest.(check (pair int int)) "add" (10, 13) (execute_on 10 (Atomic_op.Add 3));
+  Alcotest.(check (pair int int)) "fetch_store" (10, 99) (execute_on 10 (Atomic_op.Fetch_store 99));
+  Alcotest.(check (pair int int)) "cas hit" (10, 11)
+    (execute_on 10 (Atomic_op.Cas { expected = 10; new_value = 11 }));
+  Alcotest.(check (pair int int)) "cas miss" (10, 10)
+    (execute_on 10 (Atomic_op.Cas { expected = 9; new_value = 11 }))
+
+(* ------------------------------------------------------------------ *)
+(* Transfer *)
+
+let test_transfer_remaining () =
+  let tr =
+    { Transfer.src = 0; dst = 0; size = 1000; context = None; pid = 1; started_at = 100; duration = 1000 }
+  in
+  checki "at start" 1000 (Transfer.remaining tr ~now:100);
+  checki "half way" 500 (Transfer.remaining tr ~now:600);
+  checki "done" 0 (Transfer.remaining tr ~now:1100);
+  checki "past" 0 (Transfer.remaining tr ~now:9999);
+  checki "end_time" 1100 (Transfer.end_time tr)
+
+let test_transfer_null_backend () =
+  let tr =
+    { Transfer.src = 0; dst = 0; size = 64; context = None; pid = 1; started_at = 0;
+      duration = Transfer.null_backend.Transfer.duration_ps 64 }
+  in
+  checki "instant" 0 (Transfer.remaining tr ~now:0)
+
+let test_transfer_local_backend () =
+  let ram = Phys_mem.create ~size:Layout.page_size in
+  let b = Transfer.local_backend ram ~setup_ps:100 ~bytes_per_s:1e9 in
+  Phys_mem.fill ram ~addr:0 ~len:16 ~byte:7;
+  b.Transfer.copy ~src:0 ~dst:128 ~len:16;
+  checki "copied" 7 (Phys_mem.load_byte ram 128);
+  b.Transfer.write_word 256 77;
+  checki "word io" 77 (b.Transfer.read_word 256);
+  checkb "duration includes setup" true (b.Transfer.duration_ps 0 >= 100)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let ram_pages = 16
+
+let make_engine ?(mechanism = Engine.Key_based) ?(local = false) ?n_contexts () =
+  let clock = Clock.create () in
+  let ram = Phys_mem.create ~size:(ram_pages * Layout.page_size) in
+  let backend =
+    if local then Transfer.local_backend ram ~setup_ps:1000 ~bytes_per_s:1e9
+    else Transfer.null_backend
+  in
+  let engine =
+    Engine.create ~clock ~backend ~ram_size:(Phys_mem.size ram) ~mechanism ?n_contexts ()
+  in
+  (engine, clock, ram)
+
+let dstore ?(pid = 1) engine paddr value =
+  ignore ((Engine.device engine).Bus.handle { Txn.op = Txn.Store; paddr; value; pid; at = 0 } : int)
+
+let dload ?(pid = 1) engine paddr =
+  (Engine.device engine).Bus.handle { Txn.op = Txn.Load; paddr; value = 0; pid; at = 0 }
+
+let control offset = Layout.kernel_control_page + offset
+
+let started engine = List.length (Engine.transfers engine)
+
+let test_engine_claims () =
+  let engine, _, _ = make_engine () in
+  let d = Engine.device engine in
+  checkb "mmio" true (d.Bus.claims Layout.mmio_base);
+  checkb "shadow" true (d.Bus.claims (Shadow.encode 0x100));
+  checkb "ram" false (d.Bus.claims 0x100)
+
+let test_engine_kernel_path () =
+  let engine, _, _ = make_engine () in
+  dstore engine (control Regmap.k_source) 0x100;
+  dstore engine (control Regmap.k_dest) 0x2000;
+  dstore engine (control Regmap.k_size) 64;
+  checki "one transfer" 1 (started engine);
+  (match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src" 0x100 tr.Transfer.src;
+    checki "dst" 0x2000 tr.Transfer.dst;
+    checki "size" 64 tr.Transfer.size;
+    checkb "no context" true (tr.Transfer.context = None)
+  | _ -> Alcotest.fail "transfers");
+  checki "status complete" 0 (dload engine (control Regmap.k_status))
+
+let test_engine_kernel_bad_range () =
+  let engine, _, _ = make_engine () in
+  dstore engine (control Regmap.k_source) (ram_pages * Layout.page_size);
+  dstore engine (control Regmap.k_dest) 0;
+  dstore engine (control Regmap.k_size) 64;
+  checki "nothing started" 0 (started engine);
+  checki "status failure" Status.failure (dload engine (control Regmap.k_status));
+  checki "rejected counter" 1 (Engine.counters engine).Engine.rejected
+
+let test_engine_kernel_zero_size () =
+  let engine, _, _ = make_engine () in
+  dstore engine (control Regmap.k_source) 0;
+  dstore engine (control Regmap.k_dest) 64;
+  dstore engine (control Regmap.k_size) 0;
+  checki "zero size rejected" 0 (started engine)
+
+let key_word key context = (key lsl 4) lor context
+
+let test_engine_key_path () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  dstore engine (control (Regmap.key_offset ~context:1)) 0xbeef;
+  (* dest then src through the shadow window *)
+  dstore engine (Shadow.encode 0x3000) (key_word 0xbeef 1);
+  dstore engine (Shadow.encode 0x1000) (key_word 0xbeef 1);
+  (* size through the context page, then the initiating load *)
+  dstore engine (Layout.context_page 1 + Regmap.c_size) 128;
+  let status = dload engine (Layout.context_page 1) in
+  checki "started" 1 (started engine);
+  checki "status" 0 status;
+  match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src" 0x1000 tr.Transfer.src;
+    checki "dst" 0x3000 tr.Transfer.dst;
+    Alcotest.(check (option int)) "context" (Some 1) tr.Transfer.context
+  | _ -> Alcotest.fail "transfers"
+
+let test_engine_key_rejects_wrong_key () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+  dstore engine (control (Regmap.key_offset ~context:0)) 0xbeef;
+  dstore engine (Shadow.encode 0x3000) (key_word 0xdead 0);
+  dstore engine (Shadow.encode 0x1000) (key_word 0xdead 0);
+  dstore engine (Layout.context_page 0) 128;
+  checki "go load fails" Status.failure (dload engine (Layout.context_page 0));
+  checki "nothing started" 0 (started engine);
+  checki "key rejections" 2 (Engine.counters engine).Engine.key_rejected
+
+let test_engine_key_rejects_bad_context () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based ~n_contexts:2 () in
+  dstore engine (Shadow.encode 0x3000) (key_word 0 7);
+  checki "nothing deposited" 0 (started engine);
+  checkb "no-context event" true
+    (List.exists
+       (function
+         | Engine.Rejected { reason = Engine.No_context; _ } -> true
+         | Engine.Rejected _ | Engine.Started _ | Engine.Atomic_done _ -> false)
+       (Engine.events engine))
+
+let test_engine_key_shadow_load_unsupported () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+  checki "load from shadow fails" Status.failure (dload engine (Shadow.encode 0x1000))
+
+let test_engine_key_interrupted_resumes () =
+  (* deposits survive arbitrary interleaving because the context is
+     private: deposit dest, let another process bang on its own
+     context, then finish *)
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+  dstore engine (control (Regmap.key_offset ~context:0)) 111;
+  dstore engine (control (Regmap.key_offset ~context:1)) 222;
+  dstore engine (Shadow.encode 0x3000) (key_word 111 0);
+  (* other process's full initiation on context 1 *)
+  dstore engine ~pid:2 (Shadow.encode 0x5000) (key_word 222 1);
+  dstore engine ~pid:2 (Shadow.encode 0x4000) (key_word 222 1);
+  dstore engine ~pid:2 (Layout.context_page 1) 32;
+  checki "ctx1 started" 0 (dload engine ~pid:2 (Layout.context_page 1));
+  (* original process resumes *)
+  dstore engine (Shadow.encode 0x1000) (key_word 111 0);
+  dstore engine (Layout.context_page 0) 64;
+  checki "ctx0 started" 0 (dload engine (Layout.context_page 0));
+  checki "both transfers" 2 (started engine);
+  match Engine.transfers engine with
+  | [ t1; t2 ] ->
+    checki "ctx1 src" 0x4000 t1.Transfer.src;
+    checki "ctx0 src" 0x1000 t2.Transfer.src;
+    checki "ctx0 dst intact" 0x3000 t2.Transfer.dst
+  | _ -> Alcotest.fail "expected two transfers"
+
+let test_engine_ext_shadow_path () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow () in
+  dstore engine (Shadow.encode_ctx ~context:2 0x3000) 64;
+  checki "fires on load" 0 (dload engine (Shadow.encode_ctx ~context:2 0x1000));
+  (match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src" 0x1000 tr.Transfer.src;
+    checki "dst" 0x3000 tr.Transfer.dst;
+    Alcotest.(check (option int)) "context" (Some 2) tr.Transfer.context
+  | _ -> Alcotest.fail "transfers");
+  (* args consumed: a second load fails *)
+  checki "consumed" Status.failure (dload engine (Shadow.encode_ctx ~context:2 0x1000))
+
+let test_engine_ext_shadow_context_isolation () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow () in
+  dstore engine (Shadow.encode_ctx ~context:0 0x3000) 64;
+  (* load on a different context: its own slot is empty *)
+  checki "other context empty" Status.failure (dload engine (Shadow.encode_ctx ~context:1 0x1000));
+  checki "nothing started" 0 (started engine);
+  (* context 0 still holds its argument *)
+  checki "context 0 fires" 0 (dload engine (Shadow.encode_ctx ~context:0 0x1000))
+
+let test_engine_ext_shadow_bad_context () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow ~n_contexts:2 () in
+  dstore engine (Shadow.encode_ctx ~context:3 0x3000) 64;
+  checki "no context" Status.failure (dload engine (Shadow.encode_ctx ~context:3 0x1000));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_ext_stateless_pair () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow_stateless () in
+  dstore engine (Shadow.encode_ctx ~context:2 0x3000) 64;
+  checki "matched pair fires" 0 (dload engine (Shadow.encode_ctx ~context:2 0x1000));
+  checki "started" 1 (started engine)
+
+let test_engine_ext_stateless_mismatch () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow_stateless () in
+  dstore engine ~pid:1 (Shadow.encode_ctx ~context:0 0x3000) 64;
+  (* interloper's store replaces the pending pair half with ctx 1 *)
+  dstore engine ~pid:2 (Shadow.encode_ctx ~context:1 0x5000) 64;
+  checki "mismatched pair rejected" Status.failure
+    (dload engine ~pid:1 (Shadow.encode_ctx ~context:0 0x1000));
+  checki "nothing started" 0 (started engine);
+  checkb "wrong-context event" true
+    (List.exists
+       (function
+         | Engine.Rejected { reason = Engine.Wrong_context; _ } -> true
+         | Engine.Rejected _ | Engine.Started _ | Engine.Atomic_done _ -> false)
+       (Engine.events engine))
+
+let test_engine_shared_slot_atomic_stateless () =
+  (* the shared atomic slot also serves the contextless engine (used
+     by PAL-wrapped atomics on that personality) *)
+  let engine, _, ram = make_engine ~mechanism:Engine.Ext_shadow_stateless ~local:true () in
+  Phys_mem.store_word ram 0x800 9;
+  let a = Shadow.encode_atomic ~context:0 0x800 in
+  dstore engine a (Atomic_op.encode_add 4);
+  checki "old value" 9 (dload engine a);
+  checki "applied" 13 (Phys_mem.load_word ram 0x800)
+
+let test_engine_shared_slot_atomic_target_mismatch () =
+  let engine, _, ram = make_engine ~mechanism:Engine.Shrimp_two_step ~local:true () in
+  Phys_mem.store_word ram 0x800 9;
+  dstore engine (Shadow.encode_atomic ~context:0 0x800) (Atomic_op.encode_add 4);
+  checki "different target rejected" Status.failure
+    (dload engine (Shadow.encode_atomic ~context:0 0x900));
+  checki "untouched" 9 (Phys_mem.load_word ram 0x800);
+  (* the slot was consumed by the failed load *)
+  checki "slot cleared" Status.failure (dload engine (Shadow.encode_atomic ~context:0 0x800))
+
+let test_engine_two_step () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_two_step () in
+  dstore engine (Shadow.encode 0x3000) 64;
+  checki "fires" 0 (dload engine (Shadow.encode 0x1000));
+  checki "started" 1 (started engine);
+  checki "pending consumed" Status.failure (dload engine (Shadow.encode 0x1000))
+
+let test_engine_two_step_invalidate () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_two_step () in
+  dstore engine (Shadow.encode 0x3000) 64;
+  (* the SHRIMP context-switch hook *)
+  dstore engine (control Regmap.k_invalidate) 0;
+  checki "pending gone" Status.failure (dload engine (Shadow.encode 0x1000));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_two_step_overwrite_race () =
+  (* the unprotected race: a second store overwrites the pending dest *)
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_two_step () in
+  dstore engine ~pid:1 (Shadow.encode 0x3000) 64;
+  dstore engine ~pid:2 (Shadow.encode 0x5000) 64;
+  ignore (dload engine ~pid:1 (Shadow.encode 0x1000) : int);
+  match Engine.transfers engine with
+  | [ tr ] -> checki "wrong destination won" 0x5000 tr.Transfer.dst
+  | _ -> Alcotest.fail "expected the mixed transfer"
+
+let test_engine_flash_gates_on_pid () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Flash () in
+  Engine.set_current_pid engine 1;
+  dstore engine ~pid:1 (Shadow.encode 0x3000) 64;
+  (* context switch: the modified kernel updates the register *)
+  Engine.set_current_pid engine 2;
+  dstore engine ~pid:2 (Shadow.encode 0x5000) 64;
+  Engine.set_current_pid engine 1;
+  checki "victim load rejected (pending is pid 2's)" Status.failure
+    (dload engine ~pid:1 (Shadow.encode 0x1000));
+  checki "nothing started" 0 (started engine);
+  (* a clean uninterrupted initiation works *)
+  dstore engine ~pid:1 (Shadow.encode 0x3000) 64;
+  checki "clean initiation" 0 (dload engine ~pid:1 (Shadow.encode 0x1000))
+
+let test_engine_mapped_out () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_mapped () in
+  Engine.map_out engine ~src_page:0x2000 ~dst_page:0x8000;
+  Alcotest.(check (option int)) "mapped" (Some 0x8000) (Engine.mapped_out_dst engine ~src_page:0x2000);
+  dstore engine (Shadow.encode 0x2040) 64;
+  (match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src" 0x2040 tr.Transfer.src;
+    checki "dst twin + offset" 0x8040 tr.Transfer.dst
+  | _ -> Alcotest.fail "expected transfer");
+  checki "status load" 0 (dload engine (Shadow.encode 0x2040))
+
+let test_engine_mapped_out_via_control_page () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_mapped () in
+  dstore engine (control Regmap.k_map_out_src) 0x2000;
+  dstore engine (control Regmap.k_map_out_dst) 0x6000;
+  Alcotest.(check (option int)) "installed" (Some 0x6000)
+    (Engine.mapped_out_dst engine ~src_page:0x2000)
+
+let test_engine_mapped_out_missing () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Shrimp_mapped () in
+  dstore engine (Shadow.encode 0x2000) 64;
+  checki "nothing started" 0 (started engine);
+  checki "status reports failure" Status.failure (dload engine (Shadow.encode 0x2000))
+
+let test_engine_rep_five () =
+  let engine, _, _ = make_engine ~mechanism:(Engine.Rep_args Seq_matcher.Five) () in
+  let sd = Shadow.encode 0x3000 and ss = Shadow.encode 0x1000 in
+  dstore engine sd 64;
+  checki "mid-sequence load" Status.in_progress (dload engine ss);
+  dstore engine sd 64;
+  checki "second load" Status.in_progress (dload engine ss);
+  checki "final load starts" 0 (dload engine sd);
+  checki "started" 1 (started engine)
+
+let test_engine_rep_broken_sequence_status () =
+  let engine, _, _ = make_engine ~mechanism:(Engine.Rep_args Seq_matcher.Five) () in
+  checki "lone load = failure" Status.failure (dload engine (Shadow.encode 0x1000));
+  checki "counted" 1 (Engine.counters engine).Engine.rejected
+
+let test_engine_local_backend_copies () =
+  let engine, clock, ram = make_engine ~mechanism:Engine.Ext_shadow ~local:true () in
+  Phys_mem.fill ram ~addr:0x1000 ~len:256 ~byte:0x5a;
+  dstore engine (Shadow.encode_ctx ~context:0 0x4000) 256;
+  let status = dload engine (Shadow.encode_ctx ~context:0 0x1000) in
+  checkb "remaining positive at start" true (status > 0);
+  checkb "bytes moved" true (Phys_mem.equal_range ram ram ~addr:0x1000 ~len:0 || Phys_mem.load_byte ram 0x4000 = 0x5a);
+  checki "last byte" 0x5a (Phys_mem.load_byte ram (0x4000 + 255));
+  (* status decays to 0 as time passes *)
+  Clock.advance clock (Units.us 1000.0);
+  checki "complete later" 0 (Engine.context_status engine 0)
+
+let test_engine_atomic_kernel_regs () =
+  let engine, _, ram = make_engine ~local:true () in
+  Phys_mem.store_word ram 0x800 10;
+  dstore engine (control Regmap.k_atomic_target) 0x800;
+  dstore engine (control Regmap.k_atomic_op) (Atomic_op.encode_add 5);
+  checki "old value" 10 (dload engine (control Regmap.k_atomic_op));
+  checki "cell updated" 15 (Phys_mem.load_word ram 0x800);
+  (* CAS through two stores *)
+  dstore engine (control Regmap.k_atomic_target) 0x800;
+  dstore engine (control Regmap.k_atomic_op) (Atomic_op.encode_cas_expected 15);
+  dstore engine (control Regmap.k_atomic_op) (Atomic_op.encode_cas_new 99);
+  checki "cas old" 15 (dload engine (control Regmap.k_atomic_op));
+  checki "cas applied" 99 (Phys_mem.load_word ram 0x800)
+
+let test_engine_atomic_ext_window () =
+  let engine, _, ram = make_engine ~mechanism:Engine.Ext_shadow ~local:true () in
+  Phys_mem.store_word ram 0x800 7;
+  let a = Shadow.encode_atomic ~context:1 0x800 in
+  dstore engine a (Atomic_op.encode_add 3);
+  checki "old" 7 (dload engine a);
+  checki "new" 10 (Phys_mem.load_word ram 0x800);
+  checki "atomics counter" 1 (Engine.counters engine).Engine.atomics
+
+let test_engine_atomic_ext_target_mismatch () =
+  let engine, _, ram = make_engine ~mechanism:Engine.Ext_shadow ~local:true () in
+  Phys_mem.store_word ram 0x800 7;
+  dstore engine (Shadow.encode_atomic ~context:0 0x800) (Atomic_op.encode_add 3);
+  (* load from a different target: rejected, pending cleared *)
+  checki "mismatch" Status.failure (dload engine (Shadow.encode_atomic ~context:0 0x900));
+  checki "cell untouched" 7 (Phys_mem.load_word ram 0x800)
+
+let test_engine_atomic_key_window () =
+  let engine, _, ram = make_engine ~mechanism:Engine.Key_based ~local:true () in
+  Phys_mem.store_word ram 0x800 50;
+  dstore engine (control (Regmap.key_offset ~context:0)) 0xfeed;
+  dstore engine (Shadow.encode_atomic ~context:0 0x800) (key_word 0xfeed 0);
+  dstore engine (Layout.context_page 0 + Regmap.c_atomic) (Atomic_op.encode_fetch_store 3);
+  checki "old via context page" 50 (dload engine (Layout.context_page 0 + Regmap.c_atomic));
+  checki "swapped" 3 (Phys_mem.load_word ram 0x800)
+
+let test_engine_atomic_unaligned_rejected () =
+  let engine, _, _ = make_engine ~local:true () in
+  dstore engine (control Regmap.k_atomic_target) 0x803;
+  dstore engine (control Regmap.k_atomic_op) (Atomic_op.encode_add 1);
+  checki "unaligned" Status.failure (dload engine (control Regmap.k_atomic_op))
+
+let test_engine_key_change_wipes_context () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+  dstore engine (control (Regmap.key_offset ~context:0)) 111;
+  (* old owner deposits both addresses but is descheduled before go *)
+  dstore engine (Shadow.encode 0x3000) (key_word 111 0);
+  dstore engine (Shadow.encode 0x1000) (key_word 111 0);
+  (* the OS reassigns the context to a new owner *)
+  dstore engine (control (Regmap.key_offset ~context:0)) 222;
+  (* the new owner stores a size and goes: must NOT fire with the old
+     owner's addresses *)
+  dstore engine ~pid:2 (Layout.context_page 0) 64;
+  checki "go rejected" Status.failure (dload engine ~pid:2 (Layout.context_page 0));
+  checki "nothing started" 0 (started engine);
+  (* the old key no longer deposits *)
+  dstore engine (Shadow.encode 0x5000) (key_word 111 0);
+  checkb "old key dead" true
+    ((Context_file.get (Engine.contexts engine) 0).Context_file.dest = None)
+
+let test_engine_shrimp1_remote_twin () =
+  (* SHRIMP-1's real design: the mapped-out twin lives on ANOTHER
+     workstation — a remote-window page *)
+  let engine, _, ram = make_engine ~mechanism:Engine.Shrimp_mapped ~local:true () in
+  Phys_mem.fill ram ~addr:0x2000 ~len:32 ~byte:0x42;
+  Engine.map_out engine ~src_page:0x2000 ~dst_page:(Layout.remote_base + 0x6000);
+  dstore engine (Shadow.encode 0x2000) 32;
+  checki "transfer started" 1 (started engine);
+  (match Engine.take_outbound engine with
+  | [ p ] ->
+    checki "peer twin page" 0x6000 p.Engine.remote_addr;
+    checki "payload" 0x42 (Char.code (Bytes.get p.Engine.payload 0))
+  | _ -> Alcotest.fail "expected one packet");
+  checki "no local write" 0 (Phys_mem.load_byte ram 0x6000)
+
+let test_engine_mailbox_register () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow () in
+  dstore engine (control (Regmap.mailbox_offset ~context:1)) 0x4000;
+  Alcotest.(check (option int)) "mailbox set" (Some 0x4000)
+    (Context_file.get (Engine.contexts engine) 1).Context_file.mailbox;
+  dstore engine (control (Regmap.mailbox_offset ~context:1)) 0;
+  Alcotest.(check (option int)) "mailbox cleared" None
+    (Context_file.get (Engine.contexts engine) 1).Context_file.mailbox
+
+let test_engine_remote_word_store () =
+  let engine, _, _ = make_engine () in
+  dstore engine (Layout.remote_base + 0x4010) 999;
+  (match Engine.take_outbound engine with
+  | [ p ] ->
+    checki "remote address" 0x4010 p.Engine.remote_addr;
+    checki "payload is the word" 999 (Int64.to_int (Bytes.get_int64_le p.Engine.payload 0))
+  | _ -> Alcotest.fail "expected one packet");
+  checki "drained" 0 (List.length (Engine.take_outbound engine));
+  checki "counted" 1 (Engine.counters engine).Engine.remote_sends
+
+let test_engine_remote_load_rejected () =
+  let engine, _, _ = make_engine () in
+  checki "remote load fails" Status.failure (dload engine (Layout.remote_base + 0x4000))
+
+let test_engine_remote_dma_ships_payload () =
+  let engine, _, ram = make_engine ~mechanism:Engine.Ext_shadow ~local:true () in
+  Phys_mem.fill ram ~addr:0x1000 ~len:64 ~byte:0x7e;
+  dstore engine (Shadow.encode_ctx ~context:0 (Layout.remote_base + 0x8000)) 64;
+  let status = dload engine (Shadow.encode_ctx ~context:0 0x1000) in
+  checkb "accepted" true (status >= 0);
+  (match Engine.take_outbound engine with
+  | [ p ] ->
+    checki "peer address" 0x8000 p.Engine.remote_addr;
+    checki "payload length" 64 (Bytes.length p.Engine.payload);
+    checki "payload content" 0x7e (Char.code (Bytes.get p.Engine.payload 63))
+  | _ -> Alcotest.fail "expected one packet");
+  (* local RAM at the raw offset must NOT have been written *)
+  checki "no local copy" 0 (Phys_mem.load_byte ram 0x8000)
+
+let test_engine_remote_dma_range_checked () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Ext_shadow () in
+  (* destination straddles the end of the remote window *)
+  dstore engine (Shadow.encode_ctx ~context:0 (Layout.remote_limit - 8)) 64;
+  checki "rejected" Status.failure (dload engine (Shadow.encode_ctx ~context:0 0x1000));
+  checki "nothing shipped" 0 (List.length (Engine.take_outbound engine))
+
+let test_engine_events_ordering () =
+  let engine, _, _ = make_engine () in
+  dstore engine (control Regmap.k_source) 0;
+  dstore engine (control Regmap.k_dest) 64;
+  dstore engine (control Regmap.k_size) 8;
+  dstore engine (control Regmap.k_source) (1 lsl 40);
+  dstore engine (control Regmap.k_size) 8;
+  (match Engine.events engine with
+  | [ Engine.Started _; Engine.Rejected { reason = Engine.Bad_range; _ } ] -> ()
+  | _ -> Alcotest.fail "expected started-then-rejected");
+  Engine.clear_events engine;
+  checki "cleared" 0 (List.length (Engine.events engine))
+
+(* fuzz: arbitrary user traffic through the user-reachable windows of a
+   key-based engine, with no knowledge of the key, never starts a DMA *)
+let engine_fuzz_key_no_transfers =
+  qtest "engine fuzz: keyless traffic never starts a DMA (key-based)" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (triple bool (int_range 0 5) (int_range 0 ((1 lsl 30) - 1))))
+    (fun stream ->
+      let engine, _, _ = make_engine ~mechanism:Engine.Key_based () in
+      (* a real, unguessable key guards every context *)
+      List.iter
+        (fun context ->
+          dstore engine (control (Regmap.key_offset ~context)) ((0x5eC2e7 lsl 30) lor context))
+        [ 0; 1; 2; 3 ];
+      List.iter
+        (fun (is_store, addr_kind, value) ->
+          let paddr =
+            match addr_kind with
+            | 0 | 1 -> Shadow.encode ((value * 8) land 0xffff)
+            | 2 -> Shadow.encode_ctx ~context:(value land 3) ((value * 16) land 0xffff)
+            | 3 -> Shadow.encode_atomic ~context:(value land 3) ((value * 8) land 0xffff)
+            | 4 -> Layout.context_page (value land 3) + (value land 0xf8)
+            | _ -> Shadow.encode (value land 0xfff8)
+          in
+          if is_store then dstore engine ~pid:(2 + (value land 1)) paddr value
+          else ignore (dload engine ~pid:(2 + (value land 1)) paddr : int))
+        stream;
+      Engine.transfers engine = [] && (Engine.counters engine).Engine.started = 0)
+
+(* fuzz: whatever traffic any mechanism sees, every started transfer
+   stays within RAM and the counters agree with the log *)
+let engine_fuzz_invariants =
+  qtest "engine fuzz: transfers in RAM, counters consistent" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 0 5)
+        (list_size (int_range 0 60) (triple bool (int_range 0 4) (int_range 0 ((1 lsl 20) - 1)))))
+    (fun (mech_idx, stream) ->
+      let mechanism =
+        match mech_idx with
+        | 0 -> Engine.Shrimp_two_step
+        | 1 -> Engine.Flash
+        | 2 -> Engine.Key_based
+        | 3 -> Engine.Ext_shadow
+        | 4 -> Engine.Rep_args Seq_matcher.Five
+        | _ -> Engine.Shrimp_mapped
+      in
+      let engine, _, _ = make_engine ~mechanism () in
+      Engine.map_out engine ~src_page:0x2000 ~dst_page:0x4000;
+      List.iter
+        (fun (is_store, addr_kind, value) ->
+          let paddr =
+            match addr_kind with
+            | 0 -> Shadow.encode (value land 0x1ffff8)
+            | 1 -> Shadow.encode_ctx ~context:(value land 3) (value land 0x1ffff8)
+            | 2 -> Shadow.encode_atomic ~context:(value land 3) (value land 0x1ffff8)
+            | 3 -> Layout.context_page (value land 3) + (value land 0xf8)
+            | _ -> control (value land 0xf8)
+          in
+          if is_store then dstore engine ~pid:(1 + (value land 1)) paddr value
+          else ignore (dload engine ~pid:(1 + (value land 1)) paddr : int))
+        stream;
+      let transfers = Engine.transfers engine in
+      List.length transfers = (Engine.counters engine).Engine.started
+      && List.for_all
+           (fun (tr : Transfer.t) ->
+             tr.Transfer.size > 0
+             && tr.Transfer.src >= 0
+             && tr.Transfer.src + tr.Transfer.size <= ram_pages * Layout.page_size
+             && tr.Transfer.dst >= 0
+             && tr.Transfer.dst + tr.Transfer.size <= ram_pages * Layout.page_size)
+           transfers)
+
+let test_engine_copy_independent () =
+  let engine, clock, ram = make_engine () in
+  dstore engine (Shadow.encode 0x3000) (key_word 0 0);
+  let copy =
+    Engine.copy engine ~clock:(Clock.copy clock)
+      ~backend:(Transfer.local_backend (Phys_mem.copy ram) ~setup_ps:0 ~bytes_per_s:1e9)
+  in
+  dstore copy (control Regmap.k_source) 0;
+  dstore copy (control Regmap.k_dest) 64;
+  dstore copy (control Regmap.k_size) 8;
+  checki "copy started one" 1 (started copy);
+  checki "original untouched" 0 (started engine)
+
+let () =
+  Alcotest.run "dma"
+    [
+      ( "seq_matcher",
+        [
+          Alcotest.test_case "five happy path" `Quick test_matcher_five_happy;
+          Alcotest.test_case "three happy path" `Quick test_matcher_three_happy;
+          Alcotest.test_case "four happy path" `Quick test_matcher_four_happy;
+          Alcotest.test_case "lengths" `Quick test_matcher_lengths;
+          Alcotest.test_case "wrong address resets" `Quick test_matcher_wrong_address_resets;
+          Alcotest.test_case "size mismatch resets" `Quick test_matcher_size_mismatch_resets;
+          Alcotest.test_case "wrong op resets and reseeds" `Quick test_matcher_wrong_op_resets;
+          Alcotest.test_case "load cannot seed five" `Quick test_matcher_load_cannot_seed_five;
+          Alcotest.test_case "Fig. 5 stream" `Quick test_matcher_fig5_stream;
+          Alcotest.test_case "Fig. 6 stream" `Quick test_matcher_fig6_stream;
+          Alcotest.test_case "copy independent" `Quick test_matcher_copy_independent;
+          matcher_clean_sequence_fires;
+          matcher_fire_implies_pattern;
+        ] );
+      ( "context_file",
+        [
+          Alcotest.test_case "create bounds" `Quick test_ctx_create_bounds;
+          Alcotest.test_case "slots alternate" `Quick test_ctx_slots_alternate;
+          Alcotest.test_case "third push wraps" `Quick test_ctx_third_push_wraps;
+          Alcotest.test_case "clear and reset" `Quick test_ctx_clear_and_reset;
+          Alcotest.test_case "get bounds" `Quick test_ctx_get_bounds;
+          Alcotest.test_case "copy independent" `Quick test_ctx_copy_independent;
+        ] );
+      ( "atomic_op",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_atomic_encode_decode;
+          Alcotest.test_case "cas halves" `Quick test_atomic_cas_two_halves;
+          Alcotest.test_case "cas out of order" `Quick test_atomic_cas_out_of_order;
+          Alcotest.test_case "bad opcode" `Quick test_atomic_bad_opcode;
+          Alcotest.test_case "negative operand" `Quick test_atomic_negative_operand;
+          Alcotest.test_case "execute" `Quick test_atomic_execute;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "remaining" `Quick test_transfer_remaining;
+          Alcotest.test_case "null backend" `Quick test_transfer_null_backend;
+          Alcotest.test_case "local backend" `Quick test_transfer_local_backend;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "claims" `Quick test_engine_claims;
+          Alcotest.test_case "kernel path" `Quick test_engine_kernel_path;
+          Alcotest.test_case "kernel bad range" `Quick test_engine_kernel_bad_range;
+          Alcotest.test_case "kernel zero size" `Quick test_engine_kernel_zero_size;
+          Alcotest.test_case "key path" `Quick test_engine_key_path;
+          Alcotest.test_case "key rejects wrong key" `Quick test_engine_key_rejects_wrong_key;
+          Alcotest.test_case "key rejects bad context" `Quick test_engine_key_rejects_bad_context;
+          Alcotest.test_case "key shadow load unsupported" `Quick
+            test_engine_key_shadow_load_unsupported;
+          Alcotest.test_case "key interrupted resumes" `Quick test_engine_key_interrupted_resumes;
+          Alcotest.test_case "ext-shadow path" `Quick test_engine_ext_shadow_path;
+          Alcotest.test_case "ext-shadow context isolation" `Quick
+            test_engine_ext_shadow_context_isolation;
+          Alcotest.test_case "ext-shadow bad context" `Quick test_engine_ext_shadow_bad_context;
+          Alcotest.test_case "ext-stateless pair" `Quick test_engine_ext_stateless_pair;
+          Alcotest.test_case "shared-slot atomic (stateless)" `Quick
+            test_engine_shared_slot_atomic_stateless;
+          Alcotest.test_case "shared-slot atomic mismatch" `Quick
+            test_engine_shared_slot_atomic_target_mismatch;
+          Alcotest.test_case "ext-stateless mismatch" `Quick test_engine_ext_stateless_mismatch;
+          Alcotest.test_case "two-step" `Quick test_engine_two_step;
+          Alcotest.test_case "two-step invalidate" `Quick test_engine_two_step_invalidate;
+          Alcotest.test_case "two-step overwrite race" `Quick test_engine_two_step_overwrite_race;
+          Alcotest.test_case "flash gates on pid" `Quick test_engine_flash_gates_on_pid;
+          Alcotest.test_case "mapped out" `Quick test_engine_mapped_out;
+          Alcotest.test_case "mapped out via control page" `Quick
+            test_engine_mapped_out_via_control_page;
+          Alcotest.test_case "mapped out missing" `Quick test_engine_mapped_out_missing;
+          Alcotest.test_case "rep five statuses" `Quick test_engine_rep_five;
+          Alcotest.test_case "rep broken sequence" `Quick test_engine_rep_broken_sequence_status;
+          Alcotest.test_case "local backend copies" `Quick test_engine_local_backend_copies;
+          Alcotest.test_case "atomic via kernel regs" `Quick test_engine_atomic_kernel_regs;
+          Alcotest.test_case "atomic via ext window" `Quick test_engine_atomic_ext_window;
+          Alcotest.test_case "atomic target mismatch" `Quick test_engine_atomic_ext_target_mismatch;
+          Alcotest.test_case "atomic via key window" `Quick test_engine_atomic_key_window;
+          Alcotest.test_case "atomic unaligned rejected" `Quick
+            test_engine_atomic_unaligned_rejected;
+          Alcotest.test_case "key change wipes context" `Quick
+            test_engine_key_change_wipes_context;
+          Alcotest.test_case "shrimp-1 remote twin" `Quick test_engine_shrimp1_remote_twin;
+          Alcotest.test_case "mailbox register" `Quick test_engine_mailbox_register;
+          Alcotest.test_case "remote word store" `Quick test_engine_remote_word_store;
+          Alcotest.test_case "remote load rejected" `Quick test_engine_remote_load_rejected;
+          Alcotest.test_case "remote DMA ships payload" `Quick test_engine_remote_dma_ships_payload;
+          Alcotest.test_case "remote DMA range checked" `Quick test_engine_remote_dma_range_checked;
+          Alcotest.test_case "events ordering" `Quick test_engine_events_ordering;
+          Alcotest.test_case "copy independent" `Quick test_engine_copy_independent;
+          engine_fuzz_key_no_transfers;
+          engine_fuzz_invariants;
+        ] );
+    ]

@@ -1,0 +1,45 @@
+(* Golden-output regression tests.
+
+   The simulator is fully deterministic (integer picosecond clock, no
+   wall-clock or global Random anywhere), so the rendered experiment
+   tables are bit-for-bit stable. These tests pin the attack
+   reproductions and security tables against checked-in golden files;
+   regenerate them with `dune exec tools/gen_golden.exe` after an
+   intentional behaviour change, and review the diff. *)
+
+let golden_ids =
+  [
+    "fig5_attack3";
+    "fig6_attack4";
+    "fig2_shrimp";
+    "fig8_proof";
+    "ablate_wbuf";
+    "key_security";
+    "crossover";
+    "disk_vs_net";
+  ]
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden id () =
+  let expected = read_file (Filename.concat "golden" (id ^ ".txt")) in
+  match Uldma_sim.Experiments.find id with
+  | None -> Alcotest.failf "experiment %s missing from the registry" id
+  | Some e ->
+    let actual = Uldma_util.Tbl.render (e.Uldma_sim.Experiments.run ()) in
+    if actual <> expected then
+      Alcotest.failf
+        "%s drifted from its golden output.\n--- expected ---\n%s\n--- actual ---\n%s\n(regenerate with `dune exec tools/gen_golden.exe` if intentional)"
+        id expected actual
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "experiments",
+        List.map (fun id -> Alcotest.test_case id `Slow (test_golden id)) golden_ids );
+    ]

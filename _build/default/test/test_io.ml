@@ -1,0 +1,199 @@
+(* Tests for the io library (disk model) and the kernel's disk
+   syscalls, including the asynchronous-overlap behaviour that lets
+   other processes run during a disk operation. *)
+
+open Uldma_util
+open Uldma_mem
+open Uldma_cpu
+open Uldma_os
+module Disk = Uldma_io.Disk
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Disk model *)
+
+let test_disk_service_components () =
+  let d = Disk.create Disk.disk_1996 in
+  let t = Disk.service_time d ~block:(Disk.disk_1996.Disk.blocks / 3) in
+  (* 1/3 stroke: setup 50us + seek ~9ms + rotation ~5.6ms + transfer ~0.8ms *)
+  checkb "millisecond scale" true (t > Units.us 8_000.0 && t < Units.us 25_000.0)
+
+let test_disk_seek_monotonic () =
+  let d = Disk.create Disk.disk_1996 in
+  let near = Disk.service_time d ~block:100 in
+  let far = Disk.service_time d ~block:(Disk.disk_1996.Disk.blocks - 1) in
+  checkb "longer seeks cost more" true (far > near);
+  let same = Disk.service_time d ~block:0 in
+  checkb "no seek is cheapest" true (same < near)
+
+let test_disk_head_moves () =
+  let d = Disk.create Disk.disk_1996 in
+  (match Disk.read_block d ~block:500 with
+  | Ok (_, _) -> ()
+  | Error e -> Alcotest.fail e);
+  checki "head at 500" 500 (Disk.head d);
+  (* re-reading the same block is now cheap *)
+  let again = Disk.service_time d ~block:500 in
+  checkb "sequential cheap" true (again < Units.us 8_000.0);
+  checki "requests counted" 1 (Disk.requests_served d)
+
+let test_disk_rw_roundtrip () =
+  let d = Disk.create Disk.disk_1996 in
+  let block_size = Disk.disk_1996.Disk.block_size in
+  let data = Bytes.init block_size (fun i -> Char.chr (i land 0xff)) in
+  (match Disk.write_block d ~block:7 data with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match Disk.read_block d ~block:7 with
+  | Ok (back, _) -> checkb "roundtrip" true (Bytes.equal back data)
+  | Error e -> Alcotest.fail e);
+  (* unwritten blocks read as zeros *)
+  match Disk.read_block d ~block:8 with
+  | Ok (zeros, _) -> checki "zeroed" 0 (Char.code (Bytes.get zeros 0))
+  | Error e -> Alcotest.fail e
+
+let test_disk_bounds () =
+  let d = Disk.create Disk.disk_1996 in
+  checkb "negative block" true (Result.is_error (Disk.read_block d ~block:(-1)));
+  checkb "past end" true (Result.is_error (Disk.read_block d ~block:Disk.disk_1996.Disk.blocks));
+  checkb "short write" true (Result.is_error (Disk.write_block d ~block:0 (Bytes.make 8 'x')))
+
+let test_disk_modern_faster_media () =
+  let old_disk = Disk.create Disk.disk_1996 in
+  let new_disk = Disk.create Disk.disk_modern in
+  (* same block distance fraction; the modern disk only wins on media *)
+  let t_old = Disk.service_time old_disk ~block:1000 in
+  let t_new = Disk.service_time new_disk ~block:(Disk.disk_modern.Disk.blocks / 262) in
+  checkb "modern faster" true (t_new < t_old);
+  checkb "still millisecond-bound" true (t_new > Units.us 1_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel disk syscalls *)
+
+let disk_config =
+  {
+    Kernel.default_config with
+    Kernel.ram_size = 64 * Layout.page_size;
+    disk = Some Uldma_io.Disk.disk_1996;
+  }
+
+let test_sys_disk_roundtrip () =
+  let kernel = Kernel.create disk_config in
+  let p = Kernel.spawn kernel ~name:"io" ~program:[||] () in
+  let buf = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  Kernel.write_user kernel p buf 0xdeadbeef;
+  Process.set_program p
+    (Asm.assemble_list
+       [
+         (* write block 3 from buf *)
+         Isa.Li (1, 3);
+         Isa.Li (2, buf);
+         Isa.Li (0, Sysno.sys_disk_write);
+         Isa.Syscall;
+         Isa.Mov (10, 0);
+         (* wipe buf, then read it back *)
+         Isa.Li (4, 0);
+         Isa.Li (2, buf);
+         Isa.Store (2, 0, 4);
+         Isa.Li (1, 3);
+         Isa.Li (0, Sysno.sys_disk_read);
+         Isa.Syscall;
+         Isa.Mov (11, 0);
+         Isa.Halt;
+       ]);
+  ignore (Kernel.run kernel () : Kernel.run_result);
+  let regs = p.Process.ctx.Cpu.regs in
+  checki "write ok" 0 (Regfile.get regs 10);
+  checki "read ok" 0 (Regfile.get regs 11);
+  checki "data back from disk" 0xdeadbeef (Kernel.read_user kernel p buf);
+  (* two requests took milliseconds of simulated time *)
+  checkb "millisecond timing" true (Kernel.now_ps kernel > Units.us 10_000.0)
+
+let test_sys_disk_errors () =
+  let kernel = Kernel.create disk_config in
+  let p = Kernel.spawn kernel ~name:"io" ~program:[||] () in
+  let ro = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_only in
+  Process.set_program p
+    (Asm.assemble_list
+       [
+         (* read into a read-only page: rejected *)
+         Isa.Li (1, 0);
+         Isa.Li (2, ro);
+         Isa.Li (0, Sysno.sys_disk_read);
+         Isa.Syscall;
+         Isa.Mov (10, 0);
+         (* block out of range *)
+         Isa.Li (1, 99_999_999);
+         Isa.Li (2, ro);
+         Isa.Li (0, Sysno.sys_disk_write);
+         Isa.Syscall;
+         Isa.Halt;
+       ]);
+  ignore (Kernel.run kernel () : Kernel.run_result);
+  checki "perm rejected" (-1) (Regfile.get p.Process.ctx.Cpu.regs 10);
+  checki "range rejected" (-1) (Regfile.get p.Process.ctx.Cpu.regs 0)
+
+let test_sys_disk_without_disk () =
+  let kernel = Kernel.create { disk_config with Kernel.disk = None } in
+  let p = Kernel.spawn kernel ~name:"io" ~program:[||] () in
+  let buf = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  Process.set_program p
+    (Asm.assemble_list
+       [ Isa.Li (1, 0); Isa.Li (2, buf); Isa.Li (0, Sysno.sys_disk_read); Isa.Syscall; Isa.Halt ]);
+  ignore (Kernel.run kernel () : Kernel.run_result);
+  checki "no disk attached" (-1) (Regfile.get p.Process.ctx.Cpu.regs 0)
+
+let test_disk_io_overlaps_compute () =
+  (* while one process waits out a disk read, a compute process keeps
+     the CPU busy: its instructions retire during the disk's
+     milliseconds, proving the wait is asynchronous *)
+  let config = { disk_config with Kernel.sched = Sched.Round_robin { quantum = 50 } } in
+  let kernel = Kernel.create config in
+  let io = Kernel.spawn kernel ~name:"io" ~program:[||] () in
+  let buf = Kernel.alloc_pages kernel io ~n:1 ~perms:Perms.read_write in
+  Process.set_program io
+    (Asm.assemble_list
+       [
+         Isa.Li (1, 1000) (* far block: long seek *);
+         Isa.Li (2, buf);
+         Isa.Li (0, Sysno.sys_disk_read);
+         Isa.Syscall;
+         Isa.Halt;
+       ]);
+  let busy = Kernel.spawn kernel ~name:"busy" ~program:[||] () in
+  let asm = Asm.create () in
+  let loop = Asm.fresh_label asm "spin" in
+  Asm.li asm 10 0;
+  Asm.li asm 11 50_000;
+  Asm.label asm loop;
+  Asm.add asm 10 10 (Isa.Imm 1);
+  Asm.blt asm 10 11 loop;
+  Asm.halt asm;
+  Process.set_program busy (Asm.assemble asm);
+  ignore (Kernel.run kernel ~max_steps:5_000_000 () : Kernel.run_result);
+  checkb "io finished" true (io.Process.state = Process.Exited Process.Normal);
+  checkb "busy finished" true (busy.Process.state = Process.Exited Process.Normal);
+  (* the busy process accumulated CPU time while io slept *)
+  checkb "compute overlapped the disk wait" true
+    (busy.Process.instructions_retired > 90_000)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "disk-model",
+        [
+          Alcotest.test_case "service components" `Quick test_disk_service_components;
+          Alcotest.test_case "seek monotonic" `Quick test_disk_seek_monotonic;
+          Alcotest.test_case "head moves" `Quick test_disk_head_moves;
+          Alcotest.test_case "read/write roundtrip" `Quick test_disk_rw_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_disk_bounds;
+          Alcotest.test_case "modern media" `Quick test_disk_modern_faster_media;
+        ] );
+      ( "syscalls",
+        [
+          Alcotest.test_case "roundtrip through RAM" `Quick test_sys_disk_roundtrip;
+          Alcotest.test_case "errors" `Quick test_sys_disk_errors;
+          Alcotest.test_case "no disk attached" `Quick test_sys_disk_without_disk;
+          Alcotest.test_case "I/O overlaps compute" `Quick test_disk_io_overlaps_compute;
+        ] );
+    ]

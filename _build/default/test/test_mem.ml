@@ -1,0 +1,247 @@
+(* Tests for the mem library: layout, perms, phys_mem. *)
+
+open Uldma_mem
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let test_layout_page_math () =
+  checki "page size" 8192 Layout.page_size;
+  checki "page of 0" 0 (Layout.page_of 0);
+  checki "page of 8191" 0 (Layout.page_of 8191);
+  checki "page of 8192" 1 (Layout.page_of 8192);
+  checki "page base" 8192 (Layout.page_base 8200);
+  checki "page offset" 8 (Layout.page_offset 8200);
+  checkb "aligned" true (Layout.is_page_aligned 16384);
+  checkb "unaligned" false (Layout.is_page_aligned 16385);
+  checkb "word aligned" true (Layout.is_word_aligned 16);
+  checkb "word unaligned" false (Layout.is_word_aligned 17)
+
+let test_layout_mmio () =
+  checkb "mmio base above ram limit" true (Layout.mmio_base >= Layout.max_ram_size / 4);
+  checkb "kernel page is first" true (Layout.kernel_control_page = Layout.mmio_base);
+  checkb "context 0 after kernel page" true
+    (Layout.context_page 0 = Layout.mmio_base + Layout.page_size);
+  checkb "in_mmio base" true (Layout.in_mmio Layout.mmio_base);
+  checkb "in_mmio limit" false (Layout.in_mmio Layout.mmio_limit);
+  checkb "ram not mmio" false (Layout.in_mmio 0)
+
+let test_layout_context_pages () =
+  for i = 0 to Layout.max_contexts - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "inverse of context_page %d" i)
+      (Some i)
+      (Layout.context_of_mmio (Layout.context_page i + 64))
+  done;
+  Alcotest.(check (option int)) "kernel page has no context" None
+    (Layout.context_of_mmio Layout.kernel_control_page);
+  Alcotest.check_raises "context page out of range" (Invalid_argument "Layout.context_page: 8")
+    (fun () -> ignore (Layout.context_page 8 : int))
+
+let test_layout_shadow_bit () =
+  checkb "shadow tagged" true (Layout.is_shadow (1 lsl Layout.shadow_bit_index));
+  checkb "plain not shadow" false (Layout.is_shadow 0x1234);
+  checkb "mmio not shadow" false (Layout.is_shadow Layout.mmio_base)
+
+let test_layout_remote_window () =
+  checkb "base in remote" true (Layout.in_remote Layout.remote_base);
+  checkb "limit not in remote" false (Layout.in_remote Layout.remote_limit);
+  checkb "mmio not remote" false (Layout.in_remote Layout.mmio_base);
+  checki "offset roundtrip" 0x1234 (Layout.remote_offset (Layout.remote_base + 0x1234));
+  checkb "disjoint from mmio" true (Layout.remote_base >= Layout.mmio_limit);
+  checkb "below the shadow context field" true
+    (Layout.remote_limit <= 1 lsl Layout.context_field_shift)
+
+let test_layout_in_ram () =
+  checkb "0 in ram" true (Layout.in_ram ~ram_size:8192 0);
+  checkb "8191 in ram" true (Layout.in_ram ~ram_size:8192 8191);
+  checkb "8192 not" false (Layout.in_ram ~ram_size:8192 8192);
+  checkb "negative not" false (Layout.in_ram ~ram_size:8192 (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Perms *)
+
+let all_perms = [ Perms.none; Perms.read_only; Perms.write_only; Perms.read_write ]
+
+let test_perms_basic () =
+  checkb "rw allows read" true (Perms.allows_read Perms.read_write);
+  checkb "rw allows write" true (Perms.allows_write Perms.read_write);
+  checkb "ro denies write" false (Perms.allows_write Perms.read_only);
+  checkb "wo denies read" false (Perms.allows_read Perms.write_only);
+  checkb "none denies all" false
+    (Perms.allows_read Perms.none || Perms.allows_write Perms.none)
+
+let test_perms_subsumes () =
+  List.iter
+    (fun p -> checkb "rw subsumes all" true (Perms.subsumes Perms.read_write p))
+    all_perms;
+  List.iter (fun p -> checkb "all subsume none" true (Perms.subsumes p Perms.none)) all_perms;
+  checkb "ro does not subsume rw" false (Perms.subsumes Perms.read_only Perms.read_write);
+  checkb "reflexive" true (List.for_all (fun p -> Perms.subsumes p p) all_perms)
+
+let test_perms_lattice () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb "union subsumes both" true
+            (Perms.subsumes (Perms.union a b) a && Perms.subsumes (Perms.union a b) b);
+          checkb "both subsume inter" true
+            (Perms.subsumes a (Perms.inter a b) && Perms.subsumes b (Perms.inter a b)))
+        all_perms)
+    all_perms
+
+let test_perms_to_string () =
+  Alcotest.(check string) "rw" "rw" (Perms.to_string Perms.read_write);
+  Alcotest.(check string) "ro" "r-" (Perms.to_string Perms.read_only);
+  Alcotest.(check string) "none" "--" (Perms.to_string Perms.none)
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem *)
+
+let mem () = Phys_mem.create ~size:(8 * Layout.page_size)
+
+let test_mem_create_checks () =
+  Alcotest.check_raises "unaligned size"
+    (Invalid_argument "Phys_mem.create: size 100 not page-aligned") (fun () ->
+      ignore (Phys_mem.create ~size:100 : Phys_mem.t))
+
+let test_mem_zero_initialised () =
+  let m = mem () in
+  checki "word 0" 0 (Phys_mem.load_word m 0);
+  checki "last word" 0 (Phys_mem.load_word m (Phys_mem.size m - 8))
+
+let test_mem_word_roundtrip () =
+  let m = mem () in
+  Phys_mem.store_word m 64 0x1234_5678_9abc;
+  checki "roundtrip" 0x1234_5678_9abc (Phys_mem.load_word m 64);
+  Phys_mem.store_word m 72 (-42);
+  checki "negative value" (-42) (Phys_mem.load_word m 72)
+
+let test_mem_byte_roundtrip () =
+  let m = mem () in
+  Phys_mem.store_byte m 3 0xab;
+  checki "byte" 0xab (Phys_mem.load_byte m 3);
+  Phys_mem.store_byte m 4 0x1ff;
+  checki "byte truncated" 0xff (Phys_mem.load_byte m 4)
+
+let test_mem_faults () =
+  let m = mem () in
+  let size = Phys_mem.size m in
+  Alcotest.check_raises "oob load" (Phys_mem.Fault size) (fun () ->
+      ignore (Phys_mem.load_word m size : int));
+  Alcotest.check_raises "misaligned" (Phys_mem.Fault 3) (fun () ->
+      ignore (Phys_mem.load_word m 3 : int));
+  Alcotest.check_raises "negative" (Phys_mem.Fault (-8)) (fun () ->
+      ignore (Phys_mem.load_word m (-8) : int));
+  Alcotest.check_raises "oob blit" (Phys_mem.Fault (size - 4)) (fun () ->
+      Phys_mem.blit m ~src:(size - 4) ~dst:0 ~len:8)
+
+let test_mem_blit () =
+  let m = mem () in
+  Phys_mem.fill m ~addr:0 ~len:16 ~byte:0x5a;
+  Phys_mem.blit m ~src:0 ~dst:100 ~len:16;
+  checki "copied byte" 0x5a (Phys_mem.load_byte m 100);
+  checki "copied byte 15" 0x5a (Phys_mem.load_byte m 115);
+  checki "beyond untouched" 0 (Phys_mem.load_byte m 116)
+
+let test_mem_blit_overlap () =
+  let m = mem () in
+  for i = 0 to 15 do
+    Phys_mem.store_byte m i i
+  done;
+  Phys_mem.blit m ~src:0 ~dst:4 ~len:12;
+  (* forward overlap must behave like memmove *)
+  for i = 0 to 11 do
+    checki (Printf.sprintf "dst[%d]" i) i (Phys_mem.load_byte m (4 + i))
+  done
+
+let test_mem_checksum_equal () =
+  let m = mem () in
+  Phys_mem.fill m ~addr:0 ~len:64 ~byte:7;
+  Phys_mem.fill m ~addr:64 ~len:64 ~byte:7;
+  checki "equal ranges checksum" (Phys_mem.checksum m ~addr:0 ~len:64)
+    (Phys_mem.checksum m ~addr:64 ~len:64);
+  Phys_mem.store_byte m 65 8;
+  checkb "different checksum" true
+    (Phys_mem.checksum m ~addr:0 ~len:64 <> Phys_mem.checksum m ~addr:64 ~len:64)
+
+let test_mem_copy_independent () =
+  let m = mem () in
+  Phys_mem.store_word m 0 111;
+  let m2 = Phys_mem.copy m in
+  Phys_mem.store_word m2 0 222;
+  checki "original untouched" 111 (Phys_mem.load_word m 0);
+  checki "copy updated" 222 (Phys_mem.load_word m2 0)
+
+let test_mem_equal_range () =
+  let a = mem () and b = mem () in
+  Phys_mem.fill a ~addr:8 ~len:32 ~byte:1;
+  Phys_mem.fill b ~addr:8 ~len:32 ~byte:1;
+  checkb "equal" true (Phys_mem.equal_range a b ~addr:8 ~len:32);
+  Phys_mem.store_byte b 9 2;
+  checkb "unequal" false (Phys_mem.equal_range a b ~addr:8 ~len:32)
+
+let mem_word_roundtrip_prop =
+  qtest "phys_mem: word store/load roundtrip"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range (-1000000) 1000000))
+    (fun (slot, v) ->
+      let m = Phys_mem.create ~size:Layout.page_size in
+      let addr = slot mod (Layout.page_size / 8) * 8 in
+      Phys_mem.store_word m addr v;
+      Phys_mem.load_word m addr = v)
+
+let mem_blit_preserves_content =
+  qtest "phys_mem: blit copies exactly len bytes"
+    QCheck2.Gen.(triple (int_range 0 255) (int_range 1 256) (int_range 0 256))
+    (fun (byte, len, gap) ->
+      let m = Phys_mem.create ~size:Layout.page_size in
+      Phys_mem.fill m ~addr:0 ~len ~byte;
+      let dst = len + gap in
+      if dst + len > Layout.page_size then true
+      else begin
+        Phys_mem.blit m ~src:0 ~dst ~len;
+        Phys_mem.equal_range m m ~addr:0 ~len
+        && Phys_mem.checksum m ~addr:0 ~len = Phys_mem.checksum m ~addr:dst ~len
+      end)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "page math" `Quick test_layout_page_math;
+          Alcotest.test_case "mmio window" `Quick test_layout_mmio;
+          Alcotest.test_case "context pages" `Quick test_layout_context_pages;
+          Alcotest.test_case "shadow bit" `Quick test_layout_shadow_bit;
+          Alcotest.test_case "remote window" `Quick test_layout_remote_window;
+          Alcotest.test_case "in_ram" `Quick test_layout_in_ram;
+        ] );
+      ( "perms",
+        [
+          Alcotest.test_case "basic" `Quick test_perms_basic;
+          Alcotest.test_case "subsumes" `Quick test_perms_subsumes;
+          Alcotest.test_case "lattice" `Quick test_perms_lattice;
+          Alcotest.test_case "to_string" `Quick test_perms_to_string;
+        ] );
+      ( "phys_mem",
+        [
+          Alcotest.test_case "create checks" `Quick test_mem_create_checks;
+          Alcotest.test_case "zero initialised" `Quick test_mem_zero_initialised;
+          Alcotest.test_case "word roundtrip" `Quick test_mem_word_roundtrip;
+          Alcotest.test_case "byte roundtrip" `Quick test_mem_byte_roundtrip;
+          Alcotest.test_case "faults" `Quick test_mem_faults;
+          Alcotest.test_case "blit" `Quick test_mem_blit;
+          Alcotest.test_case "blit overlap" `Quick test_mem_blit_overlap;
+          Alcotest.test_case "checksum" `Quick test_mem_checksum_equal;
+          Alcotest.test_case "copy independent" `Quick test_mem_copy_independent;
+          Alcotest.test_case "equal_range" `Quick test_mem_equal_range;
+          mem_word_roundtrip_prop;
+          mem_blit_preserves_content;
+        ] );
+    ]

@@ -1,0 +1,291 @@
+(* Tests for the util library: rng, stats, tbl, units. *)
+
+open Uldma_util
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  checkb "different first draw" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.int64 a : int64);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues the stream" (Rng.int64 a) (Rng.int64 b);
+  ignore (Rng.int64 a : int64);
+  ignore (Rng.int64 a : int64);
+  (* b has drawn once, a three times: streams diverge positionally *)
+  checkb "independent positions" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_split () =
+  let a = Rng.create ~seed:3 in
+  let child = Rng.split a in
+  checkb "child differs from parent continuation" true (Rng.int64 child <> Rng.int64 a)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create ~seed:12 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r ~lo:(-5) ~hi:5 in
+    checkb "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_covers () =
+  let r = Rng.create ~seed:13 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Array.iteri (fun i s -> checkb (Printf.sprintf "value %d drawn" i) true s) seen
+
+let test_rng_chance_extremes () =
+  let r = Rng.create ~seed:14 in
+  checkb "p=0 never" false (Rng.chance r 0.0);
+  checkb "p=1 always" true (Rng.chance r 1.0);
+  checkb "p<0 never" false (Rng.chance r (-0.5));
+  checkb "p>1 always" true (Rng.chance r 1.5)
+
+let test_rng_chance_rate () =
+  let r = Rng.create ~seed:15 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  checkb "roughly 30%" true (!hits > 2600 && !hits < 3400)
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:16 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    checkb "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_pick () =
+  let r = Rng.create ~seed:17 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    checkb "member" true (Array.mem (Rng.pick r arr) arr)
+  done;
+  checki "singleton list" 42 (Rng.pick_list r [ 42 ])
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:18 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_dma_key_width () =
+  let r = Rng.create ~seed:19 in
+  for _ = 1 to 1000 do
+    let k = Rng.dma_key r in
+    checkb "58-bit non-negative" true (k >= 0 && k < 1 lsl 58)
+  done
+
+let test_rng_bool_balanced () =
+  let r = Rng.create ~seed:20 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr trues
+  done;
+  checkb "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_known () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  checki "n" 4 s.Stats.n;
+  check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean;
+  check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max
+
+let test_stats_singleton () =
+  let s = Stats.of_list [ 7.5 ] in
+  check (Alcotest.float 1e-9) "mean" 7.5 s.Stats.mean;
+  check (Alcotest.float 1e-9) "stddev" 0.0 s.Stats.stddev;
+  check (Alcotest.float 1e-9) "p99" 7.5 s.Stats.p99
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.of_array: empty sample") (fun () ->
+      ignore (Stats.of_list [] : Stats.summary))
+
+let test_stats_percentile () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 |] in
+  check (Alcotest.float 1e-9) "p50" 5.0 (Stats.percentile sorted 0.5);
+  check (Alcotest.float 1e-9) "p100" 10.0 (Stats.percentile sorted 1.0);
+  check (Alcotest.float 1e-9) "p0 clamps" 1.0 (Stats.percentile sorted 0.0)
+
+let test_stats_stddev () =
+  let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-6) "sample stddev" 2.13809 s.Stats.stddev
+
+let float_list_gen = QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.0))
+
+let stats_mean_bounded =
+  qtest "stats: min <= mean <= max" float_list_gen (fun l ->
+      match l with
+      | [] -> true
+      | _ :: _ ->
+        let s = Stats.of_list l in
+        s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let stats_percentiles_monotone =
+  qtest "stats: p50 <= p95 <= p99 <= max" float_list_gen (fun l ->
+      match l with
+      | [] -> true
+      | _ :: _ ->
+        let s = Stats.of_list l in
+        s.Stats.p50 <= s.Stats.p95 && s.Stats.p95 <= s.Stats.p99 && s.Stats.p99 <= s.Stats.max)
+
+(* ------------------------------------------------------------------ *)
+(* Tbl *)
+
+let test_tbl_arity () =
+  let t = Tbl.create ~title:"t" ~columns:[ ("a", Tbl.Left); ("b", Tbl.Right) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Tbl.add_row: 1 cells for 2 columns (table \"t\")") (fun () ->
+      Tbl.add_row t [ "x" ])
+
+let test_tbl_render_contains () =
+  let t = Tbl.create ~title:"My table" ~columns:[ ("name", Tbl.Left); ("v", Tbl.Right) ] in
+  Tbl.add_row t [ "alpha"; "1" ];
+  Tbl.add_rule t;
+  Tbl.add_row t [ "beta"; "22" ];
+  let s = Tbl.render t in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun needle -> checkb (Printf.sprintf "contains %S" needle) true (contains needle))
+    [ "My table"; "alpha"; "beta"; "22"; "name" ]
+
+let test_tbl_right_align () =
+  let t = Tbl.create ~title:"t" ~columns:[ ("v", Tbl.Right) ] in
+  Tbl.add_row t [ "7" ];
+  Tbl.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Tbl.render t) in
+  checkb "7 is right-aligned" true (List.exists (fun l -> l = "|   7 |") lines)
+
+let test_tbl_csv () =
+  let t = Tbl.create ~title:"t" ~columns:[ ("a", Tbl.Left); ("b", Tbl.Left) ] in
+  Tbl.add_row t [ "x,y"; "plain" ];
+  Tbl.add_rule t;
+  Tbl.add_row t [ "quo\"te"; "z" ];
+  checks "csv" "a,b\n\"x,y\",plain\n\"quo\"\"te\",z\n" (Tbl.to_csv t)
+
+let test_tbl_cells () =
+  checks "cell_f trims" "1.5" (Tbl.cell_f 1.5);
+  checks "cell_f keeps one decimal" "2.0" (Tbl.cell_f 2.0);
+  checks "cell_us" "18.6" (Tbl.cell_us 18.6)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_units_conversions () =
+  checki "1ns" 1000 (Units.ns 1.0);
+  checki "1us" 1_000_000 (Units.us 1.0);
+  check (Alcotest.float 1e-9) "roundtrip" 2.5 (Units.to_ns (Units.ns 2.5));
+  check (Alcotest.float 1e-9) "us roundtrip" 18.6 (Units.to_us (Units.us 18.6))
+
+let test_units_cycles () =
+  checki "150MHz cycle" 6667 (Units.cycle_ps ~hz:150_000_000);
+  checki "12.5MHz cycle" 80_000 (Units.cycle_ps ~hz:12_500_000);
+  checki "7 bus cycles" 560_000 (Units.cycles ~hz:12_500_000 7)
+
+let test_units_sizes () =
+  checki "4 KiB" 4096 (Units.kib 4);
+  checki "2 MiB" (2 * 1024 * 1024) (Units.mib 2)
+
+let test_units_bandwidth () =
+  check (Alcotest.float 1.0) "155 Mbps in B/s" 19_375_000.0 (Units.mbps 155.0);
+  (* 1 KiB at ~19.4 MB/s is ~52.9 us *)
+  let t = Units.transfer_ps ~bytes_per_s:(Units.mbps 155.0) 1024 in
+  checkb "52-54us" true (t > Units.us 52.0 && t < Units.us 54.0);
+  checki "zero bytes" 0 (Units.transfer_ps ~bytes_per_s:1e9 0)
+
+let test_units_pp () =
+  checks "ns" "1.5 ns" (Format.asprintf "%a" Units.pp_time 1500);
+  checks "us" "18.60 us" (Format.asprintf "%a" Units.pp_time (Units.us 18.6));
+  checks "bytes" "64 B" (Format.asprintf "%a" Units.pp_bytes 64);
+  checks "kib" "4 KiB" (Format.asprintf "%a" Units.pp_bytes 4096)
+
+let units_transfer_monotone =
+  qtest "units: transfer time monotone in size"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) ->
+      let t n = Units.transfer_ps ~bytes_per_s:1e8 n in
+      if a <= b then t a <= t b else t b <= t a)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "chance rate" `Quick test_rng_chance_rate;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "pick membership" `Quick test_rng_pick;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "dma_key width" `Quick test_rng_dma_key_width;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          stats_mean_bounded;
+          stats_percentiles_monotone;
+        ] );
+      ( "tbl",
+        [
+          Alcotest.test_case "arity mismatch" `Quick test_tbl_arity;
+          Alcotest.test_case "render contains content" `Quick test_tbl_render_contains;
+          Alcotest.test_case "right alignment" `Quick test_tbl_right_align;
+          Alcotest.test_case "csv escaping" `Quick test_tbl_csv;
+          Alcotest.test_case "cell formatting" `Quick test_tbl_cells;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "conversions" `Quick test_units_conversions;
+          Alcotest.test_case "cycles" `Quick test_units_cycles;
+          Alcotest.test_case "sizes" `Quick test_units_sizes;
+          Alcotest.test_case "bandwidth" `Quick test_units_bandwidth;
+          Alcotest.test_case "pretty printing" `Quick test_units_pp;
+          units_transfer_monotone;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+(* Tests for the verification layer (oracle + interleaving explorer)
+   and the attack scenarios: reproduces Figs. 5, 6, the SHRIMP/FLASH
+   races, and machine-checks §3.3.1 exhaustively and by randomized
+   campaign. *)
+
+open Uldma_os
+open Uldma_dma
+module Oracle = Uldma_verify.Oracle
+module Explorer = Uldma_verify.Explorer
+module Scenario = Uldma_workload.Scenario
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let has_violation pred report = List.exists pred report.Oracle.violations
+
+let is_unattributed = function Oracle.Unattributed_transfer _ -> true | _ -> false
+let is_lost = function Oracle.Lost_transfer _ -> true | _ -> false
+let is_phantom = function Oracle.Phantom_success _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Oracle on hand-built runs *)
+
+let clean_run () =
+  (* an uncontested ext-shadow DMA: the oracle must pass it *)
+  let s = Scenario.rep5_with_retry () in
+  Scenario.finish s ();
+  s
+
+let test_oracle_accepts_clean_run () =
+  let s = clean_run () in
+  let report = Scenario.report s in
+  checkb "ok" true (Oracle.ok report);
+  checki "one transfer checked" 1 report.Oracle.transfers_checked;
+  checki "one intent" 1 report.Oracle.intents_checked
+
+let test_oracle_flags_missing_intent () =
+  let s = clean_run () in
+  (* drop the intent: the transfer becomes unattributable *)
+  let report =
+    Oracle.check ~kernel:s.Scenario.kernel ~intents:[] ~reported_successes:[]
+  in
+  checkb "unattributed" true (has_violation is_unattributed report)
+
+let test_oracle_flags_phantom () =
+  let s = clean_run () in
+  (* claim two successes when only one transfer started *)
+  let report =
+    Oracle.check ~kernel:s.Scenario.kernel ~intents:s.Scenario.intents
+      ~reported_successes:[ (s.Scenario.victim.Process.pid, 2) ]
+  in
+  checkb "phantom" true (has_violation is_phantom report)
+
+let test_oracle_flags_lost () =
+  let s = clean_run () in
+  let report =
+    Oracle.check ~kernel:s.Scenario.kernel ~intents:s.Scenario.intents
+      ~reported_successes:[ (s.Scenario.victim.Process.pid, 0) ]
+  in
+  checkb "lost" true (has_violation is_lost report)
+
+let test_oracle_flags_rights_violation () =
+  let s = clean_run () in
+  (* declare an intent into memory the victim has no mapping for at
+     all: psrc/pdst are raw physical addresses the process never saw *)
+  let bogus =
+    {
+      Oracle.pid = s.Scenario.victim.Process.pid;
+      vsrc = 0x7000_0000;
+      vdst = 0x7000_2000;
+      psrc = 0;
+      pdst = 0;
+      size = 64;
+      requests = 1;
+    }
+  in
+  let report =
+    Oracle.check ~kernel:s.Scenario.kernel ~intents:[ bogus ] ~reported_successes:[]
+  in
+  checkb "rights violation" true
+    (has_violation (function Oracle.Rights_violation _ -> true | _ -> false) report)
+
+(* ------------------------------------------------------------------ *)
+(* Scripted attacks: the paper's figures *)
+
+let test_fig5_attack_reproduces () =
+  let s = Scenario.fig5 () in
+  Scenario.run_legs s Scenario.fig5_schedule;
+  Scenario.finish s ();
+  let report = Scenario.report s in
+  (* the attacker started C -> B: unattributable *)
+  checkb "argument mixing detected" true (has_violation is_unattributed report);
+  checki "exactly one transfer" 1 (List.length (Scenario.transfers s));
+  (* the transfer's destination is the victim's B *)
+  (match (Scenario.transfers s, s.Scenario.intents) with
+  | [ tr ], [ intent ] ->
+    checki "into victim's destination" intent.Oracle.pdst tr.Transfer.dst;
+    checkb "from attacker's data, not victim's source" true
+      (tr.Transfer.src <> intent.Oracle.psrc)
+  | _ -> Alcotest.fail "expected one transfer and one intent");
+  checki "victim saw no success" 0 (Scenario.victim_successes s)
+
+let test_fig6_attack_reproduces () =
+  let s = Scenario.fig6 () in
+  Scenario.run_legs s Scenario.fig6_schedule;
+  Scenario.finish s ();
+  let report = Scenario.report s in
+  (* the transfer is the victim's own (A -> B), but the victim was told
+     it failed: a lost transfer *)
+  checkb "started-but-reported-failed" true (has_violation is_lost report);
+  checkb "no unattributed transfer" false (has_violation is_unattributed report);
+  checki "one transfer" 1 (List.length (Scenario.transfers s));
+  checki "victim saw failure" Status.failure (Scenario.victim_last_status s)
+
+let test_shrimp2_race_unmodified_kernel () =
+  let s = Scenario.shrimp2_race ~hook:false in
+  Scenario.run_legs s Scenario.shrimp2_schedule;
+  Scenario.finish s ();
+  checkb "kernel unmodified" false (Kernel.kernel_modified s.Scenario.kernel);
+  let report = Scenario.report s in
+  checkb "mixed arguments" true (has_violation is_unattributed report)
+
+let test_shrimp2_race_with_hook () =
+  let s = Scenario.shrimp2_race ~hook:true in
+  Scenario.run_legs s Scenario.shrimp2_schedule;
+  Scenario.finish s ();
+  checkb "kernel modified" true (Kernel.kernel_modified s.Scenario.kernel);
+  let report = Scenario.report s in
+  checkb "safe" true (Oracle.ok report);
+  checki "race prevented: nothing started" 0 (List.length (Scenario.transfers s))
+
+let test_flash_race_unmodified_kernel () =
+  let s = Scenario.flash_race ~hook:false in
+  Scenario.run_legs s Scenario.shrimp2_schedule;
+  Scenario.finish s ();
+  checkb "mixed arguments" true (has_violation is_unattributed (Scenario.report s))
+
+let test_flash_race_with_hook () =
+  let s = Scenario.flash_race ~hook:true in
+  Scenario.run_legs s Scenario.shrimp2_schedule;
+  Scenario.finish s ();
+  checkb "safe" true (Oracle.ok (Scenario.report s))
+
+let test_ext_stateless_race_safe () =
+  let s = Scenario.ext_stateless_race () in
+  Scenario.run_legs s Scenario.shrimp2_schedule;
+  Scenario.finish s ();
+  checkb "kernel unmodified" false (Kernel.kernel_modified s.Scenario.kernel);
+  checkb "safe" true (Oracle.ok (Scenario.report s));
+  checki "race prevented" 0 (List.length (Scenario.transfers s))
+
+let test_rep5_resists_fig5_schedule () =
+  (* the exact Fig. 5 interleaving applied to the five-access method *)
+  let s = Scenario.rep5 () in
+  Scenario.run_legs s Scenario.fig5_schedule;
+  Scenario.finish s ();
+  checkb "safe" true (Oracle.ok (Scenario.report s))
+
+(* ------------------------------------------------------------------ *)
+(* Explorer *)
+
+let explore scenario =
+  let s = scenario () in
+  let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
+  let check kernel =
+    let read pid result_va =
+      match Kernel.find_process kernel pid with
+      | Some p -> Uldma_workload.Stub_loop.read_successes kernel p ~result_va
+      | None -> 0
+    in
+    let reported =
+      (s.Scenario.victim.Process.pid, read s.Scenario.victim.Process.pid s.Scenario.victim_result_va)
+      ::
+      (match s.Scenario.attacker_result_va with
+      | Some result_va ->
+        [ (s.Scenario.attacker.Process.pid, read s.Scenario.attacker.Process.pid result_va) ]
+      | None -> [])
+    in
+    let report = Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported in
+    match report.Oracle.violations with [] -> None | v :: _ -> Some v
+  in
+  Explorer.explore ~root:s.Scenario.kernel ~pids ~check ()
+
+let test_explorer_rep5_safe_all_schedules () =
+  let r = explore Scenario.rep5 in
+  checkb "complete" false r.Explorer.truncated;
+  checkb "many schedules" true (r.Explorer.paths > 100);
+  checki "no violations" 0 (List.length r.Explorer.violations)
+
+let test_explorer_rep3_finds_fig5 () =
+  let r = explore Scenario.fig5 in
+  checkb "complete" false r.Explorer.truncated;
+  checkb "violations found" true (List.length r.Explorer.violations > 0);
+  (* at least one of them is the argument-mixing attack *)
+  checkb "unattributed transfer among them" true
+    (List.exists (fun (v, _) -> is_unattributed v) r.Explorer.violations)
+
+let test_explorer_rep4_finds_fig6 () =
+  let r = explore Scenario.fig6 in
+  checkb "violations found" true (List.length r.Explorer.violations > 0);
+  checkb "lost transfer among them" true
+    (List.exists (fun (v, _) -> is_lost v) r.Explorer.violations)
+
+let test_explorer_rep5_resists_store_splice () =
+  (* the S(X) S(X) L(X) adversary trying to exfiltrate the victim's A
+     into its own page X *)
+  let r = explore Scenario.rep5_splice in
+  checkb "complete" false r.Explorer.truncated;
+  checki "no violations" 0 (List.length r.Explorer.violations)
+
+let test_explorer_contested_mechanisms_safe () =
+  List.iter
+    (fun (name, scenario) ->
+      let r = explore scenario in
+      if r.Explorer.truncated then Alcotest.failf "%s: truncated" name;
+      if r.Explorer.violations <> [] then
+        Alcotest.failf "%s: %d violating schedules" name (List.length r.Explorer.violations))
+    [
+      ("ext-shadow", Scenario.ext_shadow_contested);
+      ("key-based", Scenario.key_contested);
+      ("pal", Scenario.pal_contested);
+    ]
+
+let test_explorer_schedules_recorded () =
+  let r = explore Scenario.fig5 in
+  match r.Explorer.violations with
+  | (_, schedule) :: _ ->
+    checkb "non-trivial schedule" true (List.length schedule >= 3);
+    checkb "mentions both pids" true
+      (List.exists (fun pid -> pid = 1) schedule && List.exists (fun pid -> pid = 2) schedule)
+  | [] -> Alcotest.fail "expected a violating schedule"
+
+let test_explorer_root_untouched () =
+  let s = Scenario.rep5 () in
+  let pids = [ s.Scenario.victim.Process.pid ] in
+  ignore (Explorer.explore ~root:s.Scenario.kernel ~pids ~check:(fun _ -> None) ());
+  checkb "root still runnable" true (Kernel.runnable_pids s.Scenario.kernel <> []);
+  checki "root clock untouched" 0 (Kernel.now_ps s.Scenario.kernel)
+
+let test_explorer_max_paths_truncates () =
+  let s = Scenario.rep5 () in
+  let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
+  let r = Explorer.explore ~root:s.Scenario.kernel ~pids ~max_paths:3 ~check:(fun _ -> None) () in
+  checkb "truncated" true r.Explorer.truncated
+
+let test_advance_one_leg () =
+  let s = Scenario.rep5 () in
+  let kernel = Kernel.copy s.Scenario.kernel in
+  (* one leg = up to and including the process's next NI access *)
+  (match Explorer.advance_one_leg kernel s.Scenario.victim.Process.pid ~max_instructions:500 with
+  | `Progress -> ()
+  | `Exited | `Stuck -> Alcotest.fail "expected progress");
+  checkb "victim still mid-stub" true
+    (List.mem s.Scenario.victim.Process.pid (Kernel.runnable_pids kernel))
+
+let test_timeline_reproduces_fig5 () =
+  let s = Scenario.fig5 () in
+  Scenario.run_legs s Scenario.fig5_schedule;
+  Scenario.finish s ();
+  let rendered = List.map (fun (_, actor, access) -> (actor, access)) (Scenario.access_timeline s) in
+  Alcotest.(check (list (pair string string)))
+    "the Fig. 5 interleaving diagram"
+    [
+      ("victim", "LOAD FROM shadow(A)");
+      ("attacker", "STORE 0x100 TO shadow(foo)");
+      ("attacker", "LOAD FROM shadow(foo)");
+      ("attacker", "LOAD FROM shadow(C)");
+      ("victim", "STORE 0x100 TO shadow(B)");
+      ("attacker", "LOAD FROM shadow(C)");
+      ("victim", "LOAD FROM shadow(A)");
+    ]
+    rendered
+
+let test_timeline_labels () =
+  let s = Scenario.fig5 () in
+  checkb "A labelled" true
+    (List.exists (fun (_, name) -> name = "A") s.Scenario.labels);
+  let a_paddr = (List.find (fun (_, name) -> name = "A") s.Scenario.labels) |> fst in
+  Alcotest.(check string) "shadow naming" "shadow(A)"
+    (Scenario.label_of_paddr s (Uldma_mmu.Shadow.encode a_paddr));
+  Alcotest.(check string) "offset naming" "A+0x40" (Scenario.label_of_paddr s (a_paddr + 0x40))
+
+(* ------------------------------------------------------------------ *)
+(* Randomized campaigns *)
+
+let test_campaign_rep5_random_schedules () =
+  for seed = 1 to 25 do
+    let s = Scenario.rep5_with_retry () in
+    Scenario.run_random s ~seed ~switch_probability:0.3;
+    let report = Scenario.report s in
+    if not (Oracle.ok report) then
+      Alcotest.failf "seed %d: %a" seed Oracle.pp_report report;
+    checki
+      (Printf.sprintf "seed %d: exactly one success" seed)
+      1 (Scenario.victim_successes s)
+  done
+
+let test_campaign_rep3_eventually_broken () =
+  (* random NI-access interleavings of victim and attacker: the
+     three-access variant must break for some of them (the explorer
+     says 9 of the 126 leg schedules are violating) *)
+  let rng = Uldma_util.Rng.create ~seed:99 in
+  let broken = ref false in
+  for _ = 1 to 120 do
+    if not !broken then begin
+      let legs = Array.of_list (Scenario.[ V; V; V ] @ Scenario.[ M; M; M; M ]) in
+      Uldma_util.Rng.shuffle rng legs;
+      let s = Scenario.fig5 () in
+      Scenario.run_legs s (Array.to_list legs);
+      Scenario.finish s ();
+      if not (Oracle.ok (Scenario.report s)) then broken := true
+    end
+  done;
+  checkb "found a breaking schedule" true !broken
+
+let test_campaign_key_based_two_users () =
+  (* two key-based users under heavy preemption: private contexts keep
+     them safe with an unmodified kernel *)
+  let config =
+    {
+      Kernel.default_config with
+      Kernel.mechanism = Engine.Key_based;
+      ram_size = 64 * Uldma_mem.Layout.page_size;
+      sched = Sched.Random_preempt { probability = 0.3; seed = 11 };
+    }
+  in
+  let kernel = Kernel.create config in
+  let intents = ref [] and reported = ref [] in
+  let mech = Uldma.Api.find_exn "key-based" in
+  let users =
+    List.map
+      (fun name ->
+        let p = Kernel.spawn kernel ~name ~program:[||] () in
+        let src = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+        let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+        let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+        let prepared =
+          mech.Uldma.Mech.prepare kernel p ~src:{ Uldma.Mech.vaddr = src; pages = 1 }
+            ~dst:{ Uldma.Mech.vaddr = dst; pages = 1 }
+        in
+        Process.set_program p
+          (Uldma_workload.Stub_loop.build_repeat ~n:20 ~vsrc:src ~vdst:dst ~size:128 ~result_va
+             ~emit_dma:prepared.Uldma.Mech.emit_dma);
+        intents :=
+          Oracle.intent_of_regions kernel p ~vsrc:src ~vdst:dst ~size:128 ~requests:20 :: !intents;
+        (p, result_va))
+      [ "user1"; "user2" ]
+  in
+  ignore (Kernel.run kernel ~max_steps:2_000_000 () : Kernel.run_result);
+  List.iter
+    (fun ((p : Process.t), result_va) ->
+      reported :=
+        (p.Process.pid, Uldma_workload.Stub_loop.read_successes kernel p ~result_va) :: !reported)
+    users;
+  let report = Oracle.check ~kernel ~intents:!intents ~reported_successes:!reported in
+  if not (Oracle.ok report) then Alcotest.failf "%a" Oracle.pp_report report;
+  checki "40 transfers" 40 (List.length (Engine.transfers (Kernel.engine kernel)))
+
+let test_campaign_ext_shadow_two_users () =
+  let config =
+    {
+      Kernel.default_config with
+      Kernel.mechanism = Engine.Ext_shadow;
+      ram_size = 64 * Uldma_mem.Layout.page_size;
+      sched = Sched.Random_preempt { probability = 0.3; seed = 5 };
+    }
+  in
+  let kernel = Kernel.create config in
+  let mech = Uldma.Api.find_exn "ext-shadow" in
+  let finished = ref [] in
+  List.iter
+    (fun name ->
+      let p = Kernel.spawn kernel ~name ~program:[||] () in
+      let src = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+      let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+      let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+      let prepared =
+        mech.Uldma.Mech.prepare kernel p ~src:{ Uldma.Mech.vaddr = src; pages = 1 }
+          ~dst:{ Uldma.Mech.vaddr = dst; pages = 1 }
+      in
+      Process.set_program p
+        (Uldma_workload.Stub_loop.build_repeat ~n:20 ~vsrc:src ~vdst:dst ~size:128 ~result_va
+           ~emit_dma:prepared.Uldma.Mech.emit_dma);
+      finished := (p, result_va) :: !finished)
+    [ "user1"; "user2"; "user3" ];
+  ignore (Kernel.run kernel ~max_steps:2_000_000 () : Kernel.run_result);
+  List.iter
+    (fun ((p : Process.t), result_va) ->
+      checki
+        (p.Process.name ^ " all succeeded")
+        20
+        (Uldma_workload.Stub_loop.read_successes kernel p ~result_va))
+    !finished;
+  checki "60 transfers" 60 (List.length (Engine.transfers (Kernel.engine kernel)))
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "accepts clean run" `Quick test_oracle_accepts_clean_run;
+          Alcotest.test_case "flags missing intent" `Quick test_oracle_flags_missing_intent;
+          Alcotest.test_case "flags phantom success" `Quick test_oracle_flags_phantom;
+          Alcotest.test_case "flags lost transfer" `Quick test_oracle_flags_lost;
+          Alcotest.test_case "flags rights violation" `Quick test_oracle_flags_rights_violation;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "Fig. 5 on rep-args-3" `Quick test_fig5_attack_reproduces;
+          Alcotest.test_case "Fig. 6 on rep-args-4" `Quick test_fig6_attack_reproduces;
+          Alcotest.test_case "shrimp-2 race, unmodified kernel" `Quick
+            test_shrimp2_race_unmodified_kernel;
+          Alcotest.test_case "shrimp-2 race, hook installed" `Quick test_shrimp2_race_with_hook;
+          Alcotest.test_case "flash race, unmodified kernel" `Quick
+            test_flash_race_unmodified_kernel;
+          Alcotest.test_case "flash race, hook installed" `Quick test_flash_race_with_hook;
+          Alcotest.test_case "ext-stateless race safe, unmodified kernel" `Quick
+            test_ext_stateless_race_safe;
+          Alcotest.test_case "rep-args-5 resists Fig. 5 schedule" `Quick
+            test_rep5_resists_fig5_schedule;
+          Alcotest.test_case "timeline reproduces Fig. 5 diagram" `Quick
+            test_timeline_reproduces_fig5;
+          Alcotest.test_case "timeline labels" `Quick test_timeline_labels;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "rep-5 safe under all schedules" `Slow
+            test_explorer_rep5_safe_all_schedules;
+          Alcotest.test_case "rep-3: finds Fig. 5" `Quick test_explorer_rep3_finds_fig5;
+          Alcotest.test_case "rep-4: finds Fig. 6" `Quick test_explorer_rep4_finds_fig6;
+          Alcotest.test_case "rep-5 resists store splice" `Slow
+            test_explorer_rep5_resists_store_splice;
+          Alcotest.test_case "contested: ext-shadow/key/pal safe" `Slow
+            test_explorer_contested_mechanisms_safe;
+          Alcotest.test_case "violating schedule recorded" `Quick test_explorer_schedules_recorded;
+          Alcotest.test_case "root untouched" `Quick test_explorer_root_untouched;
+          Alcotest.test_case "max_paths truncates" `Quick test_explorer_max_paths_truncates;
+          Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "rep-5 random schedules" `Slow test_campaign_rep5_random_schedules;
+          Alcotest.test_case "rep-3 eventually broken" `Slow test_campaign_rep3_eventually_broken;
+          Alcotest.test_case "key-based multi-user" `Quick test_campaign_key_based_two_users;
+          Alcotest.test_case "ext-shadow multi-user" `Quick test_campaign_ext_shadow_two_users;
+        ] );
+    ]

@@ -1,0 +1,11 @@
+let () =
+  List.iter
+    (fun id ->
+      match Uldma_sim.Experiments.find id with
+      | Some e ->
+        let oc = open_out (Printf.sprintf "test/golden/%s.txt" id) in
+        output_string oc (Uldma_util.Tbl.render (e.Uldma_sim.Experiments.run ()));
+        close_out oc;
+        Printf.printf "wrote %s\n%!" id
+      | None -> failwith id)
+    [ "fig5_attack3"; "fig6_attack4"; "fig2_shrimp"; "fig8_proof"; "ablate_wbuf"; "key_security"; "crossover"; "disk_vs_net" ]
