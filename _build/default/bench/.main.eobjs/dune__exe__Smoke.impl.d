@@ -1,0 +1,1 @@
+bench/smoke.ml: Printf Uldma Uldma_os Uldma_sim Uldma_verify Uldma_workload

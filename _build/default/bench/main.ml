@@ -52,19 +52,20 @@ let attack_test =
          Uldma_workload.Scenario.run_legs s Uldma_workload.Scenario.fig5_schedule;
          Uldma_workload.Scenario.finish s ()))
 
+let explore_rep5 ~max_paths =
+  let s = Uldma_workload.Scenario.rep5 () in
+  let pids =
+    [
+      s.Uldma_workload.Scenario.victim.Uldma_os.Process.pid;
+      s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid;
+    ]
+  in
+  Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids ~max_paths
+    ~check:(fun _ -> None) ()
+
 let explorer_test =
   Test.make ~name:"explore rep5 schedules"
-    (Staged.stage (fun () ->
-         let s = Uldma_workload.Scenario.rep5 () in
-         let pids =
-           [
-             s.Uldma_workload.Scenario.victim.Uldma_os.Process.pid;
-             s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid;
-           ]
-         in
-         ignore
-           (Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids
-              ~max_paths:50 ~check:(fun _ -> None) ())))
+    (Staged.stage (fun () -> ignore (explore_rep5 ~max_paths:50)))
 
 let tests =
   Test.make_grouped ~name:"uldma"
@@ -103,8 +104,62 @@ let print_bench_results results =
     results;
   Uldma_util.Tbl.print tbl
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable perf trajectory *)
+
+(* BENCH_explorer.json records the wall-clock throughput of the
+   interleaving explorer (the repo's hottest verification path) and the
+   simulated Table-1 initiation latency of each mechanism, so perf can
+   be compared across PRs without parsing the human-readable tables. *)
+let write_bench_explorer_json () =
+  (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* settle the heap after bechamel so its garbage doesn't tax this
+     measurement, then warm up the exploration path *)
+  Gc.compact ();
+  ignore (explore_rep5 ~max_paths:50);
+  let reps = 5 in
+  let t0 = Unix.gettimeofday () in
+  let last = ref (explore_rep5 ~max_paths:1_000_000) in
+  for _ = 2 to reps do
+    last := explore_rep5 ~max_paths:1_000_000
+  done;
+  let secs = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let r = !last in
+  let initiation =
+    List.map
+      (fun name ->
+        let m = Sim_measure.initiation ~iterations:300 (Api.find_exn name) in
+        (name, m.Sim_measure.us_per_initiation))
+      [ "kernel"; "ext-shadow"; "rep-args"; "key-based"; "pal" ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"explorer\": {\n";
+  Buffer.add_string buf "    \"scenario\": \"rep5\",\n";
+  Buffer.add_string buf "    \"max_paths\": 1000000,\n";
+  Printf.bprintf buf "    \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
+  Printf.bprintf buf "    \"truncated\": %b,\n" r.Uldma_verify.Explorer.truncated;
+  Printf.bprintf buf "    \"repetitions\": %d,\n" reps;
+  Printf.bprintf buf "    \"seconds_per_exploration\": %.6f,\n" secs;
+  Printf.bprintf buf "    \"paths_per_sec\": %.1f\n" (float_of_int r.Uldma_verify.Explorer.paths /. secs);
+  Buffer.add_string buf "  },\n  \"initiation_us\": {\n";
+  List.iteri
+    (fun i (name, us) ->
+      Printf.bprintf buf "    \"%s\": %.3f%s\n" name us
+        (if i = List.length initiation - 1 then "" else ","))
+    initiation;
+  Buffer.add_string buf "  }\n}\n";
+  let path = Filename.concat results_dir "BENCH_explorer.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nexplorer: %d rep5 paths in %.4fs (%.0f paths/s); wrote %s\n" r.Uldma_verify.Explorer.paths
+    secs
+    (float_of_int r.Uldma_verify.Explorer.paths /. secs)
+    path
+
 let () =
   run_experiments ();
   let results = benchmark () in
   print_bench_results results;
+  write_bench_explorer_json ();
   print_endline "done."

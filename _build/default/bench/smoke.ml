@@ -1,0 +1,28 @@
+(* @bench-smoke — a seconds-scale exercise of the perf-critical paths,
+   wired into `dune runtest` so they cannot bit-rot between full bench
+   runs: one small exhaustive exploration (fig5, known 126 schedules)
+   and a 10-iteration initiation measurement. Exits non-zero on any
+   deviation. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("bench-smoke: " ^ s); exit 1) fmt
+
+let () =
+  let s = Uldma_workload.Scenario.fig5 () in
+  let pids =
+    [
+      s.Uldma_workload.Scenario.victim.Uldma_os.Process.pid;
+      s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid;
+    ]
+  in
+  let r =
+    Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids
+      ~check:(fun _ -> None) ()
+  in
+  if r.Uldma_verify.Explorer.truncated then fail "fig5 exploration truncated";
+  if r.Uldma_verify.Explorer.paths <> 126 then
+    fail "fig5 exploration found %d schedules, expected 126" r.Uldma_verify.Explorer.paths;
+  let m = Uldma_sim.Measure.initiation ~iterations:10 (Uldma.Api.find_exn "ext-shadow") in
+  if m.Uldma_sim.Measure.successes <> 10 then
+    fail "ext-shadow initiation: %d/10 succeeded" m.Uldma_sim.Measure.successes;
+  Printf.printf "bench-smoke ok: fig5 %d schedules, ext-shadow %.2f us/initiation\n"
+    r.Uldma_verify.Explorer.paths m.Uldma_sim.Measure.us_per_initiation

@@ -1,1 +1,1 @@
-lib/bus/bus.ml: Clock Layout List Phys_mem Timing Txn Uldma_mem
+lib/bus/bus.ml: Array Clock Layout List Phys_mem Timing Txn Uldma_mem

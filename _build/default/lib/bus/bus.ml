@@ -4,33 +4,87 @@ exception Bus_error of int
 
 type device = { claims : int -> bool; handle : Txn.t -> int }
 
+let default_trace_cap = 16384
+
+(* Per-pid uncached-access counters, indexed by [pid + 1] so the
+   kernel's pid -1 lands in slot 0. Maintained unconditionally (cheap),
+   unlike the trace which records only while tracing is on. *)
 type t = {
   clock : Clock.t;
   mutable timing : Timing.t;
   ram : Phys_mem.t;
-  mutable devices : device list; (* registration order *)
+  mutable devices : device array; (* registration order *)
   mutable tracing : bool;
-  mutable trace : Txn.t list; (* newest first *)
+  trace_cap : int;
+  mutable trace_buf : Txn.t array; (* ring, grown lazily up to trace_cap *)
+  mutable trace_total : int; (* transactions recorded since last clear *)
   mutable busy_ps : int; (* cumulative uncached-crossing time *)
+  mutable counts : int array; (* counts.(pid + 1) = uncached accesses *)
 }
 
-let create ~clock ~timing ~ram =
-  { clock; timing; ram; devices = []; tracing = false; trace = []; busy_ps = 0 }
+let create ?(trace_cap = default_trace_cap) ~clock ~timing ~ram () =
+  if trace_cap <= 0 then invalid_arg "Bus.create: trace_cap must be positive";
+  {
+    clock;
+    timing;
+    ram;
+    devices = [||];
+    tracing = false;
+    trace_cap;
+    trace_buf = [||];
+    trace_total = 0;
+    busy_ps = 0;
+    counts = Array.make 8 0;
+  }
 
 let clock t = t.clock
 let timing t = t.timing
 let ram t = t.ram
 let set_timing t timing = t.timing <- timing
 
-let register_device t d = t.devices <- t.devices @ [ d ]
+let register_device t d = t.devices <- Array.append t.devices [| d |]
 
-let find_device t paddr = List.find_opt (fun d -> d.claims paddr) t.devices
+let find_device t paddr =
+  let n = Array.length t.devices in
+  let rec probe i =
+    if i >= n then None
+    else if (Array.unsafe_get t.devices i).claims paddr then Some t.devices.(i)
+    else probe (i + 1)
+  in
+  probe 0
 
-let record t txn = if t.tracing then t.trace <- txn :: t.trace
+let bump_count t pid =
+  let slot = pid + 1 in
+  if slot >= Array.length t.counts then begin
+    let fresh = Array.make (max (slot + 1) (2 * Array.length t.counts)) 0 in
+    Array.blit t.counts 0 fresh 0 (Array.length t.counts);
+    t.counts <- fresh
+  end;
+  t.counts.(slot) <- t.counts.(slot) + 1
+
+let pid_access_count t pid =
+  let slot = pid + 1 in
+  if slot < 0 || slot >= Array.length t.counts then 0 else t.counts.(slot)
+
+let record t txn =
+  if t.tracing then begin
+    if Array.length t.trace_buf < t.trace_cap then begin
+      (* grow the ring geometrically until it reaches the cap *)
+      let cur = Array.length t.trace_buf in
+      if t.trace_total >= cur then begin
+        let fresh = Array.make (min t.trace_cap (max 16 (2 * cur))) txn in
+        Array.blit t.trace_buf 0 fresh 0 cur;
+        t.trace_buf <- fresh
+      end
+    end;
+    t.trace_buf.(t.trace_total mod Array.length t.trace_buf) <- txn;
+    t.trace_total <- t.trace_total + 1
+  end
 
 let uncached_access t ~pid op paddr value =
   t.busy_ps <- t.busy_ps + Timing.uncached_ps t.timing op;
   Clock.advance t.clock (Timing.uncached_ps t.timing op);
+  bump_count t pid;
   let txn = { Txn.op; paddr; value; pid; at = Clock.now t.clock } in
   record t txn;
   match find_device t paddr with
@@ -63,13 +117,25 @@ let store t ~pid ~cacheable paddr value =
   end
   else ignore (uncached_access t ~pid Txn.Store paddr value)
 
+let clear_trace t =
+  t.trace_total <- 0;
+  t.trace_buf <- [||]
+
 let set_trace t on =
   t.tracing <- on;
-  if not on then t.trace <- []
+  if not on then clear_trace t
 
-let trace t = List.rev t.trace
+let trace t =
+  let cap = Array.length t.trace_buf in
+  if cap = 0 then []
+  else begin
+    let n = min t.trace_total cap in
+    let first = t.trace_total - n in
+    List.init n (fun i -> t.trace_buf.((first + i) mod cap))
+  end
 
-let clear_trace t = t.trace <- []
+let trace_len t = t.trace_total
+let trace_cap t = t.trace_cap
 
 let busy_ps t = t.busy_ps
 
@@ -78,8 +144,11 @@ let copy t ~ram ~clock =
     clock;
     timing = t.timing;
     ram;
-    devices = [];
+    devices = [||];
     tracing = t.tracing;
-    trace = t.trace;
+    trace_cap = t.trace_cap;
+    trace_buf = [||]; (* forks start with an empty retained window *)
+    trace_total = 0;
     busy_ps = t.busy_ps;
+    counts = Array.copy t.counts;
   }

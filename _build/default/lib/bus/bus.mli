@@ -14,7 +14,11 @@ type device = {
   handle : Txn.t -> int; (** returns the load reply; ignored for stores *)
 }
 
-val create : clock:Clock.t -> timing:Timing.t -> ram:Uldma_mem.Phys_mem.t -> t
+val create :
+  ?trace_cap:int -> clock:Clock.t -> timing:Timing.t -> ram:Uldma_mem.Phys_mem.t -> unit -> t
+(** [trace_cap] bounds the retained transaction window (default
+    [16384]); older transactions are overwritten ring-buffer style but
+    still counted by [trace_len] and the per-pid counters. *)
 
 val clock : t -> Clock.t
 val timing : t -> Timing.t
@@ -33,15 +37,30 @@ val store : t -> pid:int -> cacheable:bool -> int -> int -> unit
 
 val set_trace : t -> bool -> unit
 val trace : t -> Txn.t list
-(** Recorded transactions, oldest first (only while tracing). *)
+(** The retained window of recorded transactions, oldest first (only
+    while tracing). At most [trace_cap] entries; [trace_len] tells
+    whether older ones were dropped. *)
+
+val trace_len : t -> int
+(** Total transactions recorded since tracing was enabled (or the trace
+    cleared), including any that have fallen out of the ring. *)
+
+val trace_cap : t -> int
 
 val clear_trace : t -> unit
+
+val pid_access_count : t -> int -> int
+(** O(1) count of uncached accesses issued on behalf of a pid (the
+    kernel's pid -1 included) since the bus — or the snapshot lineage
+    it belongs to — was created. Counted whether or not tracing is on;
+    consumers should compare deltas, not absolute values. *)
 
 val busy_ps : t -> Uldma_util.Units.ps
 (** Cumulative time the bus spent on uncached crossings — utilization
     numerator for the accounting report. *)
 
 val copy : t -> ram:Uldma_mem.Phys_mem.t -> clock:Clock.t -> t
-(** Snapshot with the given already-copied RAM and clock. Devices are
-    carried over by reference and must be re-registered by the caller
-    if they hold state. *)
+(** Snapshot with the given already-copied RAM and clock: carries the
+    timing model, tracing flag, [busy_ps] and the per-pid counters, but
+    starts with an empty retained trace window and no devices — the
+    caller re-registers devices that hold state. *)

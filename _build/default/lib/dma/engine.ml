@@ -120,6 +120,11 @@ let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
 let mechanism t = t.mechanism
 let contexts t = t.contexts
 
+(* Engine snapshot for kernel forks. Everything mutable is duplicated;
+   transfers/events/outbound are immutable lists and are shared. On the
+   explorer's fork hot path [mapped_out] is almost always empty (only
+   SHRIMP-style mapped-out regions populate it), so skip the bucket
+   copy then. *)
 let copy t ~clock ~backend =
   {
     t with
@@ -127,7 +132,8 @@ let copy t ~clock ~backend =
     backend;
     contexts = Context_file.copy t.contexts;
     matcher = Seq_matcher.copy t.matcher;
-    mapped_out = Hashtbl.copy t.mapped_out;
+    mapped_out =
+      (if Hashtbl.length t.mapped_out = 0 then Hashtbl.create 8 else Hashtbl.copy t.mapped_out);
     counters = { t.counters with started = t.counters.started };
   }
 

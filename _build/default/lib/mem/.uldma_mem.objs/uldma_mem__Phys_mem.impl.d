@@ -1,1 +1,1 @@
-lib/mem/phys_mem.ml: Bytes Char Int64 Layout Printf
+lib/mem/phys_mem.ml: Array Bytes Char Int64 Layout Printf

@@ -1,60 +1,159 @@
-type t = { data : Bytes.t }
+(* Page-granular copy-on-write physical memory.
+
+   RAM is an array of page-sized [Bytes.t] buffers. [copy] shares every
+   page between the two instances (O(#pages) pointer copies, no byte is
+   moved); the first store into a shared page faults in a private copy
+   of that page only. Pages that were never written since [create] all
+   alias one immutable all-zero page, so a fresh machine costs one page
+   of backing store regardless of its RAM size.
+
+   The ownership protocol: [owned.(i)] is true iff [pages.(i)] is
+   referenced by this instance alone and may be mutated in place.
+   [copy] clears the flag on both sides — a page can only regain
+   ownership by being re-copied on the next write. This over-copies in
+   the rare case where every other sharer has already faulted the page
+   in, but it never aliases a mutation. *)
+
+type t = {
+  size : int;
+  pages : Bytes.t array; (* length size / Layout.page_size *)
+  owned : bool array; (* owned.(i): pages.(i) is private to this t *)
+}
 
 exception Fault of int
+
+(* The distinguished all-zero page. Shared by every never-written page
+   of every instance; the write path never mutates a non-owned page, so
+   it stays zero forever. *)
+let zero_page = Bytes.make Layout.page_size '\000'
 
 let create ~size =
   if size <= 0 || not (Layout.is_page_aligned size) then
     invalid_arg (Printf.sprintf "Phys_mem.create: size %d not page-aligned" size);
   if size > Layout.max_ram_size then
     invalid_arg "Phys_mem.create: size exceeds Layout.max_ram_size";
-  { data = Bytes.make size '\000' }
+  let n = size lsr Layout.page_shift in
+  { size; pages = Array.make n zero_page; owned = Array.make n false }
 
-let size t = Bytes.length t.data
+let size t = t.size
 
-let copy t = { data = Bytes.copy t.data }
+let copy t =
+  Array.fill t.owned 0 (Array.length t.owned) false;
+  { size = t.size; pages = Array.copy t.pages; owned = Array.make (Array.length t.pages) false }
+
+let page_count t = Array.length t.pages
+
+let owned_pages t =
+  let n = ref 0 in
+  Array.iter (fun o -> if o then incr n) t.owned;
+  !n
+
+(* A writable view of page [i]: fault in a private copy first if the
+   page is (possibly) shared. *)
+let page_rw t i =
+  if t.owned.(i) then t.pages.(i)
+  else begin
+    let fresh = Bytes.copy t.pages.(i) in
+    t.pages.(i) <- fresh;
+    t.owned.(i) <- true;
+    fresh
+  end
 
 let check t addr len =
-  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then raise (Fault addr)
+  if addr < 0 || len < 0 || addr + len > t.size then raise (Fault addr)
 
 let check_word t addr =
   check t addr Layout.word_size;
   if not (Layout.is_word_aligned addr) then raise (Fault addr)
 
+(* Words never straddle a page: the page size is a multiple of the word
+   size and word accesses are aligned. *)
 let load_word t addr =
   check_word t addr;
-  Int64.to_int (Bytes.get_int64_le t.data addr)
+  Int64.to_int
+    (Bytes.get_int64_le t.pages.(addr lsr Layout.page_shift) (addr land (Layout.page_size - 1)))
 
 let store_word t addr value =
   check_word t addr;
-  Bytes.set_int64_le t.data addr (Int64.of_int value)
+  Bytes.set_int64_le
+    (page_rw t (addr lsr Layout.page_shift))
+    (addr land (Layout.page_size - 1))
+    (Int64.of_int value)
 
 let load_byte t addr =
   check t addr 1;
-  Char.code (Bytes.get t.data addr)
+  Char.code (Bytes.get t.pages.(addr lsr Layout.page_shift) (addr land (Layout.page_size - 1)))
 
 let store_byte t addr value =
   check t addr 1;
-  Bytes.set t.data addr (Char.chr (value land 0xff))
+  Bytes.set
+    (page_rw t (addr lsr Layout.page_shift))
+    (addr land (Layout.page_size - 1))
+    (Char.chr (value land 0xff))
+
+(* Apply [f page_index offset_in_page position_in_range span_len] to
+   each maximal single-page span of [addr, addr+len). Bounds must have
+   been checked already. *)
+let iter_spans addr len f =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let i = a lsr Layout.page_shift in
+    let off = a land (Layout.page_size - 1) in
+    let span = min (len - !pos) (Layout.page_size - off) in
+    f i off !pos span;
+    pos := !pos + span
+  done
 
 let blit t ~src ~dst ~len =
   check t src len;
   check t dst len;
-  Bytes.blit t.data src t.data dst len
+  if len > 0 && src <> dst then begin
+    (* Stage through a scratch buffer: overlapping ranges then behave
+       like memmove, and page boundaries of src and dst need not line
+       up. *)
+    let tmp = Bytes.create len in
+    iter_spans src len (fun i off pos span -> Bytes.blit t.pages.(i) off tmp pos span);
+    iter_spans dst len (fun i off pos span -> Bytes.blit tmp pos (page_rw t i) off span)
+  end
 
 let fill t ~addr ~len ~byte =
   check t addr len;
-  Bytes.fill t.data addr len (Char.chr (byte land 0xff))
+  let c = Char.chr (byte land 0xff) in
+  iter_spans addr len (fun i off _pos span ->
+      if c = '\000' && off = 0 && span = Layout.page_size then begin
+        (* Zeroing a whole page re-shares the canonical zero page
+           instead of dirtying a private one (frame recycling stays
+           cheap under copy-on-write). *)
+        t.pages.(i) <- zero_page;
+        t.owned.(i) <- false
+      end
+      else Bytes.fill (page_rw t i) off span c)
 
 let checksum t ~addr ~len =
   check t addr len;
   let acc = ref 0 in
-  for i = 0 to len - 1 do
-    let b = Char.code (Bytes.get t.data (addr + i)) in
-    acc := ((!acc * 131) + b) land max_int
-  done;
+  iter_spans addr len (fun i off _pos span ->
+      let page = t.pages.(i) in
+      for j = off to off + span - 1 do
+        let b = Char.code (Bytes.get page j) in
+        acc := ((!acc * 131) + b) land max_int
+      done);
   !acc
 
 let equal_range a b ~addr ~len =
   check a addr len;
   check b addr len;
-  Bytes.sub a.data addr len = Bytes.sub b.data addr len
+  let equal = ref true in
+  iter_spans addr len (fun i off _pos span ->
+      if !equal then begin
+        let pa = a.pages.(i) and pb = b.pages.(i) in
+        if pa != pb then
+          (* physically shared spans are equal for free *)
+          let j = ref off in
+          while !equal && !j < off + span do
+            if Bytes.get pa !j <> Bytes.get pb !j then equal := false;
+            incr j
+          done
+      end);
+  !equal

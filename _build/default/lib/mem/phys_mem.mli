@@ -17,7 +17,17 @@ val create : size:int -> t
 val size : t -> int
 
 val copy : t -> t
-(** Deep copy, for interleaving-explorer snapshots. *)
+(** Copy-on-write snapshot, for interleaving-explorer forks: O(#pages)
+    pointer sharing, with a private page copy faulted in on first write
+    to either side. Semantically equivalent to a deep copy. *)
+
+val page_count : t -> int
+(** Number of page frames backing this RAM. *)
+
+val owned_pages : t -> int
+(** Introspection for tests: how many pages this instance holds a
+    private (unshared, writable-in-place) copy of. A fresh or
+    just-snapshotted RAM owns none. *)
 
 val load_word : t -> int -> int
 (** 8-byte aligned load. The top byte is truncated into OCaml's 63-bit

@@ -1,1 +1,1 @@
-lib/mmu/page_table.ml: Hashtbl Layout Perms Pte Uldma_mem
+lib/mmu/page_table.ml: Int Layout Map Perms Pte Uldma_mem

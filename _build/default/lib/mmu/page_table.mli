@@ -3,7 +3,13 @@
 type t
 
 val create : unit -> t
+
 val copy : t -> t
+(** O(1): the underlying map is persistent, so the copy shares
+    structure with the original until either side remaps. *)
+
+val iter : t -> (int -> Pte.t -> unit) -> unit
+(** Visits mappings in increasing virtual-page order. *)
 
 val map : t -> vpage:int -> Pte.t -> unit
 (** Install or replace a mapping. *)
@@ -11,7 +17,6 @@ val map : t -> vpage:int -> Pte.t -> unit
 val unmap : t -> vpage:int -> unit
 val find : t -> vpage:int -> Pte.t option
 val mem : t -> vpage:int -> bool
-val iter : t -> (int -> Pte.t -> unit) -> unit
 val cardinal : t -> int
 
 val mapped_range : t -> vaddr:int -> len:int -> perms:Uldma_mem.Perms.t -> bool

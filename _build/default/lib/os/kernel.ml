@@ -66,7 +66,7 @@ let build_backend spec ram =
 let create config =
   let clock = Clock.create () in
   let ram = Phys_mem.create ~size:config.ram_size in
-  let bus = Bus.create ~clock ~timing:config.timing ~ram in
+  let bus = Bus.create ~clock ~timing:config.timing ~ram () in
   let backend = build_backend config.backend ram in
   let engine =
     Engine.create ~clock ~backend ~ram_size:config.ram_size ~mechanism:config.mechanism
@@ -96,10 +96,16 @@ let create config =
     disk = Option.map Uldma_io.Disk.create config.disk;
   }
 
+(* Snapshot for explorer forks. RAM is shared copy-on-write
+   (Phys_mem.copy is O(#pages)); the bus carries its timing model and
+   per-pid access counters but starts a fresh trace window; page tables
+   fork by persistent-map sharing inside Process.copy. The result is a
+   fully independent kernel whose construction cost is proportional to
+   the amount of live bookkeeping, not to RAM size. *)
 let copy t =
   let clock = Clock.copy t.clock in
   let ram = Phys_mem.copy t.ram in
-  let bus = Bus.create ~clock ~timing:(Bus.timing t.bus) ~ram in
+  let bus = Bus.copy t.bus ~ram ~clock in
   let backend = build_backend t.config.backend ram in
   let engine = Engine.copy t.engine ~clock ~backend in
   Bus.register_device bus (Engine.device engine);
@@ -117,6 +123,8 @@ let copy t =
     procs = List.map Process.copy t.procs;
     disk = Option.map Uldma_io.Disk.copy t.disk;
   }
+
+let snapshot = copy
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)

@@ -37,9 +37,16 @@ val default_config : config
 type t
 
 val create : config -> t
+
 val copy : t -> t
-(** Deep snapshot (explorer support): processes, RAM, engine, clock,
-    scheduler and write buffer are all duplicated. *)
+(** Independent snapshot (explorer support): processes, engine, clock,
+    scheduler and write buffer are duplicated; RAM and page tables are
+    shared copy-on-write, so a snapshot costs O(live bookkeeping), not
+    O(RAM size). The bus carries timing and per-pid access counters but
+    starts an empty trace window. *)
+
+val snapshot : t -> t
+(** Alias for [copy]; the intent-revealing name for explorer forks. *)
 
 (** {1 Accessors} *)
 

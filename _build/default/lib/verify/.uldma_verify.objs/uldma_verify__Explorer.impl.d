@@ -1,1 +1,1 @@
-lib/verify/explorer.ml: Bus Kernel List Txn Uldma_bus Uldma_os
+lib/verify/explorer.ml: Bus Kernel List Uldma_bus Uldma_os

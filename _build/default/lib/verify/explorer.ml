@@ -7,14 +7,15 @@ type 'v result = {
   truncated : bool;
 }
 
-(* Engine-visible transactions issued by [pid] so far, via the bus
-   trace. Kernel accesses (context-switch hooks, pid -1) and other
-   processes' drained stores must not count as the leg's NI access. *)
-let ni_accesses kernel pid =
-  List.length (List.filter (fun t -> t.Txn.pid = pid) (Bus.trace (Kernel.bus kernel)))
+(* Engine-visible transactions issued by [pid] so far, from the bus's
+   O(1) per-pid counter. Kernel accesses (context-switch hooks, pid -1)
+   and other processes' drained stores live in other slots and so never
+   count as the leg's NI access. Only deltas within one leg matter, so
+   the counter's absolute value (which spans the snapshot lineage) is
+   irrelevant. *)
+let ni_accesses kernel pid = Bus.pid_access_count (Kernel.bus kernel) pid
 
 let advance_one_leg kernel pid ~max_instructions =
-  Bus.set_trace (Kernel.bus kernel) true;
   let start = ni_accesses kernel pid in
   let rec loop n =
     if n >= max_instructions then `Stuck
@@ -25,7 +26,7 @@ let advance_one_leg kernel pid ~max_instructions =
   in
   loop 0
 
-let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 200_000) ~check () =
+let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000) ~check () =
   let paths = ref 0 in
   let violations = ref [] in
   let truncated = ref false in
@@ -46,7 +47,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 200_000
         List.iter
           (fun pid ->
             if not !truncated then begin
-              let fork = Kernel.copy kernel in
+              let fork = Kernel.snapshot kernel in
               match advance_one_leg fork pid ~max_instructions:max_instructions_per_leg with
               | `Progress | `Exited -> go fork (pid :: schedule)
               | `Stuck -> truncated := true
@@ -54,5 +55,5 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 200_000
           runnable
     end
   in
-  go (Kernel.copy root) [];
+  go (Kernel.snapshot root) [];
   { paths = !paths; violations = List.rev !violations; truncated = !truncated }

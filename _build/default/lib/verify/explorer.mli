@@ -12,8 +12,10 @@
     transaction. This is exactly the granularity of the paper's own
     Fig. 5/6/8 interleaving diagrams.
 
-    States are forked with [Kernel.copy]; use a small RAM in the root
-    kernel's config to keep exploration cheap. *)
+    States are forked with [Kernel.snapshot] (copy-on-write RAM and
+    persistent page tables, so a fork is cheap even with large RAM) and
+    a leg's NI accesses are counted by the bus's O(1) per-pid counters
+    rather than by scanning the trace. *)
 
 type 'v result = {
   paths : int; (** complete schedules explored *)
@@ -31,7 +33,7 @@ val explore :
   unit ->
   'v result
 (** [check] runs at each terminal state (all of [pids] exited or
-    stuck). Defaults: 2000 instructions per leg, 200_000 paths. The
+    stuck). Defaults: 2000 instructions per leg, 1_000_000 paths. The
     root kernel is not mutated. *)
 
 val advance_one_leg : Uldma_os.Kernel.t -> int -> max_instructions:int -> [ `Progress | `Exited | `Stuck ]

@@ -1,1 +1,1 @@
-test/test_mem.ml: Alcotest Layout List Perms Phys_mem Printf QCheck2 QCheck_alcotest Uldma_mem
+test/test_mem.ml: Alcotest Bytes Char Int64 Layout List Perms Phys_mem Printf QCheck2 QCheck_alcotest Uldma_mem

@@ -210,10 +210,10 @@ let wbuf_model_fuzz =
 (* ------------------------------------------------------------------ *)
 (* Bus *)
 
-let make_bus () =
+let make_bus ?trace_cap () =
   let clock = Clock.create () in
   let ram = Phys_mem.create ~size:(4 * Layout.page_size) in
-  (Bus.create ~clock ~timing:tm ~ram, clock, ram)
+  (Bus.create ?trace_cap ~clock ~timing:tm ~ram (), clock, ram)
 
 let test_bus_ram_roundtrip () =
   let bus, _, ram = make_bus () in
@@ -278,6 +278,77 @@ let test_bus_trace () =
   Bus.clear_trace bus;
   checki "cleared" 0 (List.length (Bus.trace bus))
 
+let test_bus_trace_ring () =
+  let bus, _, _ = make_bus ~trace_cap:4 () in
+  checki "cap recorded" 4 (Bus.trace_cap bus);
+  Bus.set_trace bus true;
+  for i = 1 to 7 do
+    Bus.store bus ~pid:1 ~cacheable:false (8 * i) i
+  done;
+  checki "all transactions counted" 7 (Bus.trace_len bus);
+  let trace = Bus.trace bus in
+  checki "retained window is capped" 4 (List.length trace);
+  Alcotest.(check (list int))
+    "window holds the newest, oldest first" [ 4; 5; 6; 7 ]
+    (List.map (fun t -> t.Txn.value) trace);
+  Bus.set_trace bus false;
+  checki "disabling clears the count" 0 (Bus.trace_len bus)
+
+let test_bus_pid_counters () =
+  let bus, _, _ = make_bus () in
+  checki "fresh pid" 0 (Bus.pid_access_count bus 1);
+  (* counted even with tracing off, kernel pid -1 included *)
+  Bus.store bus ~pid:1 ~cacheable:false 8 1;
+  ignore (Bus.load bus ~pid:1 ~cacheable:false 8 : int);
+  Bus.store bus ~pid:(-1) ~cacheable:false 16 2;
+  Bus.store bus ~pid:1 ~cacheable:true 24 3;
+  (* cached: not engine-visible *)
+  checki "pid 1 uncached accesses" 2 (Bus.pid_access_count bus 1);
+  checki "kernel accesses" 1 (Bus.pid_access_count bus (-1));
+  checki "unseen pid" 0 (Bus.pid_access_count bus 99);
+  Bus.store bus ~pid:200 ~cacheable:false 32 4;
+  (* forces counter growth *)
+  checki "large pid" 1 (Bus.pid_access_count bus 200);
+  checki "pid 1 unaffected" 2 (Bus.pid_access_count bus 1)
+
+let test_bus_device_dispatch_order () =
+  let bus, _, _ = make_bus () in
+  let hits = ref [] in
+  let dev tag =
+    {
+      Bus.claims = (fun paddr -> paddr >= 0x1000_0000);
+      handle =
+        (fun _ ->
+          hits := tag :: !hits;
+          tag);
+    }
+  in
+  for tag = 1 to 10 do
+    Bus.register_device bus (dev tag)
+  done;
+  (* overlapping claims: first registered wins *)
+  checki "first device wins" 1 (Bus.load bus ~pid:1 ~cacheable:false 0x1000_0000);
+  Alcotest.(check (list int)) "only the winner handled it" [ 1 ] !hits
+
+let test_bus_copy_carries_accounting () =
+  let bus, _, _ = make_bus () in
+  Bus.set_trace bus true;
+  Bus.store bus ~pid:1 ~cacheable:false 8 1;
+  Bus.store bus ~pid:2 ~cacheable:false 16 2;
+  let clock = Clock.create () in
+  let ram = Phys_mem.create ~size:(4 * Layout.page_size) in
+  let snap = Bus.copy bus ~ram ~clock in
+  checki "busy_ps carried" (Bus.busy_ps bus) (Bus.busy_ps snap);
+  checki "pid 1 counter carried" 1 (Bus.pid_access_count snap 1);
+  checki "pid 2 counter carried" 1 (Bus.pid_access_count snap 2);
+  checki "trace window starts empty" 0 (List.length (Bus.trace snap));
+  Bus.store snap ~pid:1 ~cacheable:false 8 3;
+  checki "snap counter advances" 2 (Bus.pid_access_count snap 1);
+  checki "original counter unaffected" 1 (Bus.pid_access_count bus 1);
+  (* tracing flag carried: the snapshot records its own transactions *)
+  checki "snap traces independently" 1 (List.length (Bus.trace snap));
+  checki "original trace intact" 2 (List.length (Bus.trace bus))
+
 let () =
   Alcotest.run "bus"
     [
@@ -310,5 +381,9 @@ let () =
           Alcotest.test_case "device claim" `Quick test_bus_device_claim;
           Alcotest.test_case "bus error" `Quick test_bus_error;
           Alcotest.test_case "trace" `Quick test_bus_trace;
+          Alcotest.test_case "trace ring cap" `Quick test_bus_trace_ring;
+          Alcotest.test_case "per-pid counters" `Quick test_bus_pid_counters;
+          Alcotest.test_case "device dispatch order" `Quick test_bus_device_dispatch_order;
+          Alcotest.test_case "copy carries accounting" `Quick test_bus_copy_carries_accounting;
         ] );
     ]

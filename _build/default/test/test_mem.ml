@@ -187,6 +187,108 @@ let test_mem_equal_range () =
   Phys_mem.store_byte b 9 2;
   checkb "unequal" false (Phys_mem.equal_range a b ~addr:8 ~len:32)
 
+(* --- copy-on-write semantics --- *)
+
+let test_mem_cow_sharing () =
+  let m = mem () in
+  checki "fresh RAM owns no pages" 0 (Phys_mem.owned_pages m);
+  Phys_mem.store_word m 0 1;
+  checki "first write faults in one page" 1 (Phys_mem.owned_pages m);
+  let child = Phys_mem.copy m in
+  checki "snapshot un-owns the parent" 0 (Phys_mem.owned_pages m);
+  checki "child owns nothing yet" 0 (Phys_mem.owned_pages child);
+  Phys_mem.store_word child 0 2;
+  checki "child write faults in its own page" 1 (Phys_mem.owned_pages child);
+  checki "parent still un-owned" 0 (Phys_mem.owned_pages m);
+  checki "parent value intact" 1 (Phys_mem.load_word m 0);
+  checki "child value" 2 (Phys_mem.load_word child 0)
+
+let test_mem_cow_siblings () =
+  let parent = mem () in
+  Phys_mem.store_word parent 64 10;
+  let a = Phys_mem.copy parent and b = Phys_mem.copy parent in
+  Phys_mem.store_word a 64 20;
+  Phys_mem.store_word b (2 * Layout.page_size) 30;
+  checki "parent untouched by a" 10 (Phys_mem.load_word parent 64);
+  checki "parent untouched by b" 0 (Phys_mem.load_word parent (2 * Layout.page_size));
+  checki "a sees own write" 20 (Phys_mem.load_word a 64);
+  checki "a blind to b's write" 0 (Phys_mem.load_word a (2 * Layout.page_size));
+  checki "b inherits parent page" 10 (Phys_mem.load_word b 64);
+  checkb "shared pages equal for free" true
+    (Phys_mem.equal_range parent b ~addr:0 ~len:Layout.page_size)
+
+let test_mem_cow_blit_fill_across_pages () =
+  let m = mem () in
+  (* pattern crossing the page 0/1 boundary *)
+  let src = Layout.page_size - 100 in
+  for i = 0 to 199 do
+    Phys_mem.store_byte m (src + i) (i land 0xff)
+  done;
+  let snap = Phys_mem.copy m in
+  (* blit in the child across the page 2/3 boundary, from a range that
+     is still shared with the parent *)
+  let dst = (3 * Layout.page_size) - 77 in
+  Phys_mem.blit snap ~src ~dst ~len:200;
+  for i = 0 to 199 do
+    checki (Printf.sprintf "blitted[%d]" i) (i land 0xff) (Phys_mem.load_byte snap (dst + i))
+  done;
+  checki "parent dst range untouched" 0 (Phys_mem.load_byte m dst);
+  checkb "source range still equal" true (Phys_mem.equal_range m snap ~addr:src ~len:200);
+  (* whole-page zero fill re-shares the zero page instead of dirtying *)
+  let before = Phys_mem.owned_pages snap in
+  Phys_mem.fill snap ~addr:(2 * Layout.page_size) ~len:(2 * Layout.page_size) ~byte:0;
+  checkb "zero fill releases private pages" true (Phys_mem.owned_pages snap < before);
+  checki "zeroed" 0 (Phys_mem.load_byte snap dst);
+  checki "parent still untouched" 0 (Phys_mem.load_byte m dst)
+
+(* A random op script applied identically to a COW Phys_mem and to an
+   eager Bytes oracle, with a snapshot taken mid-script: afterwards the
+   parent must match the oracle state at the snapshot point and the
+   child the final oracle state, under load/checksum/equal_range. *)
+let mem_cow_matches_eager_oracle =
+  let size = 4 * Layout.page_size in
+  let oracle_checksum oracle =
+    let acc = ref 0 in
+    Bytes.iter (fun c -> acc := ((!acc * 131) + Char.code c) land max_int) oracle;
+    !acc
+  in
+  let apply_op mem oracle (kind, a, b, len) =
+    let addr = a mod (size - 512) in
+    let len = 1 + (len mod 500) in
+    match kind mod 4 with
+    | 0 ->
+      Phys_mem.store_byte mem addr (b land 0xff);
+      Bytes.set oracle addr (Char.chr (b land 0xff))
+    | 1 ->
+      let addr = addr land lnot 7 in
+      Phys_mem.store_word mem addr b;
+      Bytes.set_int64_le oracle addr (Int64.of_int b)
+    | 2 ->
+      Phys_mem.fill mem ~addr ~len ~byte:(b land 0xff);
+      Bytes.fill oracle addr len (Char.chr (b land 0xff))
+    | _ ->
+      let dst = b mod (size - 512) in
+      Phys_mem.blit mem ~src:addr ~dst ~len;
+      let tmp = Bytes.sub oracle addr len in
+      Bytes.blit tmp 0 oracle dst len
+  in
+  let gen_op =
+    QCheck2.Gen.(quad (int_range 0 3) (int_range 0 (size - 1)) (int_range 0 max_int) nat)
+  in
+  qtest ~count:50 "phys_mem: COW snapshot matches eager-copy oracle"
+    QCheck2.Gen.(pair (list_size (int_range 0 30) gen_op) (list_size (int_range 0 30) gen_op))
+    (fun (ops_before, ops_after) ->
+      let m = Phys_mem.create ~size in
+      let oracle = Bytes.make size '\000' in
+      List.iter (apply_op m oracle) ops_before;
+      let child = Phys_mem.copy m in
+      let oracle_at_snap = Bytes.copy oracle in
+      (* diverge: child follows the script, parent stays put *)
+      List.iter (apply_op child oracle) ops_after;
+      Phys_mem.checksum m ~addr:0 ~len:size = oracle_checksum oracle_at_snap
+      && Phys_mem.checksum child ~addr:0 ~len:size = oracle_checksum oracle
+      && Phys_mem.equal_range m child ~addr:0 ~len:size = Bytes.equal oracle_at_snap oracle)
+
 let mem_word_roundtrip_prop =
   qtest "phys_mem: word store/load roundtrip"
     QCheck2.Gen.(pair (int_range 0 1000) (int_range (-1000000) 1000000))
@@ -241,6 +343,11 @@ let () =
           Alcotest.test_case "checksum" `Quick test_mem_checksum_equal;
           Alcotest.test_case "copy independent" `Quick test_mem_copy_independent;
           Alcotest.test_case "equal_range" `Quick test_mem_equal_range;
+          Alcotest.test_case "cow page sharing" `Quick test_mem_cow_sharing;
+          Alcotest.test_case "cow sibling isolation" `Quick test_mem_cow_siblings;
+          Alcotest.test_case "cow blit/fill across pages" `Quick
+            test_mem_cow_blit_fill_across_pages;
+          mem_cow_matches_eager_oracle;
           mem_word_roundtrip_prop;
           mem_blit_preserves_content;
         ] );

@@ -253,6 +253,39 @@ let test_advance_one_leg () =
   checkb "victim still mid-stub" true
     (List.mem s.Scenario.victim.Process.pid (Kernel.runnable_pids kernel))
 
+(* Kernel snapshots share RAM copy-on-write and page tables by
+   persistent-map sharing; driving one fork through a whole scenario
+   must leave the root and a sibling fork bit-identical. *)
+let test_kernel_snapshot_isolation () =
+  List.iter
+    (fun (name, scenario) ->
+      let s = scenario () in
+      let root = s.Scenario.kernel in
+      let root_ram = Kernel.ram root in
+      let ram_len = Uldma_mem.Phys_mem.size root_ram in
+      let sum_before = Uldma_mem.Phys_mem.checksum root_ram ~addr:0 ~len:ram_len in
+      let a = Kernel.snapshot root and b = Kernel.snapshot root in
+      (* run fork [a] to completion, interleaving both pids *)
+      let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
+      let budget = ref 100 in
+      while Kernel.runnable_pids a <> [] && !budget > 0 do
+        decr budget;
+        List.iter
+          (fun pid -> ignore (Explorer.advance_one_leg a pid ~max_instructions:2000))
+          pids
+      done;
+      if !budget = 0 then Alcotest.failf "%s: fork did not quiesce" name;
+      checkb (name ^ ": fork made progress") true (Kernel.now_ps a > 0);
+      checki (name ^ ": root clock untouched") 0 (Kernel.now_ps root);
+      checki (name ^ ": root RAM untouched") sum_before
+        (Uldma_mem.Phys_mem.checksum root_ram ~addr:0 ~len:ram_len);
+      checki (name ^ ": sibling clock untouched") 0 (Kernel.now_ps b);
+      checkb (name ^ ": sibling RAM identical to root") true
+        (Uldma_mem.Phys_mem.equal_range root_ram (Kernel.ram b) ~addr:0 ~len:ram_len);
+      (* the untouched sibling must still be fully usable *)
+      checkb (name ^ ": sibling still runnable") true (Kernel.runnable_pids b <> []))
+    [ ("fig5", Scenario.fig5); ("rep5", Scenario.rep5) ]
+
 let test_timeline_reproduces_fig5 () =
   let s = Scenario.fig5 () in
   Scenario.run_legs s Scenario.fig5_schedule;
@@ -436,6 +469,7 @@ let () =
           Alcotest.test_case "root untouched" `Quick test_explorer_root_untouched;
           Alcotest.test_case "max_paths truncates" `Quick test_explorer_max_paths_truncates;
           Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;
+          Alcotest.test_case "kernel snapshot isolation" `Quick test_kernel_snapshot_isolation;
         ] );
       ( "campaigns",
         [

@@ -1,0 +1,1 @@
+tools/bench_seed.ml: Printf Uldma_os Uldma_verify Uldma_workload Unix

@@ -1,0 +1,1 @@
+tools/bench_seed.mli:

@@ -1,0 +1,1 @@
+tools/gen_golden.ml: List Printf Uldma_sim Uldma_util

@@ -1,0 +1,1 @@
+tools/gen_golden.mli:

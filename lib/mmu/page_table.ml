@@ -1,22 +1,29 @@
 open Uldma_mem
 
-type t = { entries : (int, Pte.t) Hashtbl.t }
+(* Backed by a persistent map so [copy] is O(1) structural sharing —
+   kernel snapshots fork page tables on every explorer branch point.
+   PTEs are immutable, so sharing them between snapshots is safe;
+   map/unmap on one side rebuilds only the touched spine. *)
 
-let create () = { entries = Hashtbl.create 64 }
+module Int_map = Map.Make (Int)
 
-let copy t = { entries = Hashtbl.copy t.entries }
+type t = { mutable entries : Pte.t Int_map.t }
 
-let map t ~vpage pte = Hashtbl.replace t.entries vpage pte
+let create () = { entries = Int_map.empty }
 
-let unmap t ~vpage = Hashtbl.remove t.entries vpage
+let copy t = { entries = t.entries }
 
-let find t ~vpage = Hashtbl.find_opt t.entries vpage
+let map t ~vpage pte = t.entries <- Int_map.add vpage pte t.entries
 
-let mem t ~vpage = Hashtbl.mem t.entries vpage
+let unmap t ~vpage = t.entries <- Int_map.remove vpage t.entries
 
-let iter t f = Hashtbl.iter f t.entries
+let find t ~vpage = Int_map.find_opt vpage t.entries
 
-let cardinal t = Hashtbl.length t.entries
+let mem t ~vpage = Int_map.mem vpage t.entries
+
+let iter t f = Int_map.iter f t.entries
+
+let cardinal t = Int_map.cardinal t.entries
 
 let mapped_range t ~vaddr ~len ~perms =
   if len <= 0 then true

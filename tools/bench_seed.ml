@@ -1,0 +1,26 @@
+(* Quick standalone explorer-throughput probe: times the rep5
+   exploration at max_paths=50 and in full. Handy for before/after
+   comparisons when touching the snapshot path; the canonical
+   machine-readable numbers come from bench/main.ml's
+   BENCH_explorer.json. *)
+let () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let explore_rep5 max_paths () =
+    let s = Uldma_workload.Scenario.rep5 () in
+    let pids =
+      [ s.Uldma_workload.Scenario.victim.Uldma_os.Process.pid;
+        s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid ] in
+    Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids
+      ~max_paths ~check:(fun _ -> None) ()
+  in
+  let r, dt = time (explore_rep5 50) in
+  Printf.printf "rep5 max_paths=50: paths=%d %.3fs (%.1f paths/s)\n"
+    r.Uldma_verify.Explorer.paths dt (float_of_int r.Uldma_verify.Explorer.paths /. dt);
+  let r, dt = time (explore_rep5 200_000) in
+  Printf.printf "rep5 full: paths=%d truncated=%b %.3fs (%.1f paths/s)\n"
+    r.Uldma_verify.Explorer.paths r.Uldma_verify.Explorer.truncated dt
+    (float_of_int r.Uldma_verify.Explorer.paths /. dt)
