@@ -147,6 +147,28 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "    \"%s\": %.3f%s\n" name us
         (if i = List.length initiation - 1 then "" else ","))
     initiation;
+  Buffer.add_string buf "  },\n  \"counters\": {\n";
+  (* per-layer named counters (os, bus and dma sections) of a standard
+     100-initiation session per mechanism: machine-readable per-PR
+     visibility into *what* each mechanism did, not just how fast *)
+  let mechs = [ "kernel"; "ext-shadow"; "rep-args"; "key-based"; "pal" ] in
+  List.iteri
+    (fun i name ->
+      let s = Uldma.Session.create ~mech:name () in
+      let p = Uldma.Session.process s ~name:"bench" () in
+      Uldma.Session.dma_stub ~iterations:100 s p;
+      Uldma.Session.run_exn s ~max_steps:2_000_000;
+      let c = Uldma.Session.metrics s in
+      let names = Uldma_obs.Counters.counter_names c in
+      Printf.bprintf buf "    \"%s\": {\n" name;
+      List.iteri
+        (fun j n ->
+          Printf.bprintf buf "      \"%s\": %d%s\n" n (Uldma_obs.Counters.value c n)
+            (if j = List.length names - 1 then "" else ","))
+        names;
+      Printf.bprintf buf "    }%s\n" (if i = List.length mechs - 1 then "" else ",")
+    )
+    mechs;
   Buffer.add_string buf "  }\n}\n";
   let path = Filename.concat results_dir "BENCH_explorer.json" in
   let oc = open_out path in

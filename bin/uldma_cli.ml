@@ -10,7 +10,46 @@
 module Experiments = Uldma_sim.Experiments
 module Api = Uldma.Api
 module Mech = Uldma.Mech
+module Trace = Uldma_obs.Trace
+module Export = Uldma_obs.Export
 open Cmdliner
+
+(* --trace support: install an enabled ambient sink around the body so
+   every kernel the experiment builds reports into it, then export.
+   All tracing chatter goes to stderr: stdout stays golden-stable. *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a structured event trace of the run to $(docv).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl); ("summary", `Summary) ]) `Chrome
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace output format: $(b,chrome) (chrome://tracing / Perfetto JSON), $(b,jsonl) (one \
+           event per line) or $(b,summary) (per-layer event counts).")
+
+let with_trace trace_file trace_format f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+    let sink = Trace.create () in
+    Trace.set_enabled sink true;
+    Trace.with_ambient sink f;
+    (match trace_format with
+    | (`Chrome | `Jsonl) as fmt -> Export.to_file fmt path sink
+    | `Summary ->
+      let oc = open_out path in
+      output_string oc (Uldma_util.Tbl.render (Export.summary sink));
+      close_out oc);
+    Printf.eprintf "(trace: %d events%s -> %s)\n%!" (Trace.total sink)
+      (let d = Trace.dropped sink in
+       if d > 0 then Printf.sprintf " (%d dropped at ring cap)" d else "")
+      path
 
 let list_cmd =
   let doc = "List every reproducible table/figure." in
@@ -28,24 +67,25 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_experiment id csv iterations =
+let run_experiment id csv iterations trace_file trace_format =
   match Experiments.find id with
   | None ->
     Printf.eprintf "unknown experiment %S; try `uldma_cli list'\n" id;
     exit 1
   | Some e ->
-    let tbl =
-      if id = "table1" then Experiments.table1 ?iterations ()
-      else e.Experiments.run ()
-    in
-    Uldma_util.Tbl.print tbl;
-    (match csv with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Uldma_util.Tbl.to_csv tbl);
-      close_out oc;
-      Printf.printf "(csv written to %s)\n" path
-    | None -> ())
+    with_trace trace_file trace_format (fun () ->
+        let tbl =
+          if id = "table1" then Experiments.table1 ?iterations ()
+          else e.Experiments.run ()
+        in
+        Uldma_util.Tbl.print tbl;
+        match csv with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Uldma_util.Tbl.to_csv tbl);
+          close_out oc;
+          Printf.printf "(csv written to %s)\n" path
+        | None -> ())
 
 let run_cmd =
   let doc = "Run one experiment by id." in
@@ -54,18 +94,20 @@ let run_cmd =
   let iterations =
     Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N" ~doc:"Initiations per mechanism (table1 only).")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiment $ id $ csv $ iterations)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiment $ id $ csv $ iterations $ trace_file_arg $ trace_format_arg)
 
 let all_cmd =
   let doc = "Run every experiment in registry order." in
-  let run () =
-    List.iter
-      (fun (e : Experiments.experiment) ->
-        Printf.printf "--- %s [%s] ---\n%!" e.Experiments.id e.Experiments.paper_ref;
-        Uldma_util.Tbl.print (e.Experiments.run ()))
-      Experiments.all
+  let run trace_file trace_format =
+    with_trace trace_file trace_format (fun () ->
+        List.iter
+          (fun (e : Experiments.experiment) ->
+            Printf.printf "--- %s [%s] ---\n%!" e.Experiments.id e.Experiments.paper_ref;
+            Uldma_util.Tbl.print (e.Experiments.run ()))
+          Experiments.all)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ trace_file_arg $ trace_format_arg)
 
 let mechanisms_cmd =
   let doc = "Show the mechanism catalog." in
@@ -171,7 +213,8 @@ let timeline_cmd =
       & pos 0 (some (enum [ ("fig5", `Fig5); ("fig6", `Fig6); ("shrimp2", `Shrimp2); ("rep5", `Rep5) ])) None
       & info [] ~docv:"SCENARIO")
   in
-  let run which =
+  let run which trace_file trace_format =
+    with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let s, schedule =
       match which with
@@ -198,7 +241,7 @@ let timeline_cmd =
       (Scenario.transfers s);
     Format.printf "%a@." Uldma_verify.Oracle.pp_report (Scenario.report s)
   in
-  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ which)
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ which $ trace_file_arg $ trace_format_arg)
 
 let stub_cmd =
   let doc =
@@ -213,17 +256,10 @@ let stub_cmd =
     | Some mech ->
       (* build a minimal machine so prepare can allocate real contexts
          and mappings, then print the emitted DMA(r1, r2, r3) body *)
-      let config = Api.kernel_config mech in
-      let kernel = Uldma_os.Kernel.create config in
-      let p = Uldma_os.Kernel.spawn kernel ~name:"stub" ~program:[||] () in
-      let src = Uldma_os.Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
-      let dst = Uldma_os.Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
-      let prepared =
-        mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages = 1 }
-          ~dst:{ Mech.vaddr = dst; pages = 1 }
-      in
+      let s = Uldma.Session.of_mech mech in
+      let p = Uldma.Session.process s ~name:"stub" ~src_pages:1 ~dst_pages:1 () in
       let asm = Uldma_cpu.Asm.create () in
-      prepared.Mech.emit_dma asm;
+      p.Uldma.Session.emit_dma asm;
       Printf.printf
         "DMA stub for %s  (entry: r1 = vsource, r2 = vdestination, r3 = size; exit: r0 = status)\n\n"
         mech.Mech.name;

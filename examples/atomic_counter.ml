@@ -19,16 +19,21 @@ let increments = 200
 
 let () =
   print_endline "=== user-level atomic operations: shared counter ===\n";
-  let config =
-    {
-      Kernel.default_config with
-      Kernel.mechanism = Uldma_dma.Engine.Ext_shadow;
-      backend = Kernel.Local { bytes_per_s = 1e9 };
-      sched = Sched.Round_robin { quantum = 7 };
-      ram_size = 128 * Layout.page_size;
-    }
+  let s =
+    Uldma.Session.create ~mech:"ext-shadow"
+      ~config:
+        {
+          Kernel.default_config with
+          Kernel.mechanism = Uldma_dma.Engine.Ext_shadow;
+          backend = Kernel.Local { bytes_per_s = 1e9 };
+          sched = Sched.Round_robin { quantum = 7 };
+          ram_size = 128 * Layout.page_size;
+        }
+      ()
   in
-  let kernel = Kernel.create config in
+  (* the atomic window needs host-level sharing between workers, so
+     this example works through the session's kernel escape hatch *)
+  let kernel = Uldma.Session.kernel s in
 
   (* the page owner allocates the shared words *)
   let owner = Kernel.spawn kernel ~name:"owner" ~program:[||] () in

@@ -16,7 +16,7 @@ open Uldma_mem
 open Uldma_cpu
 open Uldma_os
 module Mech = Uldma.Mech
-module Api = Uldma.Api
+module Session = Uldma.Session
 
 let rounds = 16
 let buffer_bytes = 8192
@@ -72,32 +72,29 @@ let build_program ~overlap ~buf0 ~buf1 ~dst ~emit_dma =
   Asm.assemble asm
 
 let run ~overlap =
-  let mech = Api.find_exn "ext-shadow" in
-  let config =
-    Api.kernel_config mech
-      ~base:
+  let s =
+    Session.create ~mech:"ext-shadow"
+      ~config:
         {
           Kernel.default_config with
           Kernel.ram_size = 64 * Layout.page_size;
           (* a 19 MB/s wire: one 8 KiB buffer takes ~420 us *)
           backend = Kernel.Local { bytes_per_s = 19e6 };
         }
+      ()
   in
-  let kernel = Kernel.create config in
-  let p = Kernel.spawn kernel ~name:"producer" ~program:[||] () in
-  let buf0 = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let buf1 = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let prepared =
-    mech.Mech.prepare kernel p ~src:{ Mech.vaddr = buf0; pages = 2 }
-      ~dst:{ Mech.vaddr = dst; pages = 1 }
+  (* a 2-page source region holds both halves of the double buffer *)
+  let p = Session.process s ~name:"producer" ~src_pages:2 ~dst_pages:1 () in
+  let buf0 = p.Session.src.Mech.vaddr in
+  let buf1 = buf0 + Layout.page_size in
+  let dst = p.Session.dst.Mech.vaddr in
+  Session.program s p
+    (build_program ~overlap ~buf0 ~buf1 ~dst ~emit_dma:p.Session.emit_dma);
+  Session.run_exn s ~max_steps:20_000_000;
+  let transfers =
+    List.length (Uldma_dma.Engine.transfers (Kernel.engine (Session.kernel s)))
   in
-  Process.set_program p (build_program ~overlap ~buf0 ~buf1 ~dst ~emit_dma:prepared.Mech.emit_dma);
-  (match Kernel.run kernel ~max_steps:20_000_000 () with
-  | Kernel.All_exited -> ()
-  | _ -> failwith "producer did not finish");
-  let transfers = List.length (Uldma_dma.Engine.transfers (Kernel.engine kernel)) in
-  (Uldma_util.Units.to_us (Kernel.now_ps kernel), transfers)
+  (Uldma_util.Units.to_us (Session.now_ps s), transfers)
 
 let () =
   print_endline "=== double-buffered producer: compute/communicate overlap ===\n";

@@ -4,69 +4,57 @@
 
    Run with: dune exec examples/quickstart.exe *)
 
-open Uldma_mem
 open Uldma_os
 module Mech = Uldma.Mech
-module Api = Uldma.Api
+module Session = Uldma.Session
 
 let () =
   print_endline "=== uldma quickstart: extended shadow addressing ===\n";
 
   (* 1. Pick a mechanism and build a machine whose network interface
         speaks it. The default machine is the paper's: a 150 MHz Alpha
-        with the NI on a 12.5 MHz TurboChannel. *)
-  let mech = Api.find_exn "ext-shadow" in
-  let config =
-    Api.kernel_config mech
-      ~base:{ Kernel.default_config with Kernel.backend = Kernel.Local { bytes_per_s = 19e6 } }
+        with the NI on a 12.5 MHz TurboChannel; here we also give it a
+        19 MB/s local backend so bytes actually move. *)
+  let s =
+    Session.create ~mech:"ext-shadow"
+      ~preset:(Session.Local_backend { bytes_per_s = 19e6 })
+      ()
   in
-  let kernel = Kernel.create config in
 
-  (* 2. Create a process and give it a source and a destination
-        buffer (one page each), plus a page for results. *)
-  let p = Kernel.spawn kernel ~name:"app" ~program:[||] () in
-  let src = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+  (* 2. One call: spawn a process, give it source and destination
+        buffers (one page each) plus a result page, and run the
+        mechanism's setup — the OS allocates a register context and
+        maps shadow aliases with ordinary mmap-style work. No kernel
+        modification anywhere. *)
+  let p = Session.process s ~name:"app" ~src_pages:1 ~dst_pages:1 () in
+  let src = p.Session.src.Mech.vaddr and dst = p.Session.dst.Mech.vaddr in
   Printf.printf "buffers:      src = %#x, dst = %#x (virtual)\n" src dst;
-
-  (* 3. One-time setup: the OS allocates a register context and maps
-        shadow aliases of both buffers. This is ordinary mmap-style
-        work — no kernel modification anywhere. *)
-  let prepared =
-    mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages = 1 }
-      ~dst:{ Mech.vaddr = dst; pages = 1 }
-  in
   Printf.printf "context:      process got register context %s\n"
-    (match p.Process.dma_context with Some c -> string_of_int c | None -> "-");
-  Printf.printf "kernel:       modified? %b\n\n" (Kernel.kernel_modified kernel);
+    (match p.Session.process.Process.dma_context with
+    | Some c -> string_of_int c
+    | None -> "-");
+  Printf.printf "kernel:       modified? %b\n\n" (Kernel.kernel_modified (Session.kernel s));
 
-  (* 4. Put a recognisable pattern in the source buffer. *)
+  (* 3. Put a recognisable pattern in the source buffer. *)
   for i = 0 to 255 do
-    Kernel.write_user kernel p (src + (8 * i)) (0xabc000 + i)
+    Session.write s p (src + (8 * i)) (0xabc000 + i)
   done;
 
-  (* 5. The user program: a single DMA(src, dst, 2048) through the
+  (* 4. The user program: a single DMA(src, dst, 2048) through the
         2-access stub, then halt. *)
-  Process.set_program p
-    (Uldma_workload.Stub_loop.build_single ~vsrc:src ~vdst:dst ~size:2048 ~result_va
-       ~emit_dma:prepared.Mech.emit_dma);
+  Session.dma_once ~transfer_size:2048 s p;
 
-  (* 6. Run the machine. *)
-  (match Kernel.run kernel ~max_steps:100_000 () with
-  | Kernel.All_exited -> ()
-  | _ -> failwith "machine did not finish");
+  (* 5. Run the machine. *)
+  Session.run_exn s ~max_steps:100_000;
 
-  (* 7. Inspect. *)
-  let status = Uldma_workload.Stub_loop.read_last_status kernel p ~result_va in
+  (* 6. Inspect. *)
+  let status = Session.last_status s p in
   Printf.printf "status:       %d (bytes remaining at initiation; -1 would be failure)\n" status;
-  Printf.printf "moved:        dst[0] = %#x, dst[255] = %#x\n"
-    (Kernel.read_user kernel p dst)
-    (Kernel.read_user kernel p (dst + (8 * 255)));
+  Printf.printf "moved:        dst[0] = %#x, dst[255] = %#x\n" (Session.read s p dst)
+    (Session.read s p (dst + (8 * 255)));
   List.iter
     (fun tr -> Format.printf "transfer:     %a@." Uldma_dma.Transfer.pp tr)
-    (Uldma_dma.Engine.transfers (Kernel.engine kernel));
-  Format.printf "elapsed:      %a of simulated time@."
-    Uldma_util.Units.pp_time (Kernel.now_ps kernel);
+    (Uldma_dma.Engine.transfers (Kernel.engine (Session.kernel s)));
+  Format.printf "elapsed:      %a of simulated time@." Uldma_util.Units.pp_time (Session.now_ps s);
   print_endline "\nThe whole initiation was: STORE size TO shadow(dst); LOAD status FROM shadow(src).";
   print_endline "Compare: dune exec bin/uldma_cli.exe -- run table1"

@@ -20,6 +20,8 @@ type t = {
   mutable trace_total : int; (* transactions recorded since last clear *)
   mutable busy_ps : int; (* cumulative uncached-crossing time *)
   mutable counts : int array; (* counts.(pid + 1) = uncached accesses *)
+  mutable sink : Uldma_obs.Trace.t;
+  mutable machine : int;
 }
 
 let create ?(trace_cap = default_trace_cap) ~clock ~timing ~ram () =
@@ -35,9 +37,14 @@ let create ?(trace_cap = default_trace_cap) ~clock ~timing ~ram () =
     trace_total = 0;
     busy_ps = 0;
     counts = Array.make 8 0;
+    sink = Uldma_obs.Trace.null;
+    machine = 0;
   }
 
 let clock t = t.clock
+let set_sink t ~machine sink =
+  t.sink <- sink;
+  t.machine <- machine
 let timing t = t.timing
 let ram t = t.ram
 let set_timing t timing = t.timing <- timing
@@ -87,6 +94,10 @@ let uncached_access t ~pid op paddr value =
   bump_count t pid;
   let txn = { Txn.op; paddr; value; pid; at = Clock.now t.clock } in
   record t txn;
+  if Uldma_obs.Trace.enabled t.sink then
+    Uldma_obs.Trace.emit t.sink ~at:txn.Txn.at ~machine:t.machine ~pid
+      (Uldma_obs.Trace.Uncached_access
+         { op = (match op with Txn.Load -> `Load | Txn.Store -> `Store); paddr; value });
   match find_device t paddr with
   | Some d -> d.handle txn
   | None ->
@@ -151,4 +162,6 @@ let copy t ~ram ~clock =
     trace_total = 0;
     busy_ps = t.busy_ps;
     counts = Array.copy t.counts;
+    sink = t.sink;
+    machine = t.machine;
   }

@@ -21,6 +21,12 @@ val create :
     still counted by [trace_len] and the per-pid counters. *)
 
 val clock : t -> Clock.t
+
+val set_sink : t -> machine:int -> Uldma_obs.Trace.t -> unit
+(** Attach a structured trace sink (default [Trace.null]): every
+    uncached crossing then also emits an [Uncached_access] event
+    stamped with the given machine id. Carried across [copy]. *)
+
 val timing : t -> Timing.t
 val ram : t -> Uldma_mem.Phys_mem.t
 val set_timing : t -> Timing.t -> unit

@@ -1,24 +1,33 @@
 type mode = Ordered | Bypass of { forward : bool; collapse : bool }
 
+type event = Collapsed of { paddr : int } | Drained of { count : int }
+
 type t = {
   mode : mode;
   capacity : int;
   mutable queue : (int * int) list; (* oldest first *)
+  mutable observer : (event -> unit) option;
 }
 
 let create ?(capacity = 4) mode =
   if capacity < 1 then invalid_arg "Write_buffer.create: capacity < 1";
-  { mode; capacity; queue = [] }
+  { mode; capacity; queue = []; observer = None }
 
-let copy t = { t with queue = t.queue }
+let copy t = { t with queue = t.queue; observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
 
 let mode t = t.mode
 
 let pending t = t.queue
 
 let drain_all t emit =
+  let n = List.length t.queue in
   List.iter (fun (paddr, value) -> emit ~paddr ~value) t.queue;
-  t.queue <- []
+  t.queue <- [];
+  if n > 0 then notify t (Drained { count = n })
 
 let store t ~emit ~paddr ~value =
   match t.mode with
@@ -27,8 +36,10 @@ let store t ~emit ~paddr ~value =
     let collapsed =
       collapse && List.exists (fun (p, _) -> p = paddr) t.queue
     in
-    if collapsed then
-      t.queue <- List.map (fun (p, v) -> if p = paddr then (p, value) else (p, v)) t.queue
+    if collapsed then begin
+      t.queue <- List.map (fun (p, v) -> if p = paddr then (p, value) else (p, v)) t.queue;
+      notify t (Collapsed { paddr })
+    end
     else begin
       t.queue <- t.queue @ [ (paddr, value) ];
       if List.length t.queue > t.capacity then

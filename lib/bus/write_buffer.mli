@@ -19,6 +19,11 @@
 
 type mode = Ordered | Bypass of { forward : bool; collapse : bool }
 
+type event = Collapsed of { paddr : int } | Drained of { count : int }
+(** Observable hazards: a store collapsed into an already-buffered one
+    (the device will never see the first value), or a barrier/overflow
+    drained [count] buffered stores. *)
+
 type t
 
 val create : ?capacity:int -> mode -> t
@@ -26,6 +31,13 @@ val create : ?capacity:int -> mode -> t
     store drains the oldest entry first. *)
 
 val copy : t -> t
+(** Copies share the queue contents but drop the observer; the owner of
+    the copy installs its own. *)
+
+val set_observer : t -> (event -> unit) -> unit
+(** Install the single observer called on collapse and drain events
+    (the machine uses it to feed the structured trace). *)
+
 val mode : t -> mode
 val pending : t -> (int * int) list
 (** Buffered (paddr, value) pairs, oldest first. *)

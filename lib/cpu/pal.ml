@@ -40,6 +40,17 @@ let install t ~index body =
 let get t index =
   if index < 0 || index >= num_slots then None else t.slots.(index)
 
+let invoke t ~index ~sink ~machine ~pid ~now ~run =
+  match get t index with
+  | None -> None
+  | Some body ->
+    if Uldma_obs.Trace.enabled sink then
+      Uldma_obs.Trace.emit sink ~at:(now ()) ~machine ~pid (Uldma_obs.Trace.Pal_enter { index });
+    let result = run body in
+    if Uldma_obs.Trace.enabled sink then
+      Uldma_obs.Trace.emit sink ~at:(now ()) ~machine ~pid (Uldma_obs.Trace.Pal_exit { index });
+    Some result
+
 let installed t =
   let acc = ref [] in
   Array.iteri (fun i s -> if s <> None then acc := i :: !acc) t.slots;

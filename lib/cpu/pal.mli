@@ -27,3 +27,17 @@ val install : t -> index:int -> Isa.instr array -> (unit, string) result
 
 val get : t -> int -> Isa.instr array option
 val installed : t -> int list
+
+val invoke :
+  t ->
+  index:int ->
+  sink:Uldma_obs.Trace.t ->
+  machine:int ->
+  pid:int ->
+  now:(unit -> Uldma_util.Units.ps) ->
+  run:(Isa.instr array -> 'a) ->
+  'a option
+(** Look up slot [index] and execute its body through [run], bracketed
+    by [Pal_enter]/[Pal_exit] trace events ([now] is sampled before and
+    after so the exit carries the post-execution time). [None] if the
+    slot is empty. *)

@@ -87,6 +87,8 @@ type t = {
   mutable events : event list; (* newest first *)
   mutable outbound : outbound_packet list; (* newest first *)
   counters : counters;
+  mutable sink : Uldma_obs.Trace.t;
+  mutable machine : int;
 }
 
 let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
@@ -115,10 +117,20 @@ let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
     events = [];
     counters = { started = 0; rejected = 0; key_rejected = 0; atomics = 0; remote_sends = 0 };
     outbound = [];
+    sink = Uldma_obs.Trace.null;
+    machine = 0;
   }
 
 let mechanism t = t.mechanism
 let contexts t = t.contexts
+
+let set_sink t ~machine sink =
+  t.sink <- sink;
+  t.machine <- machine
+
+let tracing t = Uldma_obs.Trace.enabled t.sink
+
+let trace t ~at ~pid kind = Uldma_obs.Trace.emit t.sink ~at ~machine:t.machine ~pid kind
 
 (* Engine snapshot for kernel forks. Everything mutable is duplicated;
    transfers/events/outbound are immutable lists and are shared. On the
@@ -141,10 +153,23 @@ let now t = Clock.now t.clock
 
 let push_event t e = t.events <- e :: t.events
 
+let reject_name = function
+  | Bad_key -> "bad_key"
+  | No_context -> "no_context"
+  | Wrong_context -> "wrong_context"
+  | Incomplete_arguments -> "incomplete_arguments"
+  | Broken_sequence -> "broken_sequence"
+  | Bad_range -> "bad_range"
+  | Not_mapped_out -> "not_mapped_out"
+  | Wrong_pid -> "wrong_pid"
+  | Unsupported -> "unsupported"
+
 let reject t ~reason ~pid =
   t.counters.rejected <- t.counters.rejected + 1;
   if reason = Bad_key then t.counters.key_rejected <- t.counters.key_rejected + 1;
   push_event t (Rejected { reason; pid; at = now t });
+  if tracing t then
+    trace t ~at:(now t) ~pid (Uldma_obs.Trace.Engine_reject { reason = reject_name reason });
   Status.failure
 
 let in_ram_range t addr size = addr >= 0 && size >= 0 && addr + size <= t.ram_size
@@ -156,7 +181,11 @@ let send_remote ?(kind = Remote_write) t ~remote_paddr ~payload =
   t.outbound <-
     { remote_addr = Layout.remote_offset remote_paddr; payload; sent_at = now t; kind }
     :: t.outbound;
-  t.counters.remote_sends <- t.counters.remote_sends + 1
+  t.counters.remote_sends <- t.counters.remote_sends + 1;
+  if tracing t then
+    trace t ~at:(now t) ~pid:t.current_pid
+      (Uldma_obs.Trace.Packet_tx
+         { dst_paddr = Layout.remote_offset remote_paddr; bytes = Bytes.length payload })
 
 let start_transfer t ~src ~dst ~size ~context ~pid =
   let dst_ok = in_ram_range t dst size || in_remote_range dst size in
@@ -182,6 +211,14 @@ let start_transfer t ~src ~dst ~size ~context ~pid =
     t.transfers <- tr :: t.transfers;
     t.counters.started <- t.counters.started + 1;
     push_event t (Started tr);
+    if tracing t then begin
+      trace t ~at:tr.Transfer.started_at ~pid
+        (Uldma_obs.Trace.Transfer_start { src; dst; size; duration = tr.Transfer.duration });
+      (* stamped at completion time, in the future of the emission
+         point; the Chrome exporter re-sorts by timestamp *)
+      trace t ~at:(Transfer.end_time tr) ~pid
+        (Uldma_obs.Trace.Transfer_complete { src; dst; size })
+    end;
     (match context with
     | Some i ->
       let c = Context_file.get t.contexts i in
@@ -452,7 +489,11 @@ let shadow_store t (d : Shadow.decoded) value ~pid =
       c.Context_file.size <- Some value)
   | Rep_args _ -> (
     match Seq_matcher.feed t.matcher Txn.Store ~paddr:d.Shadow.paddr ~value with
-    | Seq_matcher.Accepted | Seq_matcher.Rejected -> ()
+    | Seq_matcher.Accepted ->
+      if tracing t then
+        trace t ~at:(now t) ~pid
+          (Uldma_obs.Trace.Engine_match { step = Seq_matcher.position t.matcher })
+    | Seq_matcher.Rejected -> ()
     | Seq_matcher.Fired { src; dst; size } ->
       (* cannot happen: all patterns end on a load; fire anyway *)
       t.last_status <- start_transfer t ~src ~dst ~size ~context:None ~pid)
@@ -528,7 +569,11 @@ let shadow_load t (d : Shadow.decoded) ~pid =
         status))
   | Rep_args _ -> (
     match Seq_matcher.feed t.matcher Txn.Load ~paddr:d.Shadow.paddr ~value:0 with
-    | Seq_matcher.Accepted -> Status.in_progress
+    | Seq_matcher.Accepted ->
+      if tracing t then
+        trace t ~at:(now t) ~pid
+          (Uldma_obs.Trace.Engine_match { step = Seq_matcher.position t.matcher });
+      Status.in_progress
     | Seq_matcher.Rejected -> reject t ~reason:Broken_sequence ~pid
     | Seq_matcher.Fired { src; dst; size } ->
       let status = start_transfer t ~src ~dst ~size ~context:None ~pid in
@@ -573,6 +618,8 @@ let handle t (txn : Txn.t) =
   else
     match Shadow.decode txn.Txn.paddr with
     | Some d ->
+      if tracing t then
+        trace t ~at:txn.Txn.at ~pid (Uldma_obs.Trace.Engine_decode { paddr = txn.Txn.paddr });
       if d.Shadow.atomic then shadow_atomic t d txn.Txn.op txn.Txn.value ~pid
       else begin
         match txn.Txn.op with

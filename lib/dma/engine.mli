@@ -85,6 +85,12 @@ val create :
 
 val mechanism : t -> mechanism
 val contexts : t -> Context_file.t
+
+val set_sink : t -> machine:int -> Uldma_obs.Trace.t -> unit
+(** Attach a structured trace sink (default [Trace.null]): decodes,
+    matches, rejections, transfer start/completion and outbound packets
+    then emit typed events. Carried across [copy]. *)
+
 val device : t -> Uldma_bus.Bus.device
 (** Register with [Bus.register_device]. *)
 

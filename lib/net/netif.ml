@@ -12,11 +12,26 @@ type t = {
   mutable queue : packet list; (* arrival order: oldest first *)
   mutable delivered : int;
   mutable busy_until : Units.ps; (* link serialisation point *)
+  mutable sink : Uldma_obs.Trace.t;
+  mutable machine : int; (* the *receiving* machine's id *)
 }
 
-let create ~link = { link; queue = []; delivered = 0; busy_until = 0 }
+let create ~link =
+  { link; queue = []; delivered = 0; busy_until = 0; sink = Uldma_obs.Trace.null; machine = 0 }
 
 let link t = t.link
+
+let set_sink t ~machine sink =
+  t.sink <- sink;
+  t.machine <- machine
+
+(* Delivery happens on the receiving machine; the engine's Packet_tx
+   carries the sending side. pid -1: arrival is not on any process's
+   behalf. *)
+let trace_rx t p =
+  if Uldma_obs.Trace.enabled t.sink then
+    Uldma_obs.Trace.emit t.sink ~at:p.arrive_at ~machine:t.machine ~pid:(-1)
+      (Uldma_obs.Trace.Packet_rx { dst_paddr = p.dst_paddr; bytes = Bytes.length p.payload })
 
 let send t ~now ~dst_paddr ~payload =
   (* serialisation starts when the link is free *)
@@ -28,6 +43,7 @@ let send t ~now ~dst_paddr ~payload =
 let poll t ~now apply =
   let arrived, pending = List.partition (fun p -> p.arrive_at <= now) t.queue in
   t.queue <- pending;
+  List.iter (trace_rx t) arrived;
   List.iter apply arrived;
   t.delivered <- t.delivered + List.length arrived;
   List.length arrived
@@ -41,6 +57,7 @@ let next_arrival t =
 
 let drain_all t apply =
   let n = List.length t.queue in
+  List.iter (trace_rx t) t.queue;
   List.iter apply t.queue;
   t.delivered <- t.delivered + n;
   t.queue <- [];

@@ -15,6 +15,11 @@ type t
 val create : link:Link.t -> t
 val link : t -> Link.t
 
+val set_sink : t -> machine:int -> Uldma_obs.Trace.t -> unit
+(** Attach a structured trace sink: every delivery ([poll] or
+    [drain_all]) then emits a [Packet_rx] event stamped with the
+    packet's arrival time and the given (receiving) machine id. *)
+
 val send : t -> now:Uldma_util.Units.ps -> dst_paddr:int -> payload:Bytes.t -> unit
 
 val poll : t -> now:Uldma_util.Units.ps -> (packet -> unit) -> int

@@ -54,6 +54,8 @@ type t = {
   mutable context_switches : int;
   mutable contexts_free : int list;
   disk : Uldma_io.Disk.t option;
+  mutable trace : Uldma_obs.Trace.t;
+  mutable machine : int;
 }
 
 let kernel_pid = -1
@@ -62,6 +64,34 @@ let build_backend spec ram =
   match spec with
   | Null -> Transfer.null_backend
   | Local { bytes_per_s } -> Transfer.local_backend ram ~setup_ps:(Units.ns 400.0) ~bytes_per_s
+
+(* The machine emits trace events on behalf of whichever process is
+   running; [kernel_pid] when none is. *)
+let trace_pid t = match t.running with Some pid -> pid | None -> kernel_pid
+
+let emit t kind =
+  if Uldma_obs.Trace.enabled t.trace then
+    Uldma_obs.Trace.emit t.trace ~at:(Clock.now t.clock) ~machine:t.machine ~pid:(trace_pid t) kind
+
+let install_wbuf_observer t =
+  Write_buffer.set_observer t.write_buffer (fun ev ->
+      if Uldma_obs.Trace.enabled t.trace then
+        emit t
+          (match ev with
+          | Write_buffer.Collapsed { paddr } -> Uldma_obs.Trace.Wbuf_collapse { paddr }
+          | Write_buffer.Drained { count } -> Uldma_obs.Trace.Wbuf_flush { drained = count }))
+
+let attach_sink t sink ~machine =
+  t.trace <- sink;
+  t.machine <- machine;
+  Bus.set_sink t.bus ~machine sink;
+  Engine.set_sink t.engine ~machine sink;
+  install_wbuf_observer t
+
+let set_trace t sink = attach_sink t sink ~machine:(Uldma_obs.Trace.register_machine sink)
+
+let trace t = t.trace
+let machine_id t = t.machine
 
 let create config =
   let clock = Clock.create () in
@@ -74,27 +104,36 @@ let create config =
   in
   Bus.register_device bus (Engine.device engine);
   let rec range i n = if i >= n then [] else i :: range (i + 1) n in
-  {
-    config;
-    clock;
-    ram;
-    bus;
-    engine;
-    write_buffer = Write_buffer.create config.write_buffer;
-    sched = Sched.create config.sched;
-    vm = Vm.create ~ram_size:config.ram_size;
-    pal = Pal.create ();
-    rng = Rng.create ~seed:config.seed;
-    procs = [];
-    next_pid = 1;
-    running = None;
-    force_switch = false;
-    hooks = [];
-    console = [];
-    context_switches = 0;
-    contexts_free = range 0 config.n_contexts;
-    disk = Option.map Uldma_io.Disk.create config.disk;
-  }
+  let t =
+    {
+      config;
+      clock;
+      ram;
+      bus;
+      engine;
+      write_buffer = Write_buffer.create config.write_buffer;
+      sched = Sched.create config.sched;
+      vm = Vm.create ~ram_size:config.ram_size;
+      pal = Pal.create ();
+      rng = Rng.create ~seed:config.seed;
+      procs = [];
+      next_pid = 1;
+      running = None;
+      force_switch = false;
+      hooks = [];
+      console = [];
+      context_switches = 0;
+      contexts_free = range 0 config.n_contexts;
+      disk = Option.map Uldma_io.Disk.create config.disk;
+      trace = Uldma_obs.Trace.null;
+      machine = 0;
+    }
+  in
+  (* pick up the process-global ambient sink so that kernels built deep
+     inside experiment harnesses are traced without parameter threading;
+     on the (disabled) null sink this is all free *)
+  set_trace t (Uldma_obs.Trace.ambient ());
+  t
 
 (* Snapshot for explorer forks. RAM is shared copy-on-write
    (Phys_mem.copy is O(#pages)); the bus carries its timing model and
@@ -109,20 +148,27 @@ let copy t =
   let backend = build_backend t.config.backend ram in
   let engine = Engine.copy t.engine ~clock ~backend in
   Bus.register_device bus (Engine.device engine);
-  {
-    t with
-    clock;
-    ram;
-    bus;
-    engine;
-    write_buffer = Write_buffer.copy t.write_buffer;
-    sched = Sched.copy t.sched;
-    vm = Vm.copy t.vm;
-    pal = Pal.copy t.pal;
-    rng = Rng.copy t.rng;
-    procs = List.map Process.copy t.procs;
-    disk = Option.map Uldma_io.Disk.copy t.disk;
-  }
+  let fork =
+    {
+      t with
+      clock;
+      ram;
+      bus;
+      engine;
+      write_buffer = Write_buffer.copy t.write_buffer;
+      sched = Sched.copy t.sched;
+      vm = Vm.copy t.vm;
+      pal = Pal.copy t.pal;
+      rng = Rng.copy t.rng;
+      procs = List.map Process.copy t.procs;
+      disk = Option.map Uldma_io.Disk.copy t.disk;
+    }
+  in
+  (* forks share the parent's sink and machine id (the copied bus and
+     engine already carry them); the write-buffer observer must capture
+     the fork, not the parent *)
+  install_wbuf_observer fork;
+  fork
 
 let snapshot = copy
 
@@ -317,7 +363,8 @@ let context_switch t (next : Process.t) =
     t.hooks;
   Sched.note_switch t.sched;
   t.context_switches <- t.context_switches + 1;
-  t.running <- Some next.Process.pid
+  t.running <- Some next.Process.pid;
+  emit t (Uldma_obs.Trace.Ctx_switch { from_pid = prev_pid; to_pid = next.Process.pid })
 
 let host_for t (p : Process.t) =
   let tm = timing t in
@@ -456,11 +503,16 @@ let sys_disk_impl t (p : Process.t) ~write =
       | Error _ -> set_reg p 0 (-1))
     | false, _ | _, None -> set_reg p 0 (-1))
 
-let handle_syscall t (p : Process.t) =
+let rec handle_syscall t (p : Process.t) =
   charge t (Timing.syscall_ps (timing t));
   flush_write_buffer t p.Process.pid;
   p.Process.syscalls <- p.Process.syscalls + 1;
   let number = reg p 0 in
+  emit t (Uldma_obs.Trace.Syscall_enter { sysno = number });
+  dispatch_syscall t p number;
+  emit t (Uldma_obs.Trace.Syscall_exit { sysno = number })
+
+and dispatch_syscall t (p : Process.t) number =
   if number = Sysno.sys_exit then Process.kill p Process.Normal
   else if number = Sysno.sys_yield then t.force_switch <- true
   else if number = Sysno.sys_dma then sys_dma_impl t p
@@ -483,21 +535,58 @@ let handle_syscall t (p : Process.t) =
 
 let handle_pal t (p : Process.t) index =
   charge t (Timing.pal_call_ps (timing t));
-  match Pal.get t.pal index with
+  (* PAL mode: the whole body executes with interrupts off. *)
+  match
+    Pal.invoke t.pal ~index ~sink:t.trace ~machine:t.machine ~pid:p.Process.pid
+      ~now:(fun () -> now_ps t)
+      ~run:(fun body -> Cpu.run_subprogram (regs p) body (host_for t p))
+  with
   | None -> Process.kill p (Process.Killed (Printf.sprintf "PAL function %d not installed" index))
-  | Some body -> (
-    (* PAL mode: the whole body executes with interrupts off. *)
-    match Cpu.run_subprogram (regs p) body (host_for t p) with
-    | Cpu.Halted -> ()
-    | Cpu.Fault f ->
-      flush_write_buffer t p.Process.pid;
-      Process.kill p (Process.Killed_fault f)
-    | Cpu.Continue | Cpu.Syscall_trap | Cpu.Pal_trap _ -> assert false)
+  | Some Cpu.Halted -> ()
+  | Some (Cpu.Fault f) ->
+    flush_write_buffer t p.Process.pid;
+    Process.kill p (Process.Killed_fault f)
+  | Some (Cpu.Continue | Cpu.Syscall_trap | Cpu.Pal_trap _) -> assert false
+
+let mnemonic : Isa.instr -> string = function
+  | Isa.Li _ -> "li"
+  | Isa.Mov _ -> "mov"
+  | Isa.Add _ -> "add"
+  | Isa.Sub _ -> "sub"
+  | Isa.And_ _ -> "and"
+  | Isa.Or_ _ -> "or"
+  | Isa.Xor _ -> "xor"
+  | Isa.Shl _ -> "shl"
+  | Isa.Shr _ -> "shr"
+  | Isa.Load _ -> "load"
+  | Isa.Store _ -> "store"
+  | Isa.Mb -> "mb"
+  | Isa.Beq _ -> "beq"
+  | Isa.Bne _ -> "bne"
+  | Isa.Blt _ -> "blt"
+  | Isa.Jmp _ -> "jmp"
+  | Isa.Syscall -> "syscall"
+  | Isa.Call_pal _ -> "call_pal"
+  | Isa.Nop -> "nop"
+  | Isa.Halt -> "halt"
 
 let exec_one t (p : Process.t) =
   let t0 = now_ps t in
+  let fetched =
+    (* sample the opcode before the step moves pc; only when tracing *)
+    if Uldma_obs.Trace.enabled t.trace then begin
+      let ctx = p.Process.ctx in
+      if ctx.Cpu.pc >= 0 && ctx.Cpu.pc < Array.length ctx.Cpu.program then
+        Some ctx.Cpu.program.(ctx.Cpu.pc)
+      else None
+    end
+    else None
+  in
   let outcome = Cpu.step p.Process.ctx (host_for t p) in
   p.Process.instructions_retired <- p.Process.instructions_retired + 1;
+  (match fetched with
+  | Some instr -> emit t (Uldma_obs.Trace.Instr_retired { opcode = mnemonic instr })
+  | None -> ());
   (match outcome with
   | Cpu.Continue -> ()
   | Cpu.Halted ->
@@ -590,3 +679,32 @@ let user_paddr _t (p : Process.t) vaddr =
 let read_user t p vaddr = Phys_mem.load_word t.ram (user_paddr t p vaddr)
 
 let write_user t p vaddr value = Phys_mem.store_word t.ram (user_paddr t p vaddr) value
+
+(* ------------------------------------------------------------------ *)
+(* Uniform named-counter snapshot *)
+
+let counter_snapshot t =
+  let module C = Uldma_obs.Counters in
+  let c = C.create () in
+  C.add c "os.elapsed_ps" (now_ps t);
+  C.add c "os.context_switches" t.context_switches;
+  List.iter
+    (fun (p : Process.t) ->
+      C.add c "os.instructions" p.Process.instructions_retired;
+      C.add c "os.syscalls" p.Process.syscalls)
+    t.procs;
+  C.add c "bus.busy_ps" (Bus.busy_ps t.bus);
+  C.add c "bus.uncached.kernel" (Bus.pid_access_count t.bus kernel_pid);
+  List.iter
+    (fun (p : Process.t) ->
+      C.add c
+        (Printf.sprintf "bus.uncached.pid%d" p.Process.pid)
+        (Bus.pid_access_count t.bus p.Process.pid))
+    t.procs;
+  let e = Engine.counters t.engine in
+  C.add c "dma.transfers_started" e.Engine.started;
+  C.add c "dma.rejected" e.Engine.rejected;
+  C.add c "dma.key_rejected" e.Engine.key_rejected;
+  C.add c "dma.atomics" e.Engine.atomics;
+  C.add c "dma.remote_sends" e.Engine.remote_sends;
+  c

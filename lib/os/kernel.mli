@@ -67,6 +67,28 @@ val console : t -> (int * int) list
 
 val context_switches : t -> int
 
+(** {1 Observability}
+
+    Every kernel owns a structured trace sink ({!Uldma_obs.Trace}) and
+    a machine id. [create] adopts the process-global ambient sink
+    ([Trace.ambient ()]) — the (disabled) null sink unless an
+    experiment driver installed one — and registers a fresh machine id
+    on it. Forks made by [copy]/[snapshot] share the parent's sink and
+    machine id. *)
+
+val set_trace : t -> Uldma_obs.Trace.t -> unit
+(** Attach a sink after construction: registers a new machine id on it
+    and rewires the bus, engine and write-buffer instrumentation. *)
+
+val trace : t -> Uldma_obs.Trace.t
+val machine_id : t -> int
+
+val counter_snapshot : t -> Uldma_obs.Counters.t
+(** The machine's accounting as a uniform named-counter registry:
+    [os.*] (elapsed time, context switches, instructions, syscalls),
+    [bus.*] (busy time, per-pid uncached crossings) and [dma.*]
+    (transfers started, rejections, atomics, remote sends). *)
+
 val set_sched_policy : t -> Sched.policy -> unit
 (** Replace the scheduling policy mid-run (used by randomized attack
     campaigns that set up deterministically, then run preemptively). *)

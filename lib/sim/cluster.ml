@@ -17,11 +17,21 @@ type t = {
 }
 
 let create ~link ~config =
+  let sender = Kernel.create config in
+  let nif = Netif.create ~link in
+  let reply_nif = Netif.create ~link in
+  (* the passive receiver has no kernel; trace its deliveries on the
+     sender's sink under the next machine id *)
+  let sink = Kernel.trace sender in
+  let receiver_machine = Uldma_obs.Trace.register_machine sink in
+  Netif.set_sink nif ~machine:receiver_machine sink;
+  (* atomic replies arrive back at the sender *)
+  Netif.set_sink reply_nif ~machine:(Kernel.machine_id sender) sink;
   {
-    sender = Kernel.create config;
+    sender;
     receiver_ram = Phys_mem.create ~size:config.Kernel.ram_size;
-    nif = Netif.create ~link;
-    reply_nif = Netif.create ~link;
+    nif;
+    reply_nif;
     atomic_requests = Hashtbl.create 16;
     transfers_seen = 0;
     bytes_delivered = 0;

@@ -14,10 +14,14 @@ type side = {
 type t = { a : side; b : side }
 
 let create ~link ~config_a ~config_b =
-  {
-    a = { kernel = Kernel.create config_a; nif = Netif.create ~link; delivered = 0 };
-    b = { kernel = Kernel.create config_b; nif = Netif.create ~link; delivered = 0 };
-  }
+  let make config =
+    let kernel = Kernel.create config in
+    let nif = Netif.create ~link in
+    (* arrivals at this side are traced on this side's machine id *)
+    Netif.set_sink nif ~machine:(Kernel.machine_id kernel) (Kernel.trace kernel);
+    { kernel; nif; delivered = 0 }
+  in
+  { a = make config_a; b = make config_b }
 
 let side t = function A -> t.a | B -> t.b
 

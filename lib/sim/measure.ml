@@ -3,8 +3,7 @@ open Uldma_mem
 open Uldma_cpu
 open Uldma_os
 module Mech = Uldma.Mech
-module Api = Uldma.Api
-module Stub_loop = Uldma_workload.Stub_loop
+module Session = Uldma.Session
 
 type result = {
   mechanism : string;
@@ -19,37 +18,21 @@ let pages = 8 (* distinct pages cycled through, power of two *)
 
 let initiation ?(base = Kernel.default_config) ?(iterations = 1000) ?(transfer_size = 1024)
     (mech : Mech.t) =
-  let config = Api.kernel_config ~base mech in
-  let kernel = Kernel.create config in
-  let p = Kernel.spawn kernel ~name:("measure-" ^ mech.Mech.name) ~program:[||] () in
-  let src = Kernel.alloc_pages kernel p ~n:pages ~perms:Perms.read_write in
-  let dst = Kernel.alloc_pages kernel p ~n:pages ~perms:Perms.read_write in
-  let result_va = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-  let prepared =
-    mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages } ~dst:{ Mech.vaddr = dst; pages }
+  let s = Session.of_mech ~config:base mech in
+  let p =
+    Session.process s ~name:("measure-" ^ mech.Mech.name) ~src_pages:pages ~dst_pages:pages ()
   in
-  Process.set_program p
-    (Stub_loop.build_loop
-       {
-         Stub_loop.iterations;
-         transfer_size;
-         src_base = src;
-         dst_base = dst;
-         pages;
-         result_va;
-       }
-       ~emit_dma:prepared.Mech.emit_dma);
-  let t0 = Kernel.now_ps kernel in
-  (match Kernel.run kernel ~max_steps:(200 * iterations * 10) () with
+  Session.dma_stub ~iterations ~transfer_size s p;
+  let t0 = Session.now_ps s in
+  (match Session.run s ~max_steps:(200 * iterations * 10) with
   | Kernel.All_exited -> ()
   | Kernel.Max_steps -> failwith ("Measure.initiation: " ^ mech.Mech.name ^ " did not finish")
   | Kernel.Predicate -> assert false);
-  let total_ps = Kernel.now_ps kernel - t0 in
-  let successes = Stub_loop.read_successes kernel p ~result_va in
+  let total_ps = Session.now_ps s - t0 in
   {
     mechanism = mech.Mech.name;
     iterations;
-    successes;
+    successes = Session.successes s p;
     total_us = Units.to_us total_ps;
     us_per_initiation = Units.to_us total_ps /. float_of_int iterations;
     ni_accesses = mech.Mech.ni_accesses;
@@ -69,19 +52,10 @@ let single_contended_run (mech : Mech.t) ~seed =
       sched = Sched.Random_preempt { probability = 0.25; seed };
     }
   in
-  let config = Api.kernel_config ~base mech in
-  let kernel = Kernel.create config in
-  let victim = Kernel.spawn kernel ~name:"victim" ~program:[||] () in
-  let src = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
-  let dst = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
-  let result_va = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
-  let prepared =
-    mech.Mech.prepare kernel victim ~src:{ Mech.vaddr = src; pages = 1 }
-      ~dst:{ Mech.vaddr = dst; pages = 1 }
-  in
-  Process.set_program victim
-    (Stub_loop.build_single ~vsrc:src ~vdst:dst ~size:1024 ~result_va
-       ~emit_dma:prepared.Mech.emit_dma);
+  let s = Session.of_mech ~config:base mech in
+  let kernel = Session.kernel s in
+  let victim = Session.process s ~name:"victim" ~src_pages:1 ~dst_pages:1 () in
+  Session.dma_once ~transfer_size:1024 s victim;
   let busy = Kernel.spawn kernel ~name:"busy" ~program:[||] () in
   let asm = Asm.create () in
   let loop = Asm.fresh_label asm "busy" in
@@ -93,17 +67,17 @@ let single_contended_run (mech : Mech.t) ~seed =
   Asm.blt asm 10 11 loop;
   Asm.halt asm;
   Process.set_program busy (Asm.assemble asm);
-  let t0 = Kernel.now_ps kernel in
+  let t0 = Session.now_ps s in
   (match
      Kernel.run_until kernel ~max_steps:2_000_000 (fun _ ->
-         not (Process.is_runnable victim))
+         not (Process.is_runnable victim.Session.process))
    with
   | Kernel.Predicate -> ()
   | Kernel.All_exited | Kernel.Max_steps ->
     failwith ("Measure.single_contended_run: " ^ mech.Mech.name ^ " did not finish"));
-  if Stub_loop.read_successes kernel victim ~result_va <> 1 then
+  if Session.successes s victim <> 1 then
     failwith ("Measure.single_contended_run: " ^ mech.Mech.name ^ " failed its DMA");
-  Units.to_us (Kernel.now_ps kernel - t0)
+  Units.to_us (Session.now_ps s - t0)
 
 let initiation_under_contention ?(runs = 150) (mech : Mech.t) =
   let samples = List.init runs (fun i -> single_contended_run mech ~seed:(i + 1)) in

@@ -22,6 +22,7 @@ type t = {
   initiations_rejected : int;
   atomics : int;
   remote_sends : int;
+  counters : Uldma_obs.Counters.t;
 }
 
 let snapshot kernel =
@@ -40,6 +41,9 @@ let snapshot kernel =
       share = float_of_int p.Process.cpu_time_ps /. float_of_int total_cpu;
     }
   in
+  (* the uniform named-counter registry is the source of truth; the
+     flat record fields remain as convenient typed views of it *)
+  let named = Kernel.counter_snapshot kernel in
   let counters = Engine.counters (Kernel.engine kernel) in
   let elapsed = Kernel.now_ps kernel in
   let busy = Uldma_bus.Bus.busy_ps (Kernel.bus kernel) in
@@ -53,6 +57,7 @@ let snapshot kernel =
     initiations_rejected = counters.Engine.rejected;
     atomics = counters.Engine.atomics;
     remote_sends = counters.Engine.remote_sends;
+    counters = named;
   }
 
 let to_table t =
@@ -88,6 +93,8 @@ let to_table t =
   summary "transfers / rejects" (Printf.sprintf "%d / %d" t.transfers_started t.initiations_rejected);
   summary "atomic ops" (string_of_int t.atomics);
   summary "remote sends" (string_of_int t.remote_sends);
+  Tbl.add_rule tbl;
+  List.iter (fun (name, v) -> summary name v) (Uldma_obs.Counters.rows t.counters);
   tbl
 
 let fairness_spread t =

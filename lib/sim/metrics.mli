@@ -26,6 +26,10 @@ type t = {
   initiations_rejected : int;
   atomics : int;
   remote_sends : int;
+  counters : Uldma_obs.Counters.t;
+      (** the machine's full named-counter registry
+          ([Kernel.counter_snapshot]); the flat fields above are typed
+          views of the most-used entries *)
 }
 
 val snapshot : Uldma_os.Kernel.t -> t

@@ -30,8 +30,22 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
   let paths = ref 0 in
   let violations = ref [] in
   let truncated = ref false in
-  let rec go kernel schedule =
-    if !paths >= max_paths then truncated := true
+  (* exploration events carry the root's machine id and no pid *)
+  let sink = Kernel.trace root in
+  let note kernel depth kind =
+    if Uldma_obs.Trace.enabled sink then
+      Uldma_obs.Trace.emit sink ~at:(Kernel.now_ps kernel) ~machine:(Kernel.machine_id root)
+        ~pid:(-1)
+        (match kind with
+        | `Fork -> Uldma_obs.Trace.Explorer_fork { depth }
+        | `Prune reason -> Uldma_obs.Trace.Explorer_prune { depth; reason }
+        | `Violation detail -> Uldma_obs.Trace.Oracle_violation { detail })
+  in
+  let rec go kernel schedule depth =
+    if !paths >= max_paths then begin
+      truncated := true;
+      note kernel depth (`Prune "max_paths")
+    end
     else begin
       let runnable =
         List.filter (fun pid -> List.mem pid (Kernel.runnable_pids kernel)) pids
@@ -40,7 +54,9 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
       | [] -> begin
         incr paths;
         match check kernel with
-        | Some v -> violations := (v, List.rev schedule) :: !violations
+        | Some v ->
+          note kernel depth (`Violation "oracle check failed on a completed schedule");
+          violations := (v, List.rev schedule) :: !violations
         | None -> ()
       end
       | _ :: _ ->
@@ -48,12 +64,15 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
           (fun pid ->
             if not !truncated then begin
               let fork = Kernel.snapshot kernel in
+              note fork depth `Fork;
               match advance_one_leg fork pid ~max_instructions:max_instructions_per_leg with
-              | `Progress | `Exited -> go fork (pid :: schedule)
-              | `Stuck -> truncated := true
+              | `Progress | `Exited -> go fork (pid :: schedule) (depth + 1)
+              | `Stuck ->
+                truncated := true;
+                note fork depth (`Prune "stuck leg")
             end)
           runnable
     end
   in
-  go (Kernel.snapshot root) [];
+  go (Kernel.snapshot root) [] 0;
   { paths = !paths; violations = List.rev !violations; truncated = !truncated }

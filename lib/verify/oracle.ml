@@ -25,6 +25,20 @@ type report = {
   intents_checked : int;
 }
 
+let pp_violation ppf = function
+  | Unattributed_transfer tr ->
+    Format.fprintf ppf "unattributed transfer (mixed/forged arguments): %a" Transfer.pp tr
+  | Rights_violation { intent; missing } ->
+    Format.fprintf ppf "rights violation by pid %d (%s): %#x -> %#x (%d bytes)" intent.pid missing
+      intent.psrc intent.pdst intent.size
+  | Phantom_success { pid; reported; started } ->
+    Format.fprintf ppf "pid %d observed %d successes but only %d transfers started" pid reported
+      started
+  | Lost_transfer { pid; reported; started } ->
+    Format.fprintf ppf
+      "pid %d: %d transfers started but the stub observed only %d successes (started-but-reported-failed)"
+      pid started reported
+
 let matches intent (tr : Transfer.t) =
   tr.Transfer.src = intent.psrc && tr.Transfer.dst = intent.pdst && tr.Transfer.size = intent.size
 
@@ -68,27 +82,23 @@ let check ~kernel ~intents ~reported_successes =
       if reported > started then add (Phantom_success { pid; reported; started })
       else if started > reported then add (Lost_transfer { pid; reported; started }))
     reported_successes;
+  let violations = List.rev !violations in
+  (* mirror every violation into the kernel's structured trace *)
+  let sink = Kernel.trace kernel in
+  if Uldma_obs.Trace.enabled sink then
+    List.iter
+      (fun v ->
+        Uldma_obs.Trace.emit sink ~at:(Kernel.now_ps kernel)
+          ~machine:(Kernel.machine_id kernel) ~pid:(-1)
+          (Uldma_obs.Trace.Oracle_violation { detail = Format.asprintf "%a" pp_violation v }))
+      violations;
   {
-    violations = List.rev !violations;
+    violations;
     transfers_checked = List.length transfers;
     intents_checked = List.length intents;
   }
 
 let ok report = report.violations = []
-
-let pp_violation ppf = function
-  | Unattributed_transfer tr ->
-    Format.fprintf ppf "unattributed transfer (mixed/forged arguments): %a" Transfer.pp tr
-  | Rights_violation { intent; missing } ->
-    Format.fprintf ppf "rights violation by pid %d (%s): %#x -> %#x (%d bytes)" intent.pid missing
-      intent.psrc intent.pdst intent.size
-  | Phantom_success { pid; reported; started } ->
-    Format.fprintf ppf "pid %d observed %d successes but only %d transfers started" pid reported
-      started
-  | Lost_transfer { pid; reported; started } ->
-    Format.fprintf ppf
-      "pid %d: %d transfers started but the stub observed only %d successes (started-but-reported-failed)"
-      pid started reported
 
 let pp_report ppf r =
   if r.violations = [] then

@@ -1,9 +1,10 @@
-open Uldma_mem
-open Uldma_cpu
-open Uldma_os
-module Mech = Uldma.Mech
+(* The builders moved into the core library ([Uldma.Session.Stub]) so
+   the Session front-end can use them without a dependency cycle; this
+   module keeps the historical name and interface. *)
 
-type loop_spec = {
+module S = Uldma.Session.Stub
+
+type loop_spec = S.spec = {
   iterations : int;
   transfer_size : int;
   src_base : int;
@@ -12,78 +13,8 @@ type loop_spec = {
   result_va : int;
 }
 
-(* register assignments private to the harness loop (the mechanism
-   stubs clobber r0-r3 and r20-r28 only) *)
-let r_i = 10
-let r_n = 11
-let r_src = 12
-let r_dst = 13
-let r_mask = 14
-let r_offset = 15
-let r_successes = 16
-let r_result = 17
-
-let zero = Regfile.zero_reg
-
-let emit_success_count asm =
-  let skip = Asm.fresh_label asm "skip_count" in
-  Asm.blt asm Mech.reg_status zero skip;
-  Asm.add asm r_successes r_successes (Isa.Imm 1);
-  Asm.label asm skip
-
-let emit_epilogue asm ~result_va =
-  Asm.li asm r_result result_va;
-  Asm.store asm ~base:r_result ~off:0 r_successes;
-  Asm.store asm ~base:r_result ~off:8 Mech.reg_status;
-  Asm.halt asm
-
-let is_power_of_two n = n > 0 && n land (n - 1) = 0
-
-let build_loop spec ~emit_dma =
-  if not (is_power_of_two spec.pages) then
-    invalid_arg "Stub_loop.build_loop: pages must be a power of two";
-  let asm = Asm.create () in
-  let loop = Asm.fresh_label asm "loop" in
-  Asm.li asm r_i 0;
-  Asm.li asm r_n spec.iterations;
-  Asm.li asm r_src spec.src_base;
-  Asm.li asm r_dst spec.dst_base;
-  Asm.li asm r_mask (spec.pages - 1);
-  Asm.li asm r_successes 0;
-  Asm.label asm loop;
-  (* successive DMAs use different pages: offset = (i mod pages) << 13 *)
-  Asm.and_ asm r_offset r_i (Isa.Reg r_mask);
-  Asm.shl asm r_offset r_offset Layout.page_shift;
-  Asm.add asm Mech.reg_vsrc r_src (Isa.Reg r_offset);
-  Asm.add asm Mech.reg_vdst r_dst (Isa.Reg r_offset);
-  Asm.li asm Mech.reg_size spec.transfer_size;
-  emit_dma asm;
-  emit_success_count asm;
-  Asm.add asm r_i r_i (Isa.Imm 1);
-  Asm.blt asm r_i r_n loop;
-  emit_epilogue asm ~result_va:spec.result_va;
-  Asm.assemble asm
-
-let build_repeat ~n ~vsrc ~vdst ~size ~result_va ~emit_dma =
-  let asm = Asm.create () in
-  let loop = Asm.fresh_label asm "loop" in
-  Asm.li asm r_i 0;
-  Asm.li asm r_n n;
-  Asm.li asm r_successes 0;
-  Asm.label asm loop;
-  Asm.li asm Mech.reg_vsrc vsrc;
-  Asm.li asm Mech.reg_vdst vdst;
-  Asm.li asm Mech.reg_size size;
-  emit_dma asm;
-  emit_success_count asm;
-  Asm.add asm r_i r_i (Isa.Imm 1);
-  Asm.blt asm r_i r_n loop;
-  emit_epilogue asm ~result_va;
-  Asm.assemble asm
-
-let build_single ~vsrc ~vdst ~size ~result_va ~emit_dma =
-  build_repeat ~n:1 ~vsrc ~vdst ~size ~result_va ~emit_dma
-
-let read_successes kernel p ~result_va = Kernel.read_user kernel p result_va
-
-let read_last_status kernel p ~result_va = Kernel.read_user kernel p (result_va + 8)
+let build_loop = S.build_loop
+let build_repeat = S.build_repeat
+let build_single = S.build_single
+let read_successes = S.read_successes
+let read_last_status = S.read_last_status

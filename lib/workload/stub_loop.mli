@@ -11,7 +11,7 @@
     Successive DMA operations were done to (from) different addresses,
     so as to eliminate any caching effects". *)
 
-type loop_spec = {
+type loop_spec = Uldma.Session.Stub.spec = {
   iterations : int;
   transfer_size : int;
   src_base : int; (** base of the source region *)

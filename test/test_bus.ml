@@ -294,6 +294,39 @@ let test_bus_trace_ring () =
   Bus.set_trace bus false;
   checki "disabling clears the count" 0 (Bus.trace_len bus)
 
+let test_bus_trace_wraparound () =
+  let values bus = List.map (fun t -> t.Txn.value) (Bus.trace bus) in
+  let bus, _, _ = make_bus ~trace_cap:4 () in
+  Bus.set_trace bus true;
+  (* exactly at cap: the window still holds everything *)
+  for i = 1 to 4 do
+    Bus.store bus ~pid:1 ~cacheable:false (8 * i) i
+  done;
+  checki "at cap: counted" 4 (Bus.trace_len bus);
+  Alcotest.(check (list int)) "at cap: all retained" [ 1; 2; 3; 4 ] (values bus);
+  (* several full wraps past the cap: trace_len grows by exactly one
+     per transaction while the window slides *)
+  let prev = ref (Bus.trace_len bus) in
+  for i = 5 to 19 do
+    Bus.store bus ~pid:1 ~cacheable:false (8 * ((i mod 4) + 1)) i;
+    checki "trace_len monotone +1" (!prev + 1) (Bus.trace_len bus);
+    prev := Bus.trace_len bus
+  done;
+  checki "everything counted past cap" 19 (Bus.trace_len bus);
+  Alcotest.(check (list int)) "window slid to the newest" [ 16; 17; 18; 19 ] (values bus);
+  (* a copy keeps the cap and tracing flag, starts an empty window,
+     and wraps independently of the original *)
+  let clock = Clock.create () in
+  let ram = Phys_mem.create ~size:(4 * Layout.page_size) in
+  let snap = Bus.copy bus ~ram ~clock in
+  checki "copy keeps cap" 4 (Bus.trace_cap snap);
+  checki "copy window empty" 0 (List.length (Bus.trace snap));
+  for i = 1 to 6 do
+    Bus.store snap ~pid:1 ~cacheable:false 8 (100 + i)
+  done;
+  Alcotest.(check (list int)) "copy wraps on its own" [ 103; 104; 105; 106 ] (values snap);
+  Alcotest.(check (list int)) "original window unaffected" [ 16; 17; 18; 19 ] (values bus)
+
 let test_bus_pid_counters () =
   let bus, _, _ = make_bus () in
   checki "fresh pid" 0 (Bus.pid_access_count bus 1);
@@ -382,6 +415,7 @@ let () =
           Alcotest.test_case "bus error" `Quick test_bus_error;
           Alcotest.test_case "trace" `Quick test_bus_trace;
           Alcotest.test_case "trace ring cap" `Quick test_bus_trace_ring;
+          Alcotest.test_case "trace ring wraparound" `Quick test_bus_trace_wraparound;
           Alcotest.test_case "per-pid counters" `Quick test_bus_pid_counters;
           Alcotest.test_case "device dispatch order" `Quick test_bus_device_dispatch_order;
           Alcotest.test_case "copy carries accounting" `Quick test_bus_copy_carries_accounting;
