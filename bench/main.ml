@@ -52,7 +52,7 @@ let attack_test =
          Uldma_workload.Scenario.run_legs s Uldma_workload.Scenario.fig5_schedule;
          Uldma_workload.Scenario.finish s ()))
 
-let explore_rep5 ~max_paths =
+let explore_rep5 ?dedup ?jobs ~max_paths () =
   let s = Uldma_workload.Scenario.rep5 () in
   let pids =
     [
@@ -60,12 +60,13 @@ let explore_rep5 ~max_paths =
       s.Uldma_workload.Scenario.attacker.Uldma_os.Process.pid;
     ]
   in
-  Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids ~max_paths
+  Uldma_verify.Explorer.explore ~root:s.Uldma_workload.Scenario.kernel ~pids ?dedup ?jobs
+    ~max_paths
     ~check:(fun _ -> None) ()
 
 let explorer_test =
   Test.make ~name:"explore rep5 schedules"
-    (Staged.stage (fun () -> ignore (explore_rep5 ~max_paths:50)))
+    (Staged.stage (fun () -> ignore (explore_rep5 ~max_paths:50 ())))
 
 let tests =
   Test.make_grouped ~name:"uldma"
@@ -110,21 +111,33 @@ let print_bench_results results =
 (* BENCH_explorer.json records the wall-clock throughput of the
    interleaving explorer (the repo's hottest verification path) and the
    simulated Table-1 initiation latency of each mechanism, so perf can
-   be compared across PRs without parsing the human-readable tables. *)
+   be compared across PRs without parsing the human-readable tables.
+
+   Schema v2 adds the state-dedup counters plus "no_dedup" and
+   "parallel" sub-objects comparing the memoized sequential run
+   against brute force and against an N-domain run.  All schema-v1
+   keys are preserved; the headline "explorer" object is the default
+   configuration (dedup on, jobs=1). *)
+let time_explore ?dedup ?jobs ~reps () =
+  let t0 = Unix.gettimeofday () in
+  let last = ref (explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()) in
+  for _ = 2 to reps do
+    last := explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()
+  done;
+  let secs = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  (!last, secs)
+
 let write_bench_explorer_json () =
   (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   (* settle the heap after bechamel so its garbage doesn't tax this
      measurement, then warm up the exploration path *)
   Gc.compact ();
-  ignore (explore_rep5 ~max_paths:50);
+  ignore (explore_rep5 ~max_paths:50 ());
   let reps = 5 in
-  let t0 = Unix.gettimeofday () in
-  let last = ref (explore_rep5 ~max_paths:1_000_000) in
-  for _ = 2 to reps do
-    last := explore_rep5 ~max_paths:1_000_000
-  done;
-  let secs = (Unix.gettimeofday () -. t0) /. float_of_int reps in
-  let r = !last in
+  let r, secs = time_explore ~reps () in
+  let r_nd, secs_nd = time_explore ~dedup:false ~reps () in
+  let par_jobs = 4 in
+  let r_par, secs_par = time_explore ~jobs:par_jobs ~reps () in
   let initiation =
     List.map
       (fun name ->
@@ -132,15 +145,39 @@ let write_bench_explorer_json () =
         (name, m.Sim_measure.us_per_initiation))
       [ "kernel"; "ext-shadow"; "rep-args"; "key-based"; "pal" ]
   in
+  let pps (res : 'a Uldma_verify.Explorer.result) s =
+    float_of_int res.Uldma_verify.Explorer.paths /. s
+  in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"explorer\": {\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 2,\n  \"explorer\": {\n";
   Buffer.add_string buf "    \"scenario\": \"rep5\",\n";
   Buffer.add_string buf "    \"max_paths\": 1000000,\n";
   Printf.bprintf buf "    \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
   Printf.bprintf buf "    \"truncated\": %b,\n" r.Uldma_verify.Explorer.truncated;
   Printf.bprintf buf "    \"repetitions\": %d,\n" reps;
   Printf.bprintf buf "    \"seconds_per_exploration\": %.6f,\n" secs;
-  Printf.bprintf buf "    \"paths_per_sec\": %.1f\n" (float_of_int r.Uldma_verify.Explorer.paths /. secs);
+  Printf.bprintf buf "    \"paths_per_sec\": %.1f,\n" (pps r secs);
+  Printf.bprintf buf "    \"states_visited\": %d,\n" r.Uldma_verify.Explorer.states_visited;
+  Printf.bprintf buf "    \"dedup_hits\": %d,\n" r.Uldma_verify.Explorer.dedup_hits;
+  Printf.bprintf buf "    \"dedup_ratio\": %.4f,\n"
+    (float_of_int r.Uldma_verify.Explorer.states_visited
+    /. float_of_int (max 1 r_nd.Uldma_verify.Explorer.states_visited));
+  Printf.bprintf buf "    \"stuck_legs\": %d,\n" r.Uldma_verify.Explorer.stuck_legs;
+  Buffer.add_string buf "    \"no_dedup\": {\n";
+  Printf.bprintf buf "      \"paths\": %d,\n" r_nd.Uldma_verify.Explorer.paths;
+  Printf.bprintf buf "      \"states_visited\": %d,\n" r_nd.Uldma_verify.Explorer.states_visited;
+  Printf.bprintf buf "      \"seconds_per_exploration\": %.6f,\n" secs_nd;
+  Printf.bprintf buf "      \"paths_per_sec\": %.1f\n" (pps r_nd secs_nd);
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf "    \"parallel\": {\n";
+  Printf.bprintf buf "      \"jobs\": %d,\n" par_jobs;
+  Printf.bprintf buf "      \"paths\": %d,\n" r_par.Uldma_verify.Explorer.paths;
+  Printf.bprintf buf "      \"seconds_per_exploration\": %.6f,\n" secs_par;
+  Printf.bprintf buf "      \"paths_per_sec\": %.1f,\n" (pps r_par secs_par);
+  Printf.bprintf buf "      \"speedup_vs_sequential\": %.3f,\n" (secs /. secs_par);
+  Printf.bprintf buf "      \"recommended_domains\": %d\n"
+    (Domain.recommended_domain_count ());
+  Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  },\n  \"initiation_us\": {\n";
   List.iteri
     (fun i (name, us) ->

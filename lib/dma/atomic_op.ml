@@ -33,6 +33,18 @@ let execute t ~read ~write ~target =
   | Cas { expected; new_value } -> if old_value = expected then write target new_value);
   old_value
 
+let encode_value buf = function
+  | Add v -> Printf.bprintf buf "a%d" v
+  | Fetch_store v -> Printf.bprintf buf "f%d" v
+  | Cas { expected; new_value } -> Printf.bprintf buf "c%d,%d" expected new_value
+
+let encode_pending buf = function
+  | P_none -> Buffer.add_char buf 'n'
+  | P_cas_expected e -> Printf.bprintf buf "e%d" e
+  | P_ready op ->
+    Buffer.add_char buf 'r';
+    encode_value buf op
+
 let pp ppf = function
   | Add v -> Format.fprintf ppf "atomic_add(%d)" v
   | Fetch_store v -> Format.fprintf ppf "fetch_and_store(%d)" v

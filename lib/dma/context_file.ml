@@ -73,6 +73,31 @@ let clear_args c =
   c.size <- None;
   c.next_slot <- Dest
 
+(* Canonical textual encoding for state fingerprinting. [last_transfer]
+   is deliberately skipped: the engine encodes transfer observables
+   (including per-context status-at-now) itself, with clock access. *)
+let encode buf t =
+  let i v =
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf ','
+  in
+  let opt = function None -> min_int | Some v -> v in
+  Array.iter
+    (fun c ->
+      Buffer.add_char buf 'c';
+      i c.index;
+      i c.key;
+      i (opt c.owner_pid);
+      i (opt c.dest);
+      i (opt c.src);
+      i (opt c.size);
+      i (match c.next_slot with Dest -> 0 | Src -> 1);
+      i c.status;
+      i (opt c.atomic_target);
+      i (opt c.mailbox);
+      Atomic_op.encode_pending buf c.atomic_pending)
+    t
+
 let reset c =
   clear_args c;
   c.status <- Status.complete;

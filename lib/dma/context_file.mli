@@ -58,3 +58,9 @@ val clear_args : context -> unit
 val reset : context -> unit
 (** Full reset including status and pending atomics (context switch of
     ownership). *)
+
+val encode : Buffer.t -> t -> unit
+(** Append a canonical textual encoding of every context's registers
+    (key, owner, args, status, pending atomic, mailbox), for state
+    fingerprinting. [last_transfer] is excluded — the engine encodes
+    transfer observables itself. *)

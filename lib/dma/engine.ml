@@ -630,6 +630,77 @@ let handle t (txn : Txn.t) =
       end
     | None -> 0
 
+(* Canonical textual encoding of the engine's observable state, for the
+   explorer's state fingerprint. Includes everything a future load can
+   reveal: matcher/context registers, the pending two-step deposit, the
+   kernel-page registers, atomic slots, started transfers (src/dst/
+   size/pid/context plus status-remaining-at-now — with the explorer's
+   zero-duration backend remaining is always 0, so merged states agree
+   on every future status load), mapped-out entries (sorted for
+   canonicity) and the outbound network queue. Excludes diagnostics the
+   simulated programs cannot read back: event log, counters, trace
+   sink, absolute timestamps. *)
+let encode buf t =
+  let i v =
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf ','
+  in
+  let opt = function None -> min_int | Some v -> v in
+  Buffer.add_string buf "E:";
+  Seq_matcher.encode buf t.matcher;
+  Context_file.encode buf t.contexts;
+  (* per-context status as loads would see it right now *)
+  Buffer.add_char buf 's';
+  for c = 0 to Context_file.length t.contexts - 1 do
+    i (context_status t c)
+  done;
+  Buffer.add_char buf 'p';
+  (match t.pending with
+  | None -> ()
+  | Some { p_dest; p_size; p_pid; p_ctx } ->
+    i p_dest;
+    i p_size;
+    i p_pid;
+    i p_ctx);
+  Buffer.add_char buf 'k';
+  i t.current_pid;
+  i t.k_src;
+  i t.k_dst;
+  i t.k_status;
+  i t.k_atomic_target;
+  Atomic_op.encode_pending buf t.k_atomic_pending;
+  Buffer.add_char buf 'g';
+  i (opt t.g_atomic_target);
+  Atomic_op.encode_pending buf t.g_atomic_pending;
+  Buffer.add_char buf 'l';
+  i t.last_status;
+  i (match t.last_transfer with None -> min_int | Some tr -> Transfer.remaining tr ~now:(now t));
+  List.iter
+    (fun (tr : Transfer.t) ->
+      Buffer.add_char buf 't';
+      i tr.Transfer.src;
+      i tr.Transfer.dst;
+      i tr.Transfer.size;
+      i tr.Transfer.pid;
+      i (opt tr.Transfer.context))
+    t.transfers;
+  (match t.map_out_staged with None -> () | Some p -> Printf.bprintf buf "M%d;" p);
+  if Hashtbl.length t.mapped_out > 0 then begin
+    let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.mapped_out [] in
+    List.iter
+      (fun (k, v) -> Printf.bprintf buf "o%d,%d;" k v)
+      (List.sort compare bindings)
+  end;
+  List.iter
+    (fun p ->
+      Printf.bprintf buf "w%d,%s," p.remote_addr (Bytes.to_string p.payload |> String.escaped);
+      match p.kind with
+      | Remote_write -> Buffer.add_char buf ';'
+      | Remote_atomic { op; reply_paddr } ->
+        Atomic_op.encode_value buf op;
+        Printf.bprintf buf "@%d;" reply_paddr)
+    t.outbound
+
 let device t =
   {
     Bus.claims =

@@ -136,6 +136,15 @@ val take_outbound : t -> outbound_packet list
 val counters : t -> counters
 val context_status : t -> int -> int
 
+val encode : Buffer.t -> t -> unit
+(** Append a canonical textual encoding of the engine's observable
+    state (matcher, contexts, pending deposits, atomic slots, transfer
+    observables, mapped-out table, outbound queue), for the explorer's
+    state fingerprint. Two engines with equal encodings are
+    indistinguishable to the simulated programs and to the Fig. 8
+    oracle. Diagnostic state (event log, counters, trace sink, absolute
+    timestamps) is excluded. *)
+
 val context_transfer_end : t -> int -> Uldma_util.Units.ps option
 (** Completion time of the context's last transfer (for sys_dma_wait). *)
 

@@ -14,10 +14,18 @@
    the rare case where every other sharer has already faulted the page
    in, but it never aliases a mutation. *)
 
+module Iset = Set.Make (Int)
+
 type t = {
   size : int;
   pages : Bytes.t array; (* length size / Layout.page_size *)
   owned : bool array; (* owned.(i): pages.(i) is private to this t *)
+  mutable touched : Iset.t;
+      (* indices of pages ever written since [create], inherited across
+         [copy]. A page outside this set still aliases [zero_page], so
+         state hashing only needs to visit [touched] — O(dirtied), not
+         O(RAM). Persistent set: sharing it with a copy is safe because
+         each side grows its own version. *)
 }
 
 exception Fault of int
@@ -33,13 +41,18 @@ let create ~size =
   if size > Layout.max_ram_size then
     invalid_arg "Phys_mem.create: size exceeds Layout.max_ram_size";
   let n = size lsr Layout.page_shift in
-  { size; pages = Array.make n zero_page; owned = Array.make n false }
+  { size; pages = Array.make n zero_page; owned = Array.make n false; touched = Iset.empty }
 
 let size t = t.size
 
 let copy t =
   Array.fill t.owned 0 (Array.length t.owned) false;
-  { size = t.size; pages = Array.copy t.pages; owned = Array.make (Array.length t.pages) false }
+  {
+    size = t.size;
+    pages = Array.copy t.pages;
+    owned = Array.make (Array.length t.pages) false;
+    touched = t.touched;
+  }
 
 let page_count t = Array.length t.pages
 
@@ -51,6 +64,7 @@ let owned_pages t =
 (* A writable view of page [i]: fault in a private copy first if the
    page is (possibly) shared. *)
 let page_rw t i =
+  t.touched <- Iset.add i t.touched;
   if t.owned.(i) then t.pages.(i)
   else begin
     let fresh = Bytes.copy t.pages.(i) in
@@ -126,7 +140,8 @@ let fill t ~addr ~len ~byte =
            instead of dirtying a private one (frame recycling stays
            cheap under copy-on-write). *)
         t.pages.(i) <- zero_page;
-        t.owned.(i) <- false
+        t.owned.(i) <- false;
+        t.touched <- Iset.add i t.touched
       end
       else Bytes.fill (page_rw t i) off span c)
 
@@ -140,6 +155,14 @@ let checksum t ~addr ~len =
         acc := ((!acc * 131) + b) land max_int
       done);
   !acc
+
+let touched_count t = Iset.cardinal t.touched
+
+let iter_touched t f = Iset.iter (fun i -> f i t.pages.(i)) t.touched
+
+let iter_diverged t ~baseline f =
+  if baseline.size <> t.size then invalid_arg "Phys_mem.iter_diverged: size mismatch";
+  Iset.iter (fun i -> if t.pages.(i) != baseline.pages.(i) then f i t.pages.(i)) t.touched
 
 let equal_range a b ~addr ~len =
   check a addr len;

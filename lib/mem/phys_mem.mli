@@ -29,6 +29,28 @@ val owned_pages : t -> int
     private (unshared, writable-in-place) copy of. A fresh or
     just-snapshotted RAM owns none. *)
 
+val touched_count : t -> int
+(** Number of pages ever written since [create] (inherited across
+    [copy]). A fresh RAM has touched none. *)
+
+val iter_touched : t -> (int -> Bytes.t -> unit) -> unit
+(** [iter_touched t f] applies [f index page] to every page that was
+    ever written since [create], in increasing index order. Pages
+    outside the touched set still alias the canonical zero page, so
+    state hashing over the touched set alone covers all content that
+    can differ between two forks of a common root — O(dirtied) work,
+    not O(RAM). [f] must not mutate the page. *)
+
+val iter_diverged : t -> baseline:t -> (int -> Bytes.t -> unit) -> unit
+(** Like [iter_touched], but restricted to touched pages whose backing
+    buffer is no longer physically shared with [baseline] (a common
+    ancestor under [copy] that has not been written since, e.g. the
+    explorer's root snapshot). Physical sharing implies equal content,
+    so skipping shared pages is exact; a page rewritten to
+    byte-identical content in a private buffer is still reported —
+    harmless for state dedup (a missed merge, never a false one).
+    Raises [Invalid_argument] on a size mismatch. *)
+
 val load_word : t -> int -> int
 (** 8-byte aligned load. The top byte is truncated into OCaml's 63-bit
     [int]; all simulated programs use values that fit. *)

@@ -20,6 +20,8 @@ type kind =
   | Oracle_violation of { detail : string }
   | Explorer_fork of { depth : int }
   | Explorer_prune of { depth : int; reason : string }
+  | Explorer_steal of { depth : int }
+  | Explorer_dedup of { depth : int }
 
 type record = { at : Uldma_util.Units.ps; machine : int; pid : int; kind : kind }
 
@@ -91,6 +93,15 @@ let register_machine t =
     id
   end
 
+(* Merge the events retained by [src] into [dst], preserving order
+   (dst's then src's) and accounting for src's drops. The parallel
+   explorer gives each worker domain a private sink and absorbs them
+   into the root sink under a lock at the end of the run. *)
+let absorb dst src =
+  if dst.permanent_off then invalid_arg "Trace.absorb: the null sink cannot absorb";
+  List.iter (fun r -> emit dst ~at:r.at ~machine:r.machine ~pid:r.pid r.kind) (events src);
+  dst.total <- dst.total + dropped src
+
 let ambient_sink = ref null
 let ambient () = !ambient_sink
 let set_ambient t = ambient_sink := t
@@ -107,7 +118,9 @@ let layer_of_kind = function
   | Engine_decode _ | Engine_match _ | Engine_reject _ | Transfer_start _ | Transfer_complete _ ->
     Dma
   | Packet_tx _ | Packet_rx _ -> Net
-  | Oracle_violation _ | Explorer_fork _ | Explorer_prune _ -> Verify
+  | Oracle_violation _ | Explorer_fork _ | Explorer_prune _ | Explorer_steal _ | Explorer_dedup _
+    ->
+    Verify
 
 let layer_name = function
   | Bus -> "bus"
@@ -137,6 +150,8 @@ let kind_name = function
   | Oracle_violation _ -> "oracle_violation"
   | Explorer_fork _ -> "explorer_fork"
   | Explorer_prune _ -> "explorer_prune"
+  | Explorer_steal _ -> "explorer_steal"
+  | Explorer_dedup _ -> "explorer_dedup"
 
 let pp_args ppf = function
   | Instr_retired { opcode } -> Fmt.pf ppf "opcode=%s" opcode
@@ -158,6 +173,8 @@ let pp_args ppf = function
   | Oracle_violation { detail } -> Fmt.pf ppf "%s" detail
   | Explorer_fork { depth } -> Fmt.pf ppf "depth=%d" depth
   | Explorer_prune { depth; reason } -> Fmt.pf ppf "depth=%d reason=%s" depth reason
+  | Explorer_steal { depth } -> Fmt.pf ppf "depth=%d" depth
+  | Explorer_dedup { depth } -> Fmt.pf ppf "depth=%d" depth
 
 let pp_record ppf r =
   Fmt.pf ppf "[%a m%d pid%d] %s/%s %a" Uldma_util.Units.pp_time r.at r.machine r.pid

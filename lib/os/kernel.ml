@@ -681,6 +681,94 @@ let read_user t p vaddr = Phys_mem.load_word t.ram (user_paddr t p vaddr)
 let write_user t p vaddr value = Phys_mem.store_word t.ram (user_paddr t p vaddr) value
 
 (* ------------------------------------------------------------------ *)
+(* Engine-visible state fingerprint (explorer dedup support) *)
+
+(* Canonical encoding of everything the simulated programs and the
+   Fig. 8 oracle can observe: the running pid and pending force-switch,
+   installed hooks, per-process control state (state tag, pc, register
+   file, DMA context/key, uncached-access progress), the write-buffer
+   drain frontier, console output, the context free list, the DMA
+   engine's observable registers and the RAM pages dirtied since the
+   root snapshot (O(dirtied) via Phys_mem.iter_touched). Deliberately
+   *excluded*: clocks, charged bus time, context-switch and
+   instruction counters, trace state — pure cost bookkeeping that
+   differs between commuting schedule prefixes but cannot influence
+   any future observable step (explorer scenarios run the zero-duration
+   Null backend and no time-dependent syscalls). Two kernels with equal
+   encodings evolve identically under identical future schedules.
+
+   [relative_to] (the explorer's root snapshot) restricts the RAM part
+   to pages that physically diverged from the root: pages still shared
+   with the root are byte-identical in every fork, so skipping them is
+   exact and keeps encodings proportional to the work done since the
+   root rather than to setup-time writes. *)
+let state_encoding ?relative_to t =
+  let buf = Buffer.create 1024 in
+  let i v =
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf ','
+  in
+  Buffer.add_char buf 'K';
+  i (match t.running with None -> min_int | Some pid -> pid);
+  if t.force_switch then Buffer.add_char buf 'F';
+  List.iter
+    (fun h -> Buffer.add_char buf (match h with Shrimp_invalidate -> 'S' | Flash_inform -> 'I'))
+    t.hooks;
+  List.iter
+    (fun (p : Process.t) ->
+      Buffer.add_char buf 'P';
+      i p.Process.pid;
+      i
+        (match p.Process.state with
+        | Process.Ready -> 0
+        | Process.Blocked_until _ -> 1
+        | Process.Exited _ -> 2);
+      i p.Process.ctx.Cpu.pc;
+      i (match p.Process.dma_context with None -> min_int | Some c -> c);
+      i (match p.Process.dma_key with None -> min_int | Some k -> k);
+      i (Bus.pid_access_count t.bus p.Process.pid);
+      List.iter i (Regfile.to_list p.Process.ctx.Cpu.regs))
+    t.procs;
+  Buffer.add_char buf 'W';
+  List.iter
+    (fun (paddr, value) ->
+      i paddr;
+      i value)
+    (Write_buffer.pending t.write_buffer);
+  Buffer.add_char buf 'o';
+  List.iter
+    (fun (pid, value) ->
+      i pid;
+      i value)
+    t.console;
+  Buffer.add_char buf 'f';
+  List.iter i t.contexts_free;
+  Engine.encode buf t.engine;
+  Buffer.add_char buf 'R';
+  let add_page idx page =
+    i idx;
+    Buffer.add_bytes buf page
+  in
+  (match relative_to with
+  | Some root -> Phys_mem.iter_diverged t.ram ~baseline:root.ram add_page
+  | None -> Phys_mem.iter_touched t.ram add_page);
+  Buffer.contents buf
+
+(* FNV-1a over the canonical encoding. The 64-bit hash is for shard
+   selection and reporting; dedup itself keys on the full encoding, so
+   a hash collision can never merge distinct states. *)
+let fingerprint_of_encoding s =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let fingerprint ?relative_to t = fingerprint_of_encoding (state_encoding ?relative_to t)
+
+let attach_trace t sink ~machine = attach_sink t sink ~machine
+
+(* ------------------------------------------------------------------ *)
 (* Uniform named-counter snapshot *)
 
 let counter_snapshot t =

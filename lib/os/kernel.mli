@@ -80,8 +80,34 @@ val set_trace : t -> Uldma_obs.Trace.t -> unit
 (** Attach a sink after construction: registers a new machine id on it
     and rewires the bus, engine and write-buffer instrumentation. *)
 
+val attach_trace : t -> Uldma_obs.Trace.t -> machine:int -> unit
+(** Rewire the bus/engine/write-buffer instrumentation onto [sink]
+    under an existing machine id (no fresh registration). The parallel
+    explorer uses this to give each worker domain a private sink that
+    is merged into the root's at the end. *)
+
 val trace : t -> Uldma_obs.Trace.t
 val machine_id : t -> int
+
+val state_encoding : ?relative_to:t -> t -> string
+(** Canonical encoding of the machine's engine-visible state: running
+    pid, per-process control state (state tag, pc, registers, DMA
+    context/key, uncached-access count), write-buffer drain frontier,
+    console, DMA engine observables and RAM pages dirtied since the
+    root (O(dirtied), not O(RAM)). Cost bookkeeping (clock, charged bus
+    time, switch/instruction counters, trace state) is excluded: it
+    differs between commuting schedule prefixes but cannot influence
+    future observable steps under the explorer's zero-duration backend.
+    Equal encodings => identical evolution under identical schedules;
+    the explorer's memo table keys on this string, so dedup can miss a
+    merge but never merge distinct states. [relative_to] (a common
+    snapshot ancestor, e.g. the explorer root) restricts the RAM part
+    to pages physically diverged from it — exact, and O(work since the
+    root) instead of O(all setup-time writes). *)
+
+val fingerprint : ?relative_to:t -> t -> int64
+(** FNV-1a hash of [state_encoding] — for shard selection and
+    reporting. Dedup never trusts the hash alone. *)
 
 val counter_snapshot : t -> Uldma_obs.Counters.t
 (** The machine's accounting as a uniform named-counter registry:

@@ -5,6 +5,9 @@ type 'v result = {
   paths : int;
   violations : ('v * int list) list;
   truncated : bool;
+  states_visited : int;
+  dedup_hits : int;
+  stuck_legs : int;
 }
 
 (* Engine-visible transactions issued by [pid] so far, from the bus's
@@ -26,53 +29,287 @@ let advance_one_leg kernel pid ~max_instructions =
   in
   loop 0
 
-let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000) ~check () =
-  let paths = ref 0 in
-  let violations = ref [] in
-  let truncated = ref false in
-  (* exploration events carry the root's machine id and no pid *)
-  let sink = Kernel.trace root in
-  let note kernel depth kind =
-    if Uldma_obs.Trace.enabled sink then
-      Uldma_obs.Trace.emit sink ~at:(Kernel.now_ps kernel) ~machine:(Kernel.machine_id root)
-        ~pid:(-1)
-        (match kind with
-        | `Fork -> Uldma_obs.Trace.Explorer_fork { depth }
-        | `Prune reason -> Uldma_obs.Trace.Explorer_prune { depth; reason }
-        | `Violation detail -> Uldma_obs.Trace.Oracle_violation { detail })
-  in
-  let rec go kernel schedule depth =
-    if !paths >= max_paths then begin
-      truncated := true;
-      note kernel depth (`Prune "max_paths")
-    end
-    else begin
-      let runnable =
-        List.filter (fun pid -> List.mem pid (Kernel.runnable_pids kernel)) pids
-      in
+(* ------------------------------------------------------------------ *)
+(* State-deduplicated, optionally multi-domain search.
+
+   The memo table maps a state's canonical encoding
+   ([Kernel.state_encoding] — the engine-visible state; the live-pid
+   set, which is the only schedule-relevant remainder, is part of it)
+   to the *summary* of its fully-explored subtree. Because the key is
+   the full encoding string, a hash collision can only cost a shard
+   imbalance, never a false merge. A summary stores violation
+   schedules as suffixes relative to its state; a memo hit re-emits
+   them under the current prefix, in their original discovery order —
+   so dedup on/off (and any job count) produce the identical [paths]
+   count, the identical violation list, and even the identical order.
+   Summaries are only stored for subtrees explored without hitting the
+   path budget ("clean"), and a memo hit is only taken when its whole
+   path count still fits the budget; otherwise the state is re-expanded
+   so truncated runs count exactly like the plain DFS. *)
+
+type 'v summary = {
+  s_paths : int;
+  s_violations : ('v * int list) list; (* suffix schedules, forward *)
+  s_stuck : int;
+}
+
+type 'v shared = {
+  root : Kernel.t; (* encoding baseline: pages still shared with it are skipped *)
+  pids : int list;
+  max_instructions : int;
+  max_paths : int;
+  dedup : bool;
+  check : Kernel.t -> 'v option;
+  machine : int;
+  paths : int Atomic.t;
+  stuck : int Atomic.t;
+  visited : int Atomic.t;
+  hits : int Atomic.t;
+  truncated : bool Atomic.t;
+  memo_lookup : string -> 'v summary option;
+  memo_store : string -> 'v summary -> unit;
+}
+
+let note sh sink kernel depth kind =
+  if Uldma_obs.Trace.enabled sink then
+    Uldma_obs.Trace.emit sink ~at:(Kernel.now_ps kernel) ~machine:sh.machine ~pid:(-1)
+      (match kind with
+      | `Fork -> Uldma_obs.Trace.Explorer_fork { depth }
+      | `Prune reason -> Uldma_obs.Trace.Explorer_prune { depth; reason }
+      | `Dedup -> Uldma_obs.Trace.Explorer_dedup { depth }
+      | `Steal -> Uldma_obs.Trace.Explorer_steal { depth }
+      | `Violation detail -> Uldma_obs.Trace.Oracle_violation { detail })
+
+let empty_summary = { s_paths = 0; s_violations = []; s_stuck = 0 }
+
+(* Explore [kernel]'s subtree; returns its summary and whether it is
+   complete ("clean": no path-budget prune inside, safe to memoize).
+   Discovered violations are also pushed onto [out] (newest first) with
+   their full schedules, preserving global DFS discovery order. *)
+let rec explore_state sh sink out kernel schedule_rev depth =
+  if Atomic.get sh.paths >= sh.max_paths then begin
+    Atomic.set sh.truncated true;
+    note sh sink kernel depth (`Prune "max_paths");
+    (empty_summary, false)
+  end
+  else begin
+    let encoding =
+      if sh.dedup then Some (Kernel.state_encoding ~relative_to:sh.root kernel) else None
+    in
+    let hit = match encoding with Some e -> sh.memo_lookup e | None -> None in
+    match hit with
+    | Some s when Atomic.get sh.paths + s.s_paths <= sh.max_paths ->
+      ignore (Atomic.fetch_and_add sh.paths s.s_paths : int);
+      ignore (Atomic.fetch_and_add sh.stuck s.s_stuck : int);
+      Atomic.incr sh.hits;
+      note sh sink kernel depth `Dedup;
+      if s.s_violations <> [] then begin
+        let prefix = List.rev schedule_rev in
+        List.iter (fun (v, suffix) -> out := (v, prefix @ suffix) :: !out) s.s_violations
+      end;
+      (s, true)
+    | Some _ | None -> (
+      Atomic.incr sh.visited;
+      (* the runnable set is computed once per node (it was previously
+         recomputed inside a List.mem per candidate pid) *)
+      let live = Kernel.runnable_pids kernel in
+      let runnable = List.filter (fun pid -> List.mem pid live) sh.pids in
       match runnable with
-      | [] -> begin
-        incr paths;
-        match check kernel with
-        | Some v ->
-          note kernel depth (`Violation "oracle check failed on a completed schedule");
-          violations := (v, List.rev schedule) :: !violations
-        | None -> ()
-      end
+      | [] ->
+        ignore (Atomic.fetch_and_add sh.paths 1 : int);
+        let s =
+          match sh.check kernel with
+          | Some v ->
+            note sh sink kernel depth (`Violation "oracle check failed on a completed schedule");
+            out := (v, List.rev schedule_rev) :: !out;
+            { s_paths = 1; s_violations = [ (v, []) ]; s_stuck = 0 }
+          | None -> { s_paths = 1; s_violations = []; s_stuck = 0 }
+        in
+        (match encoding with Some e -> sh.memo_store e s | None -> ());
+        (s, true)
+      | _ :: _ ->
+        let acc_paths = ref 0 and acc_viol = ref [] and acc_stuck = ref 0 in
+        let clean = ref true in
+        List.iter
+          (fun pid ->
+            if Atomic.get sh.paths >= sh.max_paths then begin
+              Atomic.set sh.truncated true;
+              clean := false
+            end
+            else begin
+              let fork = Kernel.snapshot kernel in
+              note sh sink fork depth `Fork;
+              match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
+              | `Progress | `Exited ->
+                let s, c = explore_state sh sink out fork (pid :: schedule_rev) (depth + 1) in
+                acc_paths := !acc_paths + s.s_paths;
+                List.iter (fun (v, sfx) -> acc_viol := (v, pid :: sfx) :: !acc_viol) s.s_violations;
+                acc_stuck := !acc_stuck + s.s_stuck;
+                if not c then clean := false
+              | `Stuck ->
+                (* prune just this leg: the pid spun past the
+                   instruction budget without an NI access — its
+                   siblings' interleavings are still explored *)
+                Atomic.incr sh.stuck;
+                incr acc_stuck;
+                note sh sink fork depth (`Prune "stuck leg")
+            end)
+          runnable;
+        let s =
+          { s_paths = !acc_paths; s_violations = List.rev !acc_viol; s_stuck = !acc_stuck }
+        in
+        if !clean then (match encoding with Some e -> sh.memo_store e s | None -> ());
+        (s, !clean))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver: a sequential prefix expansion seeds a deque of
+   subtree-root tasks, then [jobs] domains drain it. Each task's
+   snapshot lineage is owned by exactly one domain (Phys_mem's COW
+   ownership protocol is only mutated within a lineage; pages shared
+   *across* lineages are never written in place), so no kernel state is
+   shared between domains. The shared pieces are the atomic counters,
+   the mutex-guarded task deque, the sharded mutex-guarded memo table
+   (whose values are immutable summaries — a racy duplicate expansion
+   of the same state computes the same summary, costing only time),
+   and per-domain trace sinks merged into the root sink under a lock
+   at the end. Violations land in a per-task slot and are concatenated
+   in task (DFS prefix) order, so the result is deterministic and
+   identical to the sequential explorer's whenever the path budget is
+   not hit. *)
+
+type 'v task = { t_index : int; t_kernel : Kernel.t; t_schedule_rev : int list; t_depth : int }
+
+let collect_tasks sh sink root ~jobs =
+  (* cut depth: enough prefix levels that every domain has several
+     subtrees to steal; terminals shallower than the cut become
+     single-state tasks *)
+  let fanout = max 2 (List.length sh.pids) in
+  let target = jobs * 4 in
+  let cut =
+    let rec go d width = if width >= target || d >= 8 then d else go (d + 1) (width * fanout) in
+    go 1 fanout
+  in
+  let tasks = ref [] and n = ref 0 in
+  let push kernel schedule_rev depth =
+    tasks := { t_index = !n; t_kernel = kernel; t_schedule_rev = schedule_rev; t_depth = depth } :: !tasks;
+    incr n
+  in
+  let rec seed kernel schedule_rev depth =
+    if depth >= cut then push kernel schedule_rev depth
+    else begin
+      let live = Kernel.runnable_pids kernel in
+      let runnable = List.filter (fun pid -> List.mem pid live) sh.pids in
+      match runnable with
+      | [] -> push kernel schedule_rev depth
       | _ :: _ ->
         List.iter
           (fun pid ->
-            if not !truncated then begin
-              let fork = Kernel.snapshot kernel in
-              note fork depth `Fork;
-              match advance_one_leg fork pid ~max_instructions:max_instructions_per_leg with
-              | `Progress | `Exited -> go fork (pid :: schedule) (depth + 1)
-              | `Stuck ->
-                truncated := true;
-                note fork depth (`Prune "stuck leg")
-            end)
+            let fork = Kernel.snapshot kernel in
+            note sh sink fork depth `Fork;
+            match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
+            | `Progress | `Exited -> seed fork (pid :: schedule_rev) (depth + 1)
+            | `Stuck ->
+              Atomic.incr sh.stuck;
+              note sh sink fork depth (`Prune "stuck leg"))
           runnable
     end
   in
-  go (Kernel.snapshot root) [] 0;
-  { paths = !paths; violations = List.rev !violations; truncated = !truncated }
+  seed (Kernel.snapshot root) [] 0;
+  (List.rev !tasks, !n)
+
+let run_parallel sh root_sink root ~jobs =
+  let tasks, n_tasks = collect_tasks sh root_sink root ~jobs in
+  let results = Array.make n_tasks [] in
+  let deque = ref tasks in
+  let deque_mutex = Mutex.create () in
+  let merge_mutex = Mutex.create () in
+  let pop () =
+    Mutex.protect deque_mutex (fun () ->
+        match !deque with
+        | [] -> None
+        | t :: rest ->
+          deque := rest;
+          Some t)
+  in
+  let tracing = Uldma_obs.Trace.enabled root_sink in
+  let worker () =
+    let sink = if tracing then Uldma_obs.Trace.create () else Uldma_obs.Trace.null in
+    let rec drain () =
+      match pop () with
+      | None -> ()
+      | Some t ->
+        if tracing then Kernel.attach_trace t.t_kernel sink ~machine:sh.machine;
+        note sh sink t.t_kernel t.t_depth `Steal;
+        let out = ref [] in
+        ignore (explore_state sh sink out t.t_kernel t.t_schedule_rev t.t_depth : _ summary * bool);
+        results.(t.t_index) <- List.rev !out;
+        drain ()
+    in
+    drain ();
+    if tracing then Mutex.protect merge_mutex (fun () -> Uldma_obs.Trace.absorb root_sink sink)
+  in
+  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  List.concat (Array.to_list results)
+
+(* ------------------------------------------------------------------ *)
+
+let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
+    ?(dedup = true) ?(jobs = 1) ~check () =
+  let jobs = max 1 jobs in
+  let memo_lookup, memo_store =
+    if not dedup then ((fun _ -> None), fun _ _ -> ())
+    else if jobs = 1 then begin
+      let tbl = Hashtbl.create 4096 in
+      (Hashtbl.find_opt tbl, fun e s -> Hashtbl.replace tbl e s)
+    end
+    else begin
+      (* sharded by string hash purely for lock spreading; equality is
+         on the full encoding, so shard choice cannot affect results *)
+      let n_shards = 64 in
+      let shards = Array.init n_shards (fun _ -> (Mutex.create (), Hashtbl.create 256)) in
+      let shard e = Hashtbl.hash e land (n_shards - 1) in
+      ( (fun e ->
+          let m, tbl = shards.(shard e) in
+          Mutex.protect m (fun () -> Hashtbl.find_opt tbl e)),
+        fun e s ->
+          let m, tbl = shards.(shard e) in
+          Mutex.protect m (fun () -> Hashtbl.replace tbl e s) )
+    end
+  in
+  let sh =
+    {
+      root;
+      pids;
+      max_instructions = max_instructions_per_leg;
+      max_paths;
+      dedup;
+      check;
+      machine = Kernel.machine_id root;
+      paths = Atomic.make 0;
+      stuck = Atomic.make 0;
+      visited = Atomic.make 0;
+      hits = Atomic.make 0;
+      truncated = Atomic.make false;
+      memo_lookup;
+      memo_store;
+    }
+  in
+  let sink = Kernel.trace root in
+  let violations =
+    if jobs = 1 then begin
+      let out = ref [] in
+      ignore (explore_state sh sink out (Kernel.snapshot root) [] 0 : _ summary * bool);
+      List.rev !out
+    end
+    else run_parallel sh sink root ~jobs
+  in
+  {
+    paths = Atomic.get sh.paths;
+    violations;
+    truncated = Atomic.get sh.truncated;
+    states_visited = Atomic.get sh.visited;
+    dedup_hits = Atomic.get sh.hits;
+    stuck_legs = Atomic.get sh.stuck;
+  }

@@ -15,13 +15,40 @@
     States are forked with [Kernel.snapshot] (copy-on-write RAM and
     persistent page tables, so a fork is cheap even with large RAM) and
     a leg's NI accesses are counted by the bus's O(1) per-pid counters
-    rather than by scanning the trace. *)
+    rather than by scanning the trace.
+
+    On top of the leg-granular tree the explorer {e deduplicates
+    states}: two schedule prefixes that reach the same engine-visible
+    state ([Kernel.state_encoding]) share one subtree expansion, and
+    [paths] is counted through the resulting DAG rather than re-walked.
+    Memoized subtrees carry their violation schedules as suffixes and
+    re-emit them under each new prefix, so deduplication (and
+    parallelism) change cost, never results: [paths], the violating
+    schedules, and even their order are identical with [dedup] on or
+    off and with any [jobs] value (exactly, whenever [max_paths] is not
+    hit; under truncation a parallel run may tie-break differently).
+    One caveat: a memo hit re-emits the ['v] value computed on the
+    first-discovered prefix, so payload fields outside the dedup
+    abstraction — simulated timestamps, chiefly — may differ from what
+    a brute-force run would compute for the same schedule.
+    With [jobs > 1] a sequential prefix expansion seeds a deque of
+    subtree roots that worker domains drain, sharing a sharded memo
+    table; [check] then runs on worker domains and must be pure (the
+    standard oracles are). *)
 
 type 'v result = {
-  paths : int; (** complete schedules explored *)
+  paths : int; (** complete schedules explored (counted through the DAG) *)
   violations : ('v * int list) list;
       (** violation + the pid schedule (one pid per leg) that reached it *)
-  truncated : bool; (** a bound was hit; exploration is incomplete *)
+  truncated : bool; (** the path budget was hit; exploration is incomplete *)
+  states_visited : int;
+      (** nodes actually expanded (memo misses + terminals); with dedup
+          this is the DAG size, without it the full tree size *)
+  dedup_hits : int; (** subtree expansions avoided by the memo table *)
+  stuck_legs : int;
+      (** legs abandoned because a pid exceeded the per-leg instruction
+          budget without an NI access; only those branches are pruned,
+          their siblings are still explored *)
 }
 
 val explore :
@@ -29,12 +56,15 @@ val explore :
   pids:int list ->
   ?max_instructions_per_leg:int ->
   ?max_paths:int ->
+  ?dedup:bool ->
+  ?jobs:int ->
   check:(Uldma_os.Kernel.t -> 'v option) ->
   unit ->
   'v result
 (** [check] runs at each terminal state (all of [pids] exited or
-    stuck). Defaults: 2000 instructions per leg, 1_000_000 paths. The
-    root kernel is not mutated. *)
+    stuck). Defaults: 2000 instructions per leg, 1_000_000 paths,
+    [dedup] on, [jobs] 1. The root kernel is not mutated. With
+    [jobs > 1], [check] runs on worker domains and must be pure. *)
 
 val advance_one_leg : Uldma_os.Kernel.t -> int -> max_instructions:int -> [ `Progress | `Exited | `Stuck ]
 (** Run pid until its next NI access completes (or it exits). Exposed

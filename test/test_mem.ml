@@ -217,6 +217,51 @@ let test_mem_cow_siblings () =
   checkb "shared pages equal for free" true
     (Phys_mem.equal_range parent b ~addr:0 ~len:Layout.page_size)
 
+let test_mem_touched_tracking () =
+  let m = mem () in
+  checki "fresh RAM touched nothing" 0 (Phys_mem.touched_count m);
+  Phys_mem.store_word m 0 1;
+  Phys_mem.store_word m 8 2;
+  checki "two writes to one page touch one page" 1 (Phys_mem.touched_count m);
+  Phys_mem.store_word m (2 * Layout.page_size) 3;
+  checki "write to another page" 2 (Phys_mem.touched_count m);
+  let seen = ref [] in
+  Phys_mem.iter_touched m (fun i _ -> seen := i :: !seen);
+  Alcotest.(check (list int)) "touched indices" [ 0; 2 ] (List.sort compare !seen);
+  (* copies inherit the touched set: the pages that may differ from an
+     all-zero RAM are the same for parent and child *)
+  let child = Phys_mem.copy m in
+  checki "child inherits touched" 2 (Phys_mem.touched_count child);
+  Phys_mem.store_word child (3 * Layout.page_size) 4;
+  checki "child write adds" 3 (Phys_mem.touched_count child);
+  checki "parent unaffected" 2 (Phys_mem.touched_count m)
+
+let test_mem_iter_diverged () =
+  let root = mem () in
+  Phys_mem.store_word root 0 1;
+  let a = Phys_mem.copy root in
+  (* a fork that has written nothing shares every page with the root *)
+  let n = ref 0 in
+  Phys_mem.iter_diverged a ~baseline:root (fun _ _ -> incr n);
+  checki "fresh fork diverges nowhere" 0 !n;
+  (* one write diverges exactly that page, even though the touched set
+     also holds the root's page 0 *)
+  Phys_mem.store_word a (2 * Layout.page_size) 42;
+  let seen = ref [] in
+  Phys_mem.iter_diverged a ~baseline:root (fun i _ -> seen := i :: !seen);
+  Alcotest.(check (list int)) "diverged pages" [ 2 ] !seen;
+  (* rewriting a root-touched page diverges it too (CoW gives the fork
+     its own Bytes even when the content ends up identical) *)
+  Phys_mem.store_word a 0 1;
+  let seen = ref [] in
+  Phys_mem.iter_diverged a ~baseline:root (fun i _ -> seen := i :: !seen);
+  Alcotest.(check (list int)) "after page-0 write" [ 0; 2 ] (List.sort compare !seen);
+  checkb "size mismatch rejected" true
+    (try
+       Phys_mem.iter_diverged a ~baseline:(Phys_mem.create ~size:Layout.page_size) (fun _ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
 let test_mem_cow_blit_fill_across_pages () =
   let m = mem () in
   (* pattern crossing the page 0/1 boundary *)
@@ -347,6 +392,8 @@ let () =
           Alcotest.test_case "cow sibling isolation" `Quick test_mem_cow_siblings;
           Alcotest.test_case "cow blit/fill across pages" `Quick
             test_mem_cow_blit_fill_across_pages;
+          Alcotest.test_case "touched-page tracking" `Quick test_mem_touched_tracking;
+          Alcotest.test_case "iter_diverged" `Quick test_mem_iter_diverged;
           mem_cow_matches_eager_oracle;
           mem_word_roundtrip_prop;
           mem_blit_preserves_content;

@@ -88,6 +88,42 @@ let test_trace_ambient () =
   (try Trace.with_ambient sink (fun () -> failwith "boom") with Failure _ -> ());
   checkb "restored after an exception" true (Trace.ambient () == Trace.null)
 
+let test_trace_absorb () =
+  (* the parallel explorer merges worker-local sinks into the root one *)
+  let dst = Trace.create () and src = Trace.create () in
+  emit_n dst 2;
+  emit_n src 3;
+  Trace.absorb dst src;
+  checki "totals added" 5 (Trace.total dst);
+  Alcotest.(check (list int)) "events appended in order" [ 1; 2; 1; 2; 3 ] (steps dst);
+  checki "source unchanged" 3 (Trace.total src);
+  (* a disabled destination drops the absorbed events but still counts
+     them, like any other emission race with set_enabled *)
+  let off = Trace.create () in
+  Trace.set_enabled off false;
+  Trace.absorb off src;
+  checkb "null sink refuses" true
+    (try
+       Trace.absorb Trace.null src;
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_explorer_kinds () =
+  let sink = Trace.create () in
+  Trace.emit sink ~at:0 ~machine:0 ~pid:(-1) (Trace.Explorer_steal { depth = 2 });
+  Trace.emit sink ~at:1 ~machine:0 ~pid:(-1) (Trace.Explorer_dedup { depth = 3 });
+  (match Trace.events sink with
+  | [ a; b ] ->
+    Alcotest.(check string) "steal name" "explorer_steal" (Trace.kind_name a.Trace.kind);
+    Alcotest.(check string) "dedup name" "explorer_dedup" (Trace.kind_name b.Trace.kind);
+    Alcotest.(check string) "steal layer" "verify"
+      (Trace.layer_name (Trace.layer_of_kind a.Trace.kind));
+    Alcotest.(check string) "dedup layer" "verify"
+      (Trace.layer_name (Trace.layer_of_kind b.Trace.kind))
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  let rendered = Format.asprintf "%a" Trace.pp_record (List.hd (Trace.events sink)) in
+  checkb "args rendered" true (contains rendered "depth=2")
+
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
@@ -258,6 +294,8 @@ let () =
           Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
           Alcotest.test_case "machine registry" `Quick test_trace_machine_registry;
           Alcotest.test_case "ambient install/restore" `Quick test_trace_ambient;
+          Alcotest.test_case "absorb merges sinks" `Quick test_trace_absorb;
+          Alcotest.test_case "explorer kinds" `Quick test_trace_explorer_kinds;
         ] );
       ( "counters",
         [

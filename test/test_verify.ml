@@ -159,7 +159,7 @@ let test_rep5_resists_fig5_schedule () =
 (* ------------------------------------------------------------------ *)
 (* Explorer *)
 
-let explore scenario =
+let explore_with ?dedup ?jobs scenario =
   let s = scenario () in
   let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
   let check kernel =
@@ -179,7 +179,9 @@ let explore scenario =
     let report = Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported in
     match report.Oracle.violations with [] -> None | v :: _ -> Some v
   in
-  Explorer.explore ~root:s.Scenario.kernel ~pids ~check ()
+  Explorer.explore ~root:s.Scenario.kernel ~pids ?dedup ?jobs ~check ()
+
+let explore scenario = explore_with scenario
 
 let test_explorer_rep5_safe_all_schedules () =
   let r = explore Scenario.rep5 in
@@ -242,6 +244,113 @@ let test_explorer_max_paths_truncates () =
   let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
   let r = Explorer.explore ~root:s.Scenario.kernel ~pids ~max_paths:3 ~check:(fun _ -> None) () in
   checkb "truncated" true r.Explorer.truncated
+
+(* A pid that spins forever without touching the NI makes every leg
+   through it [`Stuck]. Regression: a stuck leg used to poison the
+   whole exploration (global truncation, siblings abandoned); now only
+   that branch is pruned and the siblings keep being expanded. *)
+let test_explorer_stuck_leg_prunes_branch_only () =
+  let kernel = Kernel.create Kernel.default_config in
+  let spinner = Kernel.spawn kernel ~name:"spinner" ~program:[| Uldma_cpu.Isa.Jmp 0 |] () in
+  let worker =
+    Kernel.spawn kernel ~name:"worker" ~program:[| Uldma_cpu.Isa.Nop; Uldma_cpu.Isa.Halt |] ()
+  in
+  let r =
+    Explorer.explore ~root:kernel ~pids:[ spinner.Process.pid; worker.Process.pid ]
+      ~max_instructions_per_leg:100 ~dedup:false ~check:(fun _ -> None) ()
+  in
+  checkb "not globally truncated" false r.Explorer.truncated;
+  (* the spinner is stuck both at the root and after the worker's exit:
+     proof the sibling branch survived the first stuck leg *)
+  checkb "several stuck legs recorded" true (r.Explorer.stuck_legs >= 2);
+  checkb "sibling branch expanded" true (r.Explorer.states_visited >= 2)
+
+(* Canonical form of a violation list for cross-configuration
+   comparison: constructor kind + violating schedule. The payloads are
+   NOT compared: a memo hit re-emits the violation value computed on
+   the first-discovered commuting prefix, whose simulated timestamps
+   (e.g. Transfer.at inside Unattributed_transfer) legitimately differ
+   from a later prefix's even though the engine-visible outcome is the
+   same — that is exactly the state abstraction dedup merges on. *)
+let canon_violations (r : _ Explorer.result) =
+  List.map
+    (fun (v, schedule) ->
+      ( (match v with
+        | Oracle.Unattributed_transfer _ -> "unattributed"
+        | Oracle.Rights_violation _ -> "rights"
+        | Oracle.Phantom_success _ -> "phantom"
+        | Oracle.Lost_transfer _ -> "lost"),
+        schedule ))
+    r.Explorer.violations
+
+(* Equality invariant of the memoization: with the real oracle
+   attached, dedup on/off must report the same schedules and the same
+   violation kinds, in the same order (the golden Fig. 8 table relies
+   on this). *)
+let test_explorer_dedup_equivalence () =
+  List.iter
+    (fun scenario ->
+      let on = explore scenario in
+      let off = explore_with ~dedup:false scenario in
+      checki "paths equal" off.Explorer.paths on.Explorer.paths;
+      checkb "violations identical, in order" true (canon_violations on = canon_violations off);
+      checki "no dedup hits when off" 0 off.Explorer.dedup_hits)
+    [ Scenario.fig5; Scenario.rep5 ]
+
+(* Same invariant across worker-domain counts: the parallel driver
+   concatenates per-subtree results in the sequential DFS order, so
+   any --jobs must reproduce the jobs=1 schedules exactly. *)
+let test_explorer_jobs_determinism () =
+  List.iter
+    (fun scenario ->
+      let seq = explore scenario in
+      List.iter
+        (fun jobs ->
+          let par = explore_with ~jobs scenario in
+          checki (Printf.sprintf "jobs=%d paths" jobs) seq.Explorer.paths par.Explorer.paths;
+          checkb
+            (Printf.sprintf "jobs=%d violations identical, in order" jobs)
+            true
+            (canon_violations seq = canon_violations par);
+          checkb (Printf.sprintf "jobs=%d complete" jobs) false par.Explorer.truncated)
+        [ 2; 4 ])
+    [ Scenario.fig5; Scenario.rep5 ]
+
+let test_explorer_dedup_reduces_states () =
+  let on = explore Scenario.rep5 in
+  let off = explore_with ~dedup:false Scenario.rep5 in
+  checkb "fewer states than schedules" true (on.Explorer.states_visited < on.Explorer.paths);
+  checkb "fewer states than brute force" true
+    (on.Explorer.states_visited < off.Explorer.states_visited);
+  checkb "dedup hits recorded" true (on.Explorer.dedup_hits > 0);
+  checki "brute force visits every interior node at least once" off.Explorer.states_visited
+    (off.Explorer.states_visited + off.Explorer.dedup_hits)
+
+(* The fingerprint hashes only engine-visible state: two independently
+   built copies of a scenario agree, and advancing one NI-access leg
+   changes it while leaving the root's untouched. *)
+let test_kernel_fingerprint_stability () =
+  let a = (Scenario.rep5 ()).Scenario.kernel and b = (Scenario.rep5 ()).Scenario.kernel in
+  Alcotest.(check string) "identical builds encode identically"
+    (Kernel.state_encoding a) (Kernel.state_encoding b);
+  checkb "identical builds fingerprint identically" true
+    (Int64.equal (Kernel.fingerprint a) (Kernel.fingerprint b));
+  let before = Kernel.fingerprint a in
+  let fork = Kernel.snapshot a in
+  checkb "snapshot leaves the fingerprint alone" true
+    (Int64.equal before (Kernel.fingerprint a));
+  (match Explorer.advance_one_leg fork 1 ~max_instructions:2000 with
+  | `Progress | `Exited -> ()
+  | `Stuck -> Alcotest.fail "unexpected stuck leg");
+  checkb "a leg changes the fork's fingerprint" false
+    (Int64.equal before (Kernel.fingerprint fork));
+  checkb "...but not the root's" true (Int64.equal before (Kernel.fingerprint a));
+  (* the root-relative encoding starts empty on the RAM side and grows
+     only with diverged pages, so it stays much shorter than the
+     absolute one *)
+  checkb "relative encoding is compact" true
+    (String.length (Kernel.state_encoding ~relative_to:a fork)
+    < String.length (Kernel.state_encoding fork))
 
 let test_advance_one_leg () =
   let s = Scenario.rep5 () in
@@ -468,6 +577,13 @@ let () =
           Alcotest.test_case "violating schedule recorded" `Quick test_explorer_schedules_recorded;
           Alcotest.test_case "root untouched" `Quick test_explorer_root_untouched;
           Alcotest.test_case "max_paths truncates" `Quick test_explorer_max_paths_truncates;
+          Alcotest.test_case "stuck leg prunes branch only" `Quick
+            test_explorer_stuck_leg_prunes_branch_only;
+          Alcotest.test_case "dedup on/off equivalence" `Slow test_explorer_dedup_equivalence;
+          Alcotest.test_case "jobs determinism" `Slow test_explorer_jobs_determinism;
+          Alcotest.test_case "dedup reduces states" `Slow test_explorer_dedup_reduces_states;
+          Alcotest.test_case "kernel fingerprint stability" `Quick
+            test_kernel_fingerprint_stability;
           Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;
           Alcotest.test_case "kernel snapshot isolation" `Quick test_kernel_snapshot_isolation;
         ] );

@@ -7,7 +7,12 @@
    2. exports the Chrome trace_event JSON, re-parses it with a local
       JSON reader and checks timestamps are monotone per machine (pid);
    3. checks the disabled path really is a no-op (no events recorded);
-   4. re-measures explorer throughput with tracing disabled and
+   4. checks the explorer's dedup/parallel soundness invariant: with
+      the real Fig. 8 oracle attached, dedup on/off and jobs=1/2 must
+      report identical path counts and identical (sorted) violation
+      sets on fig5 (violating) and rep5 (safe), and rep5 dedup must
+      visit strictly fewer states than it counts schedules;
+   5. re-measures explorer throughput with tracing disabled and
       compares against the recorded baseline (argv.(1), normally
       _results/BENCH_explorer.json): fails only below baseline/5, a
       deliberately loose bound so loaded CI machines do not flake. *)
@@ -171,6 +176,38 @@ let explore_rep5 () =
   in
   Explorer.explore ~root:s.Scenario.kernel ~pids ~max_paths:1_000_000 ~check:(fun _ -> None) ()
 
+(* Exploration with the full Fig. 8 oracle attached, so the soundness
+   invariant below compares real violation sets, not just path counts. *)
+let explore_checked ?dedup ?jobs scenario =
+  let s = scenario () in
+  let pids =
+    [ s.Scenario.victim.Uldma_os.Process.pid; s.Scenario.attacker.Uldma_os.Process.pid ]
+  in
+  let check kernel =
+    let read pid result_va =
+      match Uldma_os.Kernel.find_process kernel pid with
+      | Some p -> Uldma_workload.Stub_loop.read_successes kernel p ~result_va
+      | None -> 0
+    in
+    let reported =
+      ( s.Scenario.victim.Uldma_os.Process.pid,
+        read s.Scenario.victim.Uldma_os.Process.pid s.Scenario.victim_result_va )
+      ::
+      (match s.Scenario.attacker_result_va with
+      | Some result_va ->
+        [
+          ( s.Scenario.attacker.Uldma_os.Process.pid,
+            read s.Scenario.attacker.Uldma_os.Process.pid result_va );
+        ]
+      | None -> [])
+    in
+    let report =
+      Uldma_verify.Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported
+    in
+    match report.Uldma_verify.Oracle.violations with [] -> None | v :: _ -> Some v
+  in
+  Explorer.explore ~root:s.Scenario.kernel ~pids ?dedup ?jobs ~max_paths:1_000_000 ~check ()
+
 let () =
   (* 1. coverage of a traced run *)
   let sink = Trace.create () in
@@ -222,7 +259,58 @@ let () =
           : Uldma_sim.Measure.result));
   if Trace.total off <> 0 then fail "disabled sink recorded %d events" (Trace.total off);
 
-  (* 4. tracing-disabled explorer throughput vs the recorded baseline.
+  (* 4. soundness invariant of the dedup/parallel explorer: turning
+     memoization off or splitting the search over domains must change
+     neither the number of schedules nor the (sorted) violation set.
+     fig5 exercises the violating side of the oracle, rep5 the safe
+     side; rep5 additionally demonstrates that memoization visits
+     strictly fewer states than there are schedules. *)
+  List.iter
+    (fun (name, scenario, expect_violations) ->
+      let base = explore_checked scenario in
+      let nodedup = explore_checked ~dedup:false scenario in
+      let par = explore_checked ~jobs:2 scenario in
+      (* compare violation kinds + schedules, not payloads: a memo hit
+         re-emits the first-discovered prefix's violation value, whose
+         simulated timestamps legitimately differ between commuting
+         prefixes that dedup merges *)
+      let canon (r : _ Explorer.result) =
+        List.sort compare
+          (List.map
+             (fun (v, schedule) ->
+               ( (match v with
+                 | Uldma_verify.Oracle.Unattributed_transfer _ -> "unattributed"
+                 | Uldma_verify.Oracle.Rights_violation _ -> "rights"
+                 | Uldma_verify.Oracle.Phantom_success _ -> "phantom"
+                 | Uldma_verify.Oracle.Lost_transfer _ -> "lost"),
+                 schedule ))
+             r.Explorer.violations)
+      in
+      if nodedup.Explorer.paths <> base.Explorer.paths then
+        fail "%s: dedup changed the path count (%d with, %d without)" name base.Explorer.paths
+          nodedup.Explorer.paths;
+      if par.Explorer.paths <> base.Explorer.paths then
+        fail "%s: jobs=2 changed the path count (%d vs %d)" name par.Explorer.paths
+          base.Explorer.paths;
+      if canon nodedup <> canon base then fail "%s: dedup changed the violation set" name;
+      if canon par <> canon base then fail "%s: jobs=2 changed the violation set" name;
+      if expect_violations && base.Explorer.violations = [] then
+        fail "%s: oracle found no violations (expected some)" name;
+      if (not expect_violations) && base.Explorer.violations <> [] then
+        fail "%s: oracle found %d violations (expected none)" name
+          (List.length base.Explorer.violations);
+      Printf.printf
+        "check-trace: %s invariant ok (%d paths, %d violations; %d states with dedup, %d without)\n"
+        name base.Explorer.paths
+        (List.length base.Explorer.violations)
+        base.Explorer.states_visited nodedup.Explorer.states_visited)
+    [ ("fig5", Scenario.fig5, true); ("rep5", Scenario.rep5, false) ];
+  let r5 = explore_checked Scenario.rep5 in
+  if r5.Explorer.states_visited >= r5.Explorer.paths then
+    fail "rep5: dedup visited %d states for %d paths (expected strictly fewer)"
+      r5.Explorer.states_visited r5.Explorer.paths;
+
+  (* 5. tracing-disabled explorer throughput vs the recorded baseline.
      [_results/] is invisible to dune (leading underscore), so locate
      the baseline by walking up from the cwd (which, under `dune
      runtest`, is inside _build/) unless a path was given. *)
