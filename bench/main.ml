@@ -117,7 +117,16 @@ let print_bench_results results =
    "parallel" sub-objects comparing the memoized sequential run
    against brute force and against an N-domain run.  All schema-v1
    keys are preserved; the headline "explorer" object is the default
-   configuration (dedup on, jobs=1). *)
+   configuration (dedup on, jobs=1).
+
+   Schema v3 adds the "scenarios3" object: the three-process contested
+   workloads (~10^5..10^6 schedules each) explored at jobs = 1, 2 and
+   4 with the work-stealing driver, recording per-jobs wall time,
+   throughput and steal counts, the speedups vs jobs=1, the dedup
+   ratio (schedules per expanded state — how much of the tree the memo
+   collapses), and a bounded-memo run (small memo_cap) proving the
+   exploration still completes exactly while evicting. All v2 keys are
+   preserved unchanged. *)
 let time_explore ?dedup ?jobs ~reps () =
   let t0 = Unix.gettimeofday () in
   let last = ref (explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()) in
@@ -149,7 +158,7 @@ let write_bench_explorer_json () =
     float_of_int res.Uldma_verify.Explorer.paths /. s
   in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 2,\n  \"explorer\": {\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 3,\n  \"explorer\": {\n";
   Buffer.add_string buf "    \"scenario\": \"rep5\",\n";
   Buffer.add_string buf "    \"max_paths\": 1000000,\n";
   Printf.bprintf buf "    \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
@@ -178,6 +187,72 @@ let write_bench_explorer_json () =
   Printf.bprintf buf "      \"recommended_domains\": %d\n"
     (Domain.recommended_domain_count ());
   Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  },\n  \"scenarios3\": {\n";
+  let module Scenario = Uldma_workload.Scenario in
+  let scenarios3 =
+    [
+      ("key-3", fun () -> Scenario.key_contested3 ());
+      ("ext-shadow-3", fun () -> Scenario.ext_shadow_contested3 ());
+      ("rep5-3", Scenario.rep5_contested3);
+    ]
+  in
+  List.iteri
+    (fun i (name, build) ->
+      let explore ?jobs ?memo_cap () =
+        let s = build () in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Uldma_verify.Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+            ~max_paths:1_000_000 ?jobs ?memo_cap ~check:(Scenario.oracle_check s) ()
+        in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let r1, s1 = explore () in
+      let r2, s2 = explore ~jobs:2 () in
+      let r4, s4 = explore ~jobs:4 () in
+      let rb, sb = explore ~memo_cap:512 () in
+      Printf.bprintf buf "    \"%s\": {\n" name;
+      Printf.bprintf buf "      \"paths\": %d,\n" r1.Uldma_verify.Explorer.paths;
+      Printf.bprintf buf "      \"violating_schedules\": %d,\n"
+        (List.length r1.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      \"truncated\": %b,\n" r1.Uldma_verify.Explorer.truncated;
+      Printf.bprintf buf "      \"states_visited\": %d,\n" r1.Uldma_verify.Explorer.states_visited;
+      Printf.bprintf buf "      \"dedup_hits\": %d,\n" r1.Uldma_verify.Explorer.dedup_hits;
+      Printf.bprintf buf "      \"dedup_ratio\": %.1f,\n"
+        (float_of_int r1.Uldma_verify.Explorer.paths
+        /. float_of_int (max 1 r1.Uldma_verify.Explorer.states_visited));
+      Printf.bprintf buf "      \"stuck_legs\": %d,\n" r1.Uldma_verify.Explorer.stuck_legs;
+      let jobs_obj key (r : _ Uldma_verify.Explorer.result) secs =
+        Printf.bprintf buf "      \"%s\": {\n" key;
+        Printf.bprintf buf "        \"seconds\": %.6f,\n" secs;
+        Printf.bprintf buf "        \"paths_per_sec\": %.1f,\n" (pps r secs);
+        Printf.bprintf buf "        \"steals\": %d\n" r.Uldma_verify.Explorer.steals;
+        Printf.bprintf buf "      },\n"
+      in
+      jobs_obj "jobs1" r1 s1;
+      jobs_obj "jobs2" r2 s2;
+      jobs_obj "jobs4" r4 s4;
+      Printf.bprintf buf "      \"speedup_jobs2\": %.3f,\n" (s1 /. s2);
+      Printf.bprintf buf "      \"speedup_jobs4\": %.3f,\n" (s1 /. s4);
+      Printf.bprintf buf "      \"parallel_results_identical\": %b,\n"
+        (r1.Uldma_verify.Explorer.paths = r2.Uldma_verify.Explorer.paths
+        && r2.Uldma_verify.Explorer.paths = r4.Uldma_verify.Explorer.paths
+        && List.map snd r1.Uldma_verify.Explorer.violations
+           = List.map snd r2.Uldma_verify.Explorer.violations
+        && List.map snd r2.Uldma_verify.Explorer.violations
+           = List.map snd r4.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      \"bounded_memo\": {\n";
+      Printf.bprintf buf "        \"memo_cap\": 512,\n";
+      Printf.bprintf buf "        \"evictions\": %d,\n" rb.Uldma_verify.Explorer.evictions;
+      Printf.bprintf buf "        \"seconds\": %.6f,\n" sb;
+      Printf.bprintf buf "        \"results_identical\": %b\n"
+        (rb.Uldma_verify.Explorer.paths = r1.Uldma_verify.Explorer.paths
+        && List.map snd rb.Uldma_verify.Explorer.violations
+           = List.map snd r1.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      }\n";
+      Printf.bprintf buf "    }%s\n" (if i = List.length scenarios3 - 1 then "" else ",")
+    )
+    scenarios3;
   Buffer.add_string buf "  },\n  \"initiation_us\": {\n";
   List.iteri
     (fun i (name, us) ->

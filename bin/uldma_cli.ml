@@ -262,6 +262,9 @@ let explore_cmd =
                   ("ext-shadow", `Ext_shadow);
                   ("key-based", `Key_based);
                   ("pal", `Pal);
+                  ("key-3", `Key3);
+                  ("ext-shadow-3", `Ext_shadow3);
+                  ("rep5-3", `Rep5_3);
                 ]))
           None
       & info [] ~docv:"SCENARIO")
@@ -285,50 +288,53 @@ let explore_cmd =
       & opt int 1_000_000
       & info [ "max-paths" ] ~docv:"N" ~doc:"Stop after counting $(docv) schedules (default 1M).")
   in
-  let run which jobs no_dedup max_paths trace_file trace_format =
+  let memo_cap =
+    Arg.(
+      value
+      & opt int 262_144
+      & info [ "memo-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the dedup memo to $(docv) subtree summaries (hot generation); older entries \
+             are evicted and their states re-expanded on re-encounter. Results are unchanged; \
+             only peak memory and time move.")
+  in
+  let memo_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "memo-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist violation-free subtree summaries to $(docv) and reuse them on later runs of \
+             the same scenario (guarded by a schema version and the root state fingerprint).")
+  in
+  let run which jobs no_dedup max_paths memo_cap memo_file trace_file trace_format =
     with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let module Explorer = Uldma_verify.Explorer in
     let module Oracle = Uldma_verify.Oracle in
-    let name, scenario =
+    let name, memo_key, scenario =
       match which with
-      | `Fig5 -> ("rep-args-3 (Fig. 5)", Scenario.fig5)
-      | `Fig6 -> ("rep-args-4 (Fig. 6)", Scenario.fig6)
-      | `Rep5 -> ("rep-args-5 (Fig. 7)", Scenario.rep5)
-      | `Splice -> ("rep-args-5 vs store-splice", Scenario.rep5_splice)
-      | `Ext_shadow -> ("ext-shadow, two tenants", Scenario.ext_shadow_contested)
-      | `Key_based -> ("key-based, two tenants", Scenario.key_contested)
-      | `Pal -> ("pal, two tenants", Scenario.pal_contested)
+      | `Fig5 -> ("rep-args-3 (Fig. 5)", "fig5", Scenario.fig5)
+      | `Fig6 -> ("rep-args-4 (Fig. 6)", "fig6", Scenario.fig6)
+      | `Rep5 -> ("rep-args-5 (Fig. 7)", "rep5", Scenario.rep5)
+      | `Splice -> ("rep-args-5 vs store-splice", "splice", Scenario.rep5_splice)
+      | `Ext_shadow -> ("ext-shadow, two tenants", "ext-shadow", Scenario.ext_shadow_contested)
+      | `Key_based -> ("key-based, two tenants", "key-based", Scenario.key_contested)
+      | `Pal -> ("pal, two tenants", "pal", Scenario.pal_contested)
+      | `Key3 ->
+        ("key-based, three contested processes", "key-3", fun () -> Scenario.key_contested3 ())
+      | `Ext_shadow3 ->
+        ( "ext-shadow, three contested processes",
+          "ext-shadow-3",
+          fun () -> Scenario.ext_shadow_contested3 () )
+      | `Rep5_3 -> ("rep-args-5 vs two attackers", "rep5-3", Scenario.rep5_contested3)
     in
     let s = scenario () in
-    let pids =
-      [ s.Scenario.victim.Uldma_os.Process.pid; s.Scenario.attacker.Uldma_os.Process.pid ]
-    in
-    let check kernel =
-      let read pid result_va =
-        match Uldma_os.Kernel.find_process kernel pid with
-        | Some p -> Uldma_workload.Stub_loop.read_successes kernel p ~result_va
-        | None -> 0
-      in
-      let reported =
-        ( s.Scenario.victim.Uldma_os.Process.pid,
-          read s.Scenario.victim.Uldma_os.Process.pid s.Scenario.victim_result_va )
-        ::
-        (match s.Scenario.attacker_result_va with
-        | Some result_va ->
-          [
-            ( s.Scenario.attacker.Uldma_os.Process.pid,
-              read s.Scenario.attacker.Uldma_os.Process.pid result_va );
-          ]
-        | None -> [])
-      in
-      let report = Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported in
-      match report.Oracle.violations with [] -> None | v :: _ -> Some v
-    in
     let t0 = Unix.gettimeofday () in
     let r =
-      Explorer.explore ~root:s.Scenario.kernel ~pids ~max_paths ~dedup:(not no_dedup) ~jobs ~check
-        ()
+      Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ~max_paths
+        ~dedup:(not no_dedup) ~jobs ~memo_cap ?memo_file ~memo_key
+        ~check:(Scenario.oracle_check s) ()
     in
     let secs = Unix.gettimeofday () -. t0 in
     let tbl =
@@ -342,6 +348,8 @@ let explore_cmd =
     row "states visited" (string_of_int r.Explorer.states_visited);
     row "dedup hits" (string_of_int r.Explorer.dedup_hits);
     row "stuck legs" (string_of_int r.Explorer.stuck_legs);
+    row "memo evictions" (string_of_int r.Explorer.evictions);
+    row "steals" (string_of_int r.Explorer.steals);
     row "complete" (if r.Explorer.truncated then "TRUNCATED" else "yes");
     row "jobs" (string_of_int (max 1 jobs));
     row "seconds" (Printf.sprintf "%.3f" secs);
@@ -359,7 +367,9 @@ let explore_cmd =
   in
   Cmd.v
     (Cmd.info "explore" ~doc)
-    Term.(const run $ which $ jobs $ no_dedup $ max_paths $ trace_file_arg $ trace_format_arg)
+    Term.(
+      const run $ which $ jobs $ no_dedup $ max_paths $ memo_cap $ memo_file $ trace_file_arg
+      $ trace_format_arg)
 
 let stub_cmd =
   let doc =

@@ -291,25 +291,10 @@ let fig8_proof () =
   in
   let explore name scenario =
     let s = scenario () in
-    let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
-    let check kernel =
-      let read pid result_va =
-        match Kernel.find_process kernel pid with
-        | Some p -> Stub_loop.read_successes kernel p ~result_va
-        | None -> 0
-      in
-      let reported =
-        (s.Scenario.victim.Process.pid, read s.Scenario.victim.Process.pid s.Scenario.victim_result_va)
-        ::
-        (match s.Scenario.attacker_result_va with
-        | Some result_va ->
-          [ (s.Scenario.attacker.Process.pid, read s.Scenario.attacker.Process.pid result_va) ]
-        | None -> [])
-      in
-      let report = Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported in
-      match report.Oracle.violations with [] -> None | v :: _ -> Some v
+    let r =
+      Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+        ~max_paths:fig8_max_paths ~check:(Scenario.oracle_check s) ()
     in
-    let r = Explorer.explore ~root:s.Scenario.kernel ~pids ~max_paths:fig8_max_paths ~check () in
     let n_viol = List.length r.Explorer.violations in
     Tbl.add_row tbl
       [

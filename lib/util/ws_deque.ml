@@ -1,0 +1,83 @@
+(* Chase–Lev work-stealing deque (see ws_deque.mli for the protocol
+   argument). [top] only ever increases; [bottom] is owner-written.
+   Indices are logical (never wrapped); the slot for index [i] in a
+   buffer of length [2^k] is [i land (2^k - 1)]. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mutable tab : 'a option array; (* length a power of two; owner-resized *)
+}
+
+let create () = { top = Atomic.make 0; bottom = Atomic.make 0; tab = Array.make 16 None }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner only. The superseded buffer is deliberately left intact: a
+   thief that read [t.tab] before the swap still finds every live index
+   at its old slot, and the owner never writes the old buffer again. *)
+let grow t b tp =
+  let old = t.tab in
+  let old_mask = Array.length old - 1 in
+  let tab = Array.make (Array.length old * 2) None in
+  let mask = Array.length tab - 1 in
+  for i = tp to b - 1 do
+    tab.(i land mask) <- old.(i land old_mask)
+  done;
+  t.tab <- tab
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.tab - 1 then grow t b tp;
+  let tab = t.tab in
+  tab.(b land (Array.length tab - 1)) <- Some v;
+  (* the atomic store publishes the plain slot write to thieves *)
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* claim index [b] before reading [top]: a thief that still sees the
+     old bottom and races us for the last element must go through the
+     CAS below either way *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty; restore the canonical empty shape bottom = top *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let tab = t.tab in
+    let slot = b land (Array.length tab - 1) in
+    let v = tab.(slot) in
+    if b > tp then begin
+      (* more than one element: index [b] is unreachable by thieves *)
+      tab.(slot) <- None;
+      v
+    end
+    else begin
+      (* exactly one element: race thieves for it via [top] *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        tab.(slot) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* read the value BEFORE the CAS: a successful CAS proves [top] was
+       still [tp] when we read, so the slot could not have been
+       recycled (any overwrite of index [tp]'s slot requires [top] to
+       have advanced past it first) *)
+    let tab = t.tab in
+    let v = tab.(tp land (Array.length tab - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+  end

@@ -1,0 +1,39 @@
+(** Chase–Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops at the bottom (LIFO, so the
+    owner works depth-first on its freshest subtree); any number of
+    {e thief} domains steal from the top (FIFO, so thieves take the
+    oldest — largest — published subtrees). The hot path is entirely
+    [Atomic]-based: no mutex is ever taken. Only the single-element
+    case races owner against thieves, resolved by a compare-and-set on
+    [top]; [top] is monotonic, so there is no ABA window.
+
+    The element buffer is a circular array grown only by the owner;
+    thieves may keep reading a superseded buffer, which is safe because
+    a grow copies every live index to the same logical position and the
+    owner never writes a superseded buffer again. Publication safety of
+    the plain-array writes follows from the release/acquire semantics
+    of the [bottom]/[top] atomics (the OCaml memory model's publication
+    idiom). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: push at the bottom. Amortized O(1); grows the buffer
+    when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: pop the most recently pushed element, or [None] when
+    the deque is empty (including when a thief wins the race for the
+    last element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element. [None] means empty {e or} a
+    CAS contention loss — callers treat both as "try elsewhere", so no
+    retry loop is needed here. *)
+
+val size : 'a t -> int
+(** Racy estimate of the current element count (load-balancing
+    heuristics only; never exact under concurrency). *)

@@ -8,6 +8,8 @@ type 'v result = {
   states_visited : int;
   dedup_hits : int;
   stuck_legs : int;
+  evictions : int;
+  steals : int;
 }
 
 (* Engine-visible transactions issued by [pid] so far, from the bus's
@@ -45,7 +47,13 @@ let advance_one_leg kernel pid ~max_instructions =
    Summaries are only stored for subtrees explored without hitting the
    path budget ("clean"), and a memo hit is only taken when its whole
    path count still fits the budget; otherwise the state is re-expanded
-   so truncated runs count exactly like the plain DFS. *)
+   so truncated runs count exactly like the plain DFS.
+
+   The memo is *bounded* (Memo: two generations per shard, rotate on
+   full): an evicted summary only means its state re-expands on the
+   next encounter, so peak memory is capped without changing any
+   answer. An optional persistent cache (?memo_file) seeds lookups
+   with safe summaries from earlier runs of the same scenario build. *)
 
 type 'v summary = {
   s_paths : int;
@@ -65,10 +73,25 @@ type 'v shared = {
   stuck : int Atomic.t;
   visited : int Atomic.t;
   hits : int Atomic.t;
+  steals : int Atomic.t;
   truncated : bool Atomic.t;
   memo_lookup : string -> 'v summary option;
   memo_store : string -> 'v summary -> unit;
 }
+
+(* A subtree-root task: everything a domain needs to continue the DFS
+   from an interior node it took over. Tasks carry no result slot —
+   violations are keyed by their full schedule, which is a total order
+   (see [canonical_order] below), so any assignment of tasks to domains
+   reassembles into the sequential output. *)
+type task = { t_kernel : Kernel.t; t_schedule_rev : int list; t_depth : int }
+
+(* Work-stealing hooks threaded through the recursion. [sp_want]
+   answers "is anyone hungry and is this node worth splitting?";
+   [sp_publish] pushes a ready subtree root onto the worker's own
+   deque, where idle domains steal it from the top. Sequential
+   exploration passes [None] and is bit-for-bit the old DFS. *)
+type split = { sp_want : int -> bool; sp_publish : task -> unit }
 
 let note sh sink kernel depth kind =
   if Uldma_obs.Trace.enabled sink then
@@ -83,10 +106,14 @@ let note sh sink kernel depth kind =
 let empty_summary = { s_paths = 0; s_violations = []; s_stuck = 0 }
 
 (* Explore [kernel]'s subtree; returns its summary and whether it is
-   complete ("clean": no path-budget prune inside, safe to memoize).
-   Discovered violations are also pushed onto [out] (newest first) with
-   their full schedules, preserving global DFS discovery order. *)
-let rec explore_state sh sink out kernel schedule_rev depth =
+   complete ("clean": no path-budget prune and no re-split inside, safe
+   to memoize). Discovered violations are also pushed onto [out]
+   (newest first) with their full schedules, preserving global DFS
+   discovery order. With [split = Some _], a node whose siblings are
+   published to thieves returns unclean — its summary no longer covers
+   the whole subtree — but all counters and violations stay globally
+   exact because the published tasks account for themselves. *)
+let rec explore_state sh split sink out kernel schedule_rev depth =
   if Atomic.get sh.paths >= sh.max_paths then begin
     Atomic.set sh.truncated true;
     note sh sink kernel depth (`Prune "max_paths");
@@ -127,9 +154,37 @@ let rec explore_state sh sink out kernel schedule_rev depth =
         in
         (match encoding with Some e -> sh.memo_store e s | None -> ());
         (s, true)
-      | _ :: _ ->
+      | first :: rest ->
+        (* Re-split: when a thief is hungry, publish every sibling leg
+           except the first as a fresh subtree-root task and keep only
+           the first for ourselves. The published legs are advanced
+           here (one NI access each) so a stolen task is immediately
+           expandable; ownership of each fork transfers wholesale to
+           whichever domain pops or steals it. *)
+        let published =
+          match split with
+          | Some sp when rest <> [] && sp.sp_want depth ->
+            List.iter
+              (fun pid ->
+                if Atomic.get sh.paths >= sh.max_paths then Atomic.set sh.truncated true
+                else begin
+                  let fork = Kernel.snapshot kernel in
+                  note sh sink fork depth `Fork;
+                  match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
+                  | `Progress | `Exited ->
+                    sp.sp_publish
+                      { t_kernel = fork; t_schedule_rev = pid :: schedule_rev; t_depth = depth + 1 }
+                  | `Stuck ->
+                    Atomic.incr sh.stuck;
+                    note sh sink fork depth (`Prune "stuck leg")
+                end)
+              rest;
+            true
+          | _ -> false
+        in
+        let to_expand = if published then [ first ] else runnable in
         let acc_paths = ref 0 and acc_viol = ref [] and acc_stuck = ref 0 in
-        let clean = ref true in
+        let clean = ref (not published) in
         List.iter
           (fun pid ->
             if Atomic.get sh.paths >= sh.max_paths then begin
@@ -141,7 +196,9 @@ let rec explore_state sh sink out kernel schedule_rev depth =
               note sh sink fork depth `Fork;
               match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
               | `Progress | `Exited ->
-                let s, c = explore_state sh sink out fork (pid :: schedule_rev) (depth + 1) in
+                let s, c =
+                  explore_state sh split sink out fork (pid :: schedule_rev) (depth + 1)
+                in
                 acc_paths := !acc_paths + s.s_paths;
                 List.iter (fun (v, sfx) -> acc_viol := (v, pid :: sfx) :: !acc_viol) s.s_violations;
                 acc_stuck := !acc_stuck + s.s_stuck;
@@ -154,7 +211,7 @@ let rec explore_state sh sink out kernel schedule_rev depth =
                 incr acc_stuck;
                 note sh sink fork depth (`Prune "stuck leg")
             end)
-          runnable;
+          to_expand;
         let s =
           { s_paths = !acc_paths; s_violations = List.rev !acc_viol; s_stuck = !acc_stuck }
         in
@@ -163,120 +220,178 @@ let rec explore_state sh sink out kernel schedule_rev depth =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Parallel driver: a sequential prefix expansion seeds a deque of
-   subtree-root tasks, then [jobs] domains drain it. Each task's
-   snapshot lineage is owned by exactly one domain (Phys_mem's COW
-   ownership protocol is only mutated within a lineage; pages shared
-   *across* lineages are never written in place), so no kernel state is
-   shared between domains. The shared pieces are the atomic counters,
-   the mutex-guarded task deque, the sharded mutex-guarded memo table
-   (whose values are immutable summaries — a racy duplicate expansion
-   of the same state computes the same summary, costing only time),
-   and per-domain trace sinks merged into the root sink under a lock
-   at the end. Violations land in a per-task slot and are concatenated
-   in task (DFS prefix) order, so the result is deterministic and
-   identical to the sequential explorer's whenever the path budget is
-   not hit. *)
+(* Canonical result order. A violation's schedule doubles as its
+   position in the DFS: children of every node are expanded in [pids]
+   order, so the sequential explorer emits violations in lexicographic
+   order of their schedules under the pid -> index-in-[pids] ranking
+   (memo re-emissions splice stored suffixes at exactly the tree
+   position the plain DFS would reach them). Schedules are unique (one
+   terminal per schedule, one violation per terminal), so sorting the
+   pooled parallel output by that ranking reproduces the sequential
+   list exactly — any task-to-domain assignment, any steal order. *)
+let canonical_order pids violations =
+  let rank =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i pid -> Hashtbl.replace tbl pid i) pids;
+    fun pid -> match Hashtbl.find_opt tbl pid with Some i -> i | None -> max_int
+  in
+  let rec cmp a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = compare (rank x) (rank y) in
+      if c <> 0 then c else cmp xs ys
+  in
+  List.sort (fun (_, s1) (_, s2) -> cmp s1 s2) violations
 
-type 'v task = { t_index : int; t_kernel : Kernel.t; t_schedule_rev : int list; t_depth : int }
+(* ------------------------------------------------------------------ *)
+(* Work-stealing parallel driver. Every domain owns a private
+   Chase–Lev deque (Ws_deque: atomics only, no mutex on the hot path).
+   The root task seeds domain 0; from then on load balance is dynamic:
+   a worker expanding a node while some domain is hungry publishes the
+   node's unexpanded sibling legs onto its own deque (bottom), keeps
+   descending into the first leg, and thieves steal from the top — so
+   a thief always takes the *largest* (shallowest) subtree the victim
+   has published, and a long-running subtree keeps shedding work
+   instead of being pinned to whoever popped it (the PR-3 design's
+   one-shot sequential prefix cut could leave a domain stuck with one
+   giant subtree).
 
-let collect_tasks sh sink root ~jobs =
-  (* cut depth: enough prefix levels that every domain has several
-     subtrees to steal; terminals shallower than the cut become
-     single-state tasks *)
-  let fanout = max 2 (List.length sh.pids) in
-  let target = jobs * 4 in
-  let cut =
-    let rec go d width = if width >= target || d >= 8 then d else go (d + 1) (width * fanout) in
-    go 1 fanout
-  in
-  let tasks = ref [] and n = ref 0 in
-  let push kernel schedule_rev depth =
-    tasks := { t_index = !n; t_kernel = kernel; t_schedule_rev = schedule_rev; t_depth = depth } :: !tasks;
-    incr n
-  in
-  let rec seed kernel schedule_rev depth =
-    if depth >= cut then push kernel schedule_rev depth
-    else begin
-      let live = Kernel.runnable_pids kernel in
-      let runnable = List.filter (fun pid -> List.mem pid live) sh.pids in
-      match runnable with
-      | [] -> push kernel schedule_rev depth
-      | _ :: _ ->
-        List.iter
-          (fun pid ->
-            let fork = Kernel.snapshot kernel in
-            note sh sink fork depth `Fork;
-            match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
-            | `Progress | `Exited -> seed fork (pid :: schedule_rev) (depth + 1)
-            | `Stuck ->
-              Atomic.incr sh.stuck;
-              note sh sink fork depth (`Prune "stuck leg"))
-          runnable
-    end
-  in
-  seed (Kernel.snapshot root) [] 0;
-  (List.rev !tasks, !n)
+   Termination: an atomic in-flight counter is incremented *before*
+   every publish and decremented after the popped/stolen task's
+   subtree completes; a worker finding its deque empty hunts until it
+   steals or the counter reaches zero, which cannot happen while any
+   task is queued or running.
+
+   Domain-safety is unchanged from PR 3: a task's snapshot lineage is
+   owned by exactly one domain at a time (the publisher finishes the
+   leg before the push, and the deque's CAS hands the fork to exactly
+   one thief); cross-lineage pages are only read. The shared pieces
+   are the atomic counters, the sharded bounded memo (immutable
+   summary values — a racy duplicate expansion computes the same
+   summary, costing only time), and per-worker trace sinks merged
+   under a lock at the end. *)
 
 let run_parallel sh root_sink root ~jobs =
-  let tasks, n_tasks = collect_tasks sh root_sink root ~jobs in
-  let results = Array.make n_tasks [] in
-  let deque = ref tasks in
-  let deque_mutex = Mutex.create () in
+  let deques = Array.init jobs (fun _ -> Uldma_util.Ws_deque.create ()) in
+  let in_flight = Atomic.make 0 in
+  let hungry = Atomic.make 0 in
+  let outs = Array.make jobs [] in
   let merge_mutex = Mutex.create () in
-  let pop () =
-    Mutex.protect deque_mutex (fun () ->
-        match !deque with
-        | [] -> None
-        | t :: rest ->
-          deque := rest;
-          Some t)
-  in
   let tracing = Uldma_obs.Trace.enabled root_sink in
-  let worker () =
+  let publish_to dq t =
+    Atomic.incr in_flight;
+    Uldma_util.Ws_deque.push dq t
+  in
+  publish_to deques.(0) { t_kernel = Kernel.snapshot root; t_schedule_rev = []; t_depth = 0 };
+  let worker i () =
     let sink = if tracing then Uldma_obs.Trace.create () else Uldma_obs.Trace.null in
+    let own = deques.(i) in
+    let split =
+      Some
+        {
+          (* split while someone is idle, but stop once our own deque
+             has a healthy backlog (publishing more would only shred
+             the memo's subtree locality) and below a depth where
+             subtrees are too small to be worth shipping *)
+          sp_want =
+            (fun depth -> depth < 48 && Atomic.get hungry > 0 && Uldma_util.Ws_deque.size own < 16);
+          sp_publish = (fun t -> publish_to own t);
+        }
+    in
+    let out = ref [] in
+    let run_task ~stolen t =
+      if tracing then Kernel.attach_trace t.t_kernel sink ~machine:sh.machine;
+      if stolen then begin
+        Atomic.incr sh.steals;
+        note sh sink t.t_kernel t.t_depth `Steal
+      end;
+      ignore
+        (explore_state sh split sink out t.t_kernel t.t_schedule_rev t.t_depth
+          : _ summary * bool);
+      Atomic.decr in_flight
+    in
+    let steal_once () =
+      let rec go j =
+        if j >= jobs then None
+        else if j = i then go (j + 1)
+        else
+          match Uldma_util.Ws_deque.steal deques.(j) with
+          | Some _ as t -> t
+          | None -> go (j + 1)
+      in
+      go 0
+    in
     let rec drain () =
-      match pop () with
-      | None -> ()
+      match Uldma_util.Ws_deque.pop own with
       | Some t ->
-        if tracing then Kernel.attach_trace t.t_kernel sink ~machine:sh.machine;
-        note sh sink t.t_kernel t.t_depth `Steal;
-        let out = ref [] in
-        ignore (explore_state sh sink out t.t_kernel t.t_schedule_rev t.t_depth : _ summary * bool);
-        results.(t.t_index) <- List.rev !out;
+        run_task ~stolen:false t;
         drain ()
+      | None ->
+        (* own deque stays empty until we run something (only the owner
+           pushes to it), so go hungry and hunt *)
+        if Atomic.get in_flight > 0 then begin
+          Atomic.incr hungry;
+          hunt ()
+        end
+    and hunt () =
+      match steal_once () with
+      | Some t ->
+        Atomic.decr hungry;
+        run_task ~stolen:true t;
+        drain ()
+      | None ->
+        if Atomic.get in_flight = 0 then Atomic.decr hungry
+        else begin
+          Domain.cpu_relax ();
+          hunt ()
+        end
     in
     drain ();
+    outs.(i) <- List.rev !out;
     if tracing then Mutex.protect merge_mutex (fun () -> Uldma_obs.Trace.absorb root_sink sink)
   in
-  let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+  let domains = List.init jobs (fun i -> Domain.spawn (worker i)) in
   List.iter Domain.join domains;
-  List.concat (Array.to_list results)
+  canonical_order sh.pids (List.concat (Array.to_list outs))
 
 (* ------------------------------------------------------------------ *)
 
+let default_memo_cap = 1 lsl 18
+
 let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
-    ?(dedup = true) ?(jobs = 1) ~check () =
+    ?(dedup = true) ?(jobs = 1) ?(memo_cap = default_memo_cap) ?memo_file
+    ?(memo_key = "default") ~check () =
   let jobs = max 1 jobs in
+  let root_fp = Kernel.fingerprint root in
+  let persist_base =
+    match memo_file with
+    | Some file when dedup -> Memo.Persist.load ~file ~scenario:memo_key ~root:root_fp
+    | Some _ | None -> None
+  in
+  let memo = Memo.create ~shards:(if jobs = 1 then 1 else 64) ~cap:memo_cap ~locked:(jobs > 1) in
   let memo_lookup, memo_store =
     if not dedup then ((fun _ -> None), fun _ _ -> ())
-    else if jobs = 1 then begin
-      let tbl = Hashtbl.create 4096 in
-      (Hashtbl.find_opt tbl, fun e s -> Hashtbl.replace tbl e s)
-    end
-    else begin
-      (* sharded by string hash purely for lock spreading; equality is
-         on the full encoding, so shard choice cannot affect results *)
-      let n_shards = 64 in
-      let shards = Array.init n_shards (fun _ -> (Mutex.create (), Hashtbl.create 256)) in
-      let shard e = Hashtbl.hash e land (n_shards - 1) in
+    else
       ( (fun e ->
-          let m, tbl = shards.(shard e) in
-          Mutex.protect m (fun () -> Hashtbl.find_opt tbl e)),
-        fun e s ->
-          let m, tbl = shards.(shard e) in
-          Mutex.protect m (fun () -> Hashtbl.replace tbl e s) )
-    end
+          match Memo.find memo e with
+          | Some _ as hit -> hit
+          | None -> (
+            match persist_base with
+            | None -> None
+            | Some tbl -> (
+              match Hashtbl.find_opt tbl e with
+              | Some { Memo.Persist.p_paths; p_stuck } ->
+                (* persisted summaries are always violation-free (only
+                   safe subtrees are saved); promote into the bounded
+                   table so repeats stay cheap *)
+                let s = { s_paths = p_paths; s_violations = []; s_stuck = p_stuck } in
+                Memo.add memo e s;
+                Some s
+              | None -> None))),
+        fun e s -> Memo.add memo e s )
   in
   let sh =
     {
@@ -291,6 +406,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
       stuck = Atomic.make 0;
       visited = Atomic.make 0;
       hits = Atomic.make 0;
+      steals = Atomic.make 0;
       truncated = Atomic.make false;
       memo_lookup;
       memo_store;
@@ -300,11 +416,21 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
   let violations =
     if jobs = 1 then begin
       let out = ref [] in
-      ignore (explore_state sh sink out (Kernel.snapshot root) [] 0 : _ summary * bool);
+      ignore (explore_state sh None sink out (Kernel.snapshot root) [] 0 : _ summary * bool);
       List.rev !out
     end
     else run_parallel sh sink root ~jobs
   in
+  (match memo_file with
+  | Some file when dedup ->
+    (* persist only safe summaries: a warm cache can skip subtrees but
+       never silence a violation *)
+    let safe = ref [] in
+    Memo.iter memo (fun e s ->
+        if s.s_violations = [] then
+          safe := (e, { Memo.Persist.p_paths = s.s_paths; p_stuck = s.s_stuck }) :: !safe);
+    Memo.Persist.save ~file ~scenario:memo_key ~root:root_fp !safe
+  | Some _ | None -> ());
   {
     paths = Atomic.get sh.paths;
     violations;
@@ -312,4 +438,6 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
     states_visited = Atomic.get sh.visited;
     dedup_hits = Atomic.get sh.hits;
     stuck_legs = Atomic.get sh.stuck;
+    evictions = Memo.evictions memo;
+    steals = Atomic.get sh.steals;
   }

@@ -31,10 +31,38 @@
     first-discovered prefix, so payload fields outside the dedup
     abstraction — simulated timestamps, chiefly — may differ from what
     a brute-force run would compute for the same schedule.
-    With [jobs > 1] a sequential prefix expansion seeds a deque of
-    subtree roots that worker domains drain, sharing a sharded memo
-    table; [check] then runs on worker domains and must be pure (the
-    standard oracles are). *)
+
+    {2 Parallel driver (work stealing)}
+
+    With [jobs > 1] every worker domain owns a private Chase–Lev deque
+    ([Ws_deque]); the root subtree seeds one of them and load balance
+    is dynamic: while any domain is hungry, a worker expanding a tree
+    node publishes the node's unexpanded sibling legs onto its own
+    deque and descends only into the first, so thieves peel off the
+    shallowest — largest — published subtrees and a long-running
+    subtree keeps shedding work for as long as anyone is idle.
+    Termination is detected with an atomic in-flight task counter.
+    [check] then runs on worker domains and must be pure (the standard
+    oracles are). Determinism is kept by construction: violations are
+    keyed by their schedules, whose DFS (pid-rank lexicographic) order
+    is a total order independent of which domain found them, so the
+    pooled results are sorted back into the sequential emission order.
+
+    {2 Memo bounding and persistence}
+
+    The memo table is {e bounded} ([memo_cap] summaries in the hot
+    generation; two-generation rotation with promotion on touch — see
+    {!Memo}). Eviction costs re-expansion only, so sequential results
+    are bit-identical to an unbounded table while peak memory stays
+    capped. [evictions] in the result counts discarded summaries.
+
+    [memo_file] names an optional {e persistent} cache: violation-free
+    subtree summaries are saved on completion and seed lookups on the
+    next run, keyed by [memo_key] and guarded by a schema version plus
+    the root kernel's fingerprint (see {!Memo.Persist}); a stale or
+    foreign file is ignored wholesale. Because only safe summaries are
+    persisted, a warm start can skip work but can never mask a
+    violation. *)
 
 type 'v result = {
   paths : int; (** complete schedules explored (counted through the DAG) *)
@@ -49,6 +77,11 @@ type 'v result = {
       (** legs abandoned because a pid exceeded the per-leg instruction
           budget without an NI access; only those branches are pruned,
           their siblings are still explored *)
+  evictions : int;
+      (** memo summaries discarded by the bounded table's generation
+          rotation (0 when the table never filled) *)
+  steals : int;
+      (** tasks taken from another domain's deque (0 when [jobs] = 1) *)
 }
 
 val explore :
@@ -58,13 +91,20 @@ val explore :
   ?max_paths:int ->
   ?dedup:bool ->
   ?jobs:int ->
+  ?memo_cap:int ->
+  ?memo_file:string ->
+  ?memo_key:string ->
   check:(Uldma_os.Kernel.t -> 'v option) ->
   unit ->
   'v result
 (** [check] runs at each terminal state (all of [pids] exited or
     stuck). Defaults: 2000 instructions per leg, 1_000_000 paths,
-    [dedup] on, [jobs] 1. The root kernel is not mutated. With
-    [jobs > 1], [check] runs on worker domains and must be pure. *)
+    [dedup] on, [jobs] 1, [memo_cap] 262144 summaries, no [memo_file],
+    [memo_key] ["default"]. The root kernel is not mutated. With
+    [jobs > 1], [check] runs on worker domains and must be pure.
+    [memo_key] distinguishes scenarios sharing one [memo_file]; reusing
+    a key across different scenarios is safe (the root fingerprint
+    guard rejects the stale section) but forfeits the warm start. *)
 
 val advance_one_leg : Uldma_os.Kernel.t -> int -> max_instructions:int -> [ `Progress | `Exited | `Stuck ]
 (** Run pid until its next NI access completes (or it exits). Exposed

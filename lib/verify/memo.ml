@@ -1,0 +1,143 @@
+(* Bounded two-generation sharded memo + persistent cache; see the mli
+   for the design contract. *)
+
+(* FNV-1a, 64-bit, over every byte of the string. Int64 arithmetic
+   keeps the full avalanche of the high bits (a native-int variant
+   would lose bit 63 and, on 32-bit, nearly everything). *)
+let fnv1a64 (s : string) : int64 =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to String.length s - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get s i)))) prime
+  done;
+  !h
+
+let shard_of_string ~shards s =
+  (* fold the high half in so the mask sees all 64 bits *)
+  let h = fnv1a64 s in
+  let folded = Int64.logxor h (Int64.shift_right_logical h 32) in
+  Int64.to_int folded land (shards - 1)
+
+type 'a shard = {
+  lock : Mutex.t;
+  mutable hot : (string, 'a) Hashtbl.t;
+  mutable cold : (string, 'a) Hashtbl.t;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  cap : int; (* per-shard hot capacity *)
+  locked : bool;
+  evicted : int Atomic.t;
+}
+
+let create ~shards ~cap ~locked =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg "Memo.create: shards must be a positive power of two";
+  if cap < 1 then invalid_arg "Memo.create: cap must be positive";
+  let per_shard = max 1 (cap / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); hot = Hashtbl.create 64; cold = Hashtbl.create 0 });
+    cap = per_shard;
+    locked;
+    evicted = Atomic.make 0;
+  }
+
+let with_shard t key f =
+  let sh = t.shards.(shard_of_string ~shards:(Array.length t.shards) key) in
+  if t.locked then Mutex.protect sh.lock (fun () -> f sh) else f sh
+
+let find t key =
+  with_shard t key (fun sh ->
+      match Hashtbl.find_opt sh.hot key with
+      | Some _ as hit -> hit
+      | None -> (
+        match Hashtbl.find_opt sh.cold key with
+        | Some v as hit ->
+          (* promotion: a touched entry survives the next rotation *)
+          Hashtbl.replace sh.hot key v;
+          hit
+        | None -> None))
+
+let add t key v =
+  with_shard t key (fun sh ->
+      Hashtbl.replace sh.hot key v;
+      if Hashtbl.length sh.hot >= t.cap then begin
+        (* rotate: cold's entries (minus any promoted duplicates, which
+           live on in hot) are gone for good *)
+        ignore (Atomic.fetch_and_add t.evicted (Hashtbl.length sh.cold) : int);
+        sh.cold <- sh.hot;
+        sh.hot <- Hashtbl.create t.cap
+      end)
+
+let evictions t = Atomic.get t.evicted
+
+let length t =
+  Array.fold_left (fun n sh -> n + Hashtbl.length sh.hot + Hashtbl.length sh.cold) 0 t.shards
+
+let iter t f =
+  Array.iter
+    (fun sh ->
+      Hashtbl.iter f sh.hot;
+      Hashtbl.iter (fun k v -> if not (Hashtbl.mem sh.hot k) then f k v) sh.cold)
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+
+module Persist = struct
+  type entry = { p_paths : int; p_stuck : int }
+
+  let schema = 1
+
+  let magic = "uldma-explorer-memo"
+
+  (* the whole file is one marshalled value:
+     (magic, schema, scenario -> (root fingerprint, encoding -> entry)) *)
+  type file_body = (string, int64 * (string, entry) Hashtbl.t) Hashtbl.t
+
+  let read_file file : file_body option =
+    match open_in_bin file with
+    | exception Sys_error _ -> None
+    | ic ->
+      let body =
+        match (Marshal.from_channel ic : string * int * file_body) with
+        | m, v, body when m = magic && v = schema -> Some body
+        | _ -> None
+        | exception _ -> None
+      in
+      close_in_noerr ic;
+      body
+
+  let load ~file ~scenario ~root =
+    match read_file file with
+    | None -> None
+    | Some body -> (
+      match Hashtbl.find_opt body scenario with
+      | Some (stored_root, tbl) when Int64.equal stored_root root -> Some tbl
+      | Some _ | None -> None)
+
+  let save ~file ~scenario ~root entries =
+    let body = match read_file file with Some b -> b | None -> Hashtbl.create 4 in
+    let tbl =
+      match Hashtbl.find_opt body scenario with
+      | Some (stored_root, tbl) when Int64.equal stored_root root -> tbl
+      | Some _ | None -> Hashtbl.create (List.length entries)
+    in
+    List.iter (fun (k, e) -> Hashtbl.replace tbl k e) entries;
+    Hashtbl.replace body scenario (root, tbl);
+    let tmp = file ^ ".tmp" in
+    match open_out_bin tmp with
+    | exception Sys_error _ -> ()
+    | oc -> (
+      match
+        Marshal.to_channel oc (magic, schema, body) [];
+        close_out oc;
+        Sys.rename tmp file
+      with
+      | () -> ()
+      | exception Sys_error _ ->
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ()))
+end

@@ -1,0 +1,87 @@
+(** Bounded, sharded memoization table for the interleaving explorer,
+    plus an optional persistent cross-scenario cache.
+
+    {2 Bounded two-generation table}
+
+    Each shard keeps a {e hot} and a {e cold} hashtable. Inserts go to
+    hot; when hot reaches the shard's capacity the generations rotate
+    (cold is discarded and counted as evictions, hot becomes cold, a
+    fresh hot starts). Lookups hit hot first, then cold, promoting cold
+    hits back into hot — entries referenced at least once per
+    generation are never evicted, entries untouched for two full
+    generations are. Eviction can only cost re-expansion (the explorer
+    treats a miss as "not yet explored"), never correctness, so the
+    table bounds peak memory at roughly [2 * capacity] summaries while
+    leaving results bit-identical to an unbounded memo.
+
+    Shard selection hashes the {e full} key with FNV-1a — unlike
+    [Hashtbl.hash], whose meaningful-nodes limit can truncate what it
+    reads of large structured keys, every byte of the encoding
+    participates, so long keys sharing a prefix still spread across
+    shards. Equality remains on the whole key: shard choice can affect
+    only balance, never answers.
+
+    With [locked:true] each shard carries a mutex (for multi-domain
+    use); with [locked:false] the mutexes are never taken. *)
+
+type 'a t
+
+val create : shards:int -> cap:int -> locked:bool -> 'a t
+(** [cap] is the {e total} hot-generation capacity, split evenly across
+    [shards] (at least one entry per shard). [shards] must be a power
+    of two. *)
+
+val find : 'a t -> string -> 'a option
+val add : 'a t -> string -> 'a -> unit
+
+val evictions : 'a t -> int
+(** Entries discarded by generation rotation so far. *)
+
+val length : 'a t -> int
+(** Entries currently resident (hot + cold, duplicates counted once per
+    table they sit in). Racy under concurrency. *)
+
+val iter : 'a t -> (string -> 'a -> unit) -> unit
+(** Iterate resident entries, hot before cold; a key present in both
+    generations is visited only once (the hot copy). Not
+    concurrency-safe: call only after all workers have joined. *)
+
+val shard_of_string : shards:int -> string -> int
+(** The shard index [create] would use — exposed so tests can assert
+    balance. [shards] must be a power of two. *)
+
+val fnv1a64 : string -> int64
+(** FNV-1a over the whole string (the hash behind
+    [shard_of_string]). *)
+
+(** {2 Persistent cross-scenario cache}
+
+    A [Marshal]-ed file mapping scenario name -> (root fingerprint,
+    encoding -> safe-subtree summary). Only {e safe} summaries (no
+    violations) are ever persisted, so a warm hit can skip a subtree
+    without being able to suppress a violation. Three guards decide
+    whether a load is usable, and any failure silently yields an empty
+    cache (the file is rebuilt on save):
+    - a schema version stamped into the file ([schema]);
+    - the scenario name (different scenarios never share entries);
+    - the root kernel's fingerprint (encodings are root-relative, so a
+      rebuilt-differently root invalidates its scenario's entries). *)
+module Persist : sig
+  type entry = { p_paths : int; p_stuck : int }
+
+  val schema : int
+
+  val load : file:string -> scenario:string -> root:int64 -> (string, entry) Hashtbl.t option
+  (** [None] when the file is missing, unreadable, of another schema,
+      or holds no matching (scenario, root) section. The returned table
+      must be treated as read-only (concurrent lookups are safe only
+      without writers). *)
+
+  val save :
+    file:string -> scenario:string -> root:int64 -> (string * entry) list -> unit
+  (** Merge [entries] into the file's section for [scenario] (replacing
+      it wholesale if the stored root fingerprint differs) and rewrite
+      the file atomically (temp file + rename). Sections for other
+      scenarios are preserved. Write errors are silently ignored: the
+      cache is an accelerator, never a dependency. *)
+end

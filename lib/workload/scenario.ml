@@ -13,6 +13,9 @@ type t = {
   intents : Oracle.intent list;
   victim_result_va : int;
   attacker_result_va : int option; (* when the attacker also reports *)
+  extras : (Process.t * int option) list;
+      (* third and further processes (3-process contested workloads),
+         each with its result page when it reports an outcome *)
   transfer_size : int;
   mutable labels : (int * string) list; (* physical page base -> name *)
 }
@@ -39,8 +42,8 @@ let make_kernel mechanism =
 
 let page_label kernel p va name = (Layout.page_base (Kernel.user_paddr kernel p va), name)
 
-(* Victim: one DMA A -> B through [mech], reporting its result. *)
-let make_victim kernel (mech : Mech.t) ~emit_override =
+(* Victim: [repeat] DMAs A -> B through [mech], reporting its result. *)
+let make_victim ?(repeat = 1) kernel (mech : Mech.t) ~emit_override =
   let victim = Kernel.spawn kernel ~name:"victim" ~program:[||] () in
   let a = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
   let b = Kernel.alloc_pages kernel victim ~n:1 ~perms:Perms.read_write in
@@ -51,9 +54,10 @@ let make_victim kernel (mech : Mech.t) ~emit_override =
   in
   let emit = match emit_override with Some e -> e | None -> prepared.Mech.emit_dma in
   Process.set_program victim
-    (Stub_loop.build_single ~vsrc:a ~vdst:b ~size:transfer_size ~result_va:result ~emit_dma:emit);
+    (Stub_loop.build_repeat ~n:repeat ~vsrc:a ~vdst:b ~size:transfer_size ~result_va:result
+       ~emit_dma:emit);
   let intent =
-    Oracle.intent_of_regions kernel victim ~vsrc:a ~vdst:b ~size:transfer_size ~requests:1
+    Oracle.intent_of_regions kernel victim ~vsrc:a ~vdst:b ~size:transfer_size ~requests:repeat
   in
   (victim, a, b, result, intent)
 
@@ -95,6 +99,7 @@ let fig5 () =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels =
       page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
   }
@@ -128,6 +133,7 @@ let fig6 () =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels =
       [
         page_label kernel victim a "A";
@@ -174,6 +180,7 @@ let two_step_race ~mech ~mechanism ~hook =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels = [ page_label kernel attacker d "D" ];
   }
 
@@ -213,6 +220,7 @@ let ext_stateless_race () =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels =
       [
         page_label kernel victim a "A";
@@ -234,6 +242,7 @@ let rep5_scenario ~emit =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels =
       page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
   }
@@ -273,6 +282,7 @@ let rep5_splice () =
     victim_result_va = result;
     transfer_size;
     attacker_result_va = None;
+    extras = [];
     labels =
       [
         page_label kernel victim a "A";
@@ -311,6 +321,7 @@ let contested (mech : Mech.t) mechanism =
     intents = [ intent; tenant_intent ];
     victim_result_va = result;
     attacker_result_va = Some tenant_result;
+    extras = [];
     transfer_size;
     labels =
       [
@@ -326,6 +337,139 @@ let ext_shadow_contested () = contested Uldma.Ext_shadow.mech Engine.Ext_shadow
 let key_contested () = contested Uldma.Key_dma.mech Engine.Key_based
 
 let pal_contested () = contested Uldma.Pal_dma.mech Engine.Shrimp_two_step
+
+(* ------------------------------------------------------------------ *)
+(* Three-process contested workloads. Two-process trees top out around
+   10^2..10^3 schedules — too small for --jobs to matter. A third
+   process and repeated initiations push the tree to 10^5..10^6
+   schedules (the multinomial of the three leg counts), which is where
+   work stealing and the bounded memo earn their keep. Safety is the
+   same atomicity claim as [contested], now with three concurrent
+   register-context users. *)
+
+let contested3 ?(victim_repeat = 2) ?(tenant_repeat = 2) (mech : Mech.t) mechanism =
+  let kernel = make_kernel mechanism in
+  let victim, a, b, result, intent =
+    make_victim ~repeat:victim_repeat kernel mech ~emit_override:None
+  in
+  let spawn_tenant name =
+    let p = Kernel.spawn kernel ~name ~program:[||] () in
+    let src = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+    let dst = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+    let res = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
+    let prepared =
+      mech.Mech.prepare kernel p ~src:{ Mech.vaddr = src; pages = 1 }
+        ~dst:{ Mech.vaddr = dst; pages = 1 }
+    in
+    Process.set_program p
+      (Stub_loop.build_repeat ~n:tenant_repeat ~vsrc:src ~vdst:dst ~size:transfer_size
+         ~result_va:res ~emit_dma:prepared.Mech.emit_dma);
+    let intent =
+      Oracle.intent_of_regions kernel p ~vsrc:src ~vdst:dst ~size:transfer_size
+        ~requests:tenant_repeat
+    in
+    (p, src, dst, res, intent)
+  in
+  let t1, c, d, r1, i1 = spawn_tenant "tenant1" in
+  let t2, e, f, r2, i2 = spawn_tenant "tenant2" in
+  {
+    kernel;
+    victim;
+    attacker = t1;
+    intents = [ intent; i1; i2 ];
+    victim_result_va = result;
+    attacker_result_va = Some r1;
+    extras = [ (t2, Some r2) ];
+    transfer_size;
+    labels =
+      [
+        page_label kernel victim a "A";
+        page_label kernel victim b "B";
+        page_label kernel t1 c "C";
+        page_label kernel t1 d "D";
+        page_label kernel t2 e "E";
+        page_label kernel t2 f "F";
+      ];
+  }
+
+(* Key-based initiation costs 4 NI accesses, so even a single
+   initiation per process (5 legs each) already yields ~7.6e5
+   schedules; repeats would blow past any practical path budget. *)
+let key_contested3 ?(victim_repeat = 1) ?(tenant_repeat = 1) () =
+  contested3 ~victim_repeat ~tenant_repeat Uldma.Key_dma.mech Engine.Key_based
+
+let ext_shadow_contested3 ?victim_repeat ?tenant_repeat () =
+  contested3 ?victim_repeat ?tenant_repeat Uldma.Ext_shadow.mech Engine.Ext_shadow
+
+(* The five-access method against BOTH adversary shapes at once: the
+   Fig. 5 splicer and the store-splice attacker race one rep5 victim.
+   Neither attacker reports an outcome; safety is the victim's DMA
+   happening exactly once with no argument mixing under every
+   three-way interleaving. *)
+let rep5_contested3 () =
+  let mech = Uldma.Rep_args.mech in
+  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Five) in
+  let victim, a, b, result, intent =
+    make_victim kernel mech ~emit_override:(Some Uldma.Rep_args.emit_dma_five_no_retry)
+  in
+  let attacker, attacker_labels = fig5_attacker kernel in
+  let splicer = Kernel.spawn kernel ~name:"splicer" ~program:[||] () in
+  let x = Kernel.alloc_pages kernel splicer ~n:1 ~perms:Perms.read_write in
+  ignore (Kernel.map_shadow_alias kernel splicer ~vaddr:x ~n:1 ~window:`Dma : int);
+  let asm = Asm.create () in
+  Asm.li asm 12 x;
+  shadow 12 20 asm;
+  Asm.li asm 3 transfer_size;
+  Asm.store asm ~base:20 ~off:0 3;
+  Asm.mb asm;
+  Asm.store asm ~base:20 ~off:0 3;
+  Asm.mb asm;
+  Asm.load asm 4 ~base:20 ~off:0;
+  Asm.halt asm;
+  Process.set_program splicer (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    attacker_result_va = None;
+    extras = [ (splicer, None) ];
+    transfer_size;
+    labels =
+      page_label kernel victim a "A" :: page_label kernel victim b "B"
+      :: page_label kernel splicer x "X" :: attacker_labels;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Explorer plumbing shared by every consumer (experiments, CLI,
+   trace-checker, bench): the pid list to interleave and the oracle as
+   a terminal-state check, both covering [extras]. *)
+
+let processes t = t.victim :: t.attacker :: List.map fst t.extras
+
+let explore_pids t = List.map (fun p -> p.Process.pid) (processes t)
+
+let oracle_report t kernel =
+  let read p result_va =
+    match Kernel.find_process kernel p.Process.pid with
+    | Some p' -> Stub_loop.read_successes kernel p' ~result_va
+    | None -> 0
+  in
+  let reported =
+    (t.victim.Process.pid, read t.victim t.victim_result_va)
+    ::
+    (match t.attacker_result_va with
+    | Some result_va -> [ (t.attacker.Process.pid, read t.attacker result_va) ]
+    | None -> [])
+    @ List.filter_map
+        (fun (p, rva) -> Option.map (fun rva -> (p.Process.pid, read p rva)) rva)
+        t.extras
+  in
+  Oracle.check ~kernel ~intents:t.intents ~reported_successes:reported
+
+let oracle_check t kernel =
+  match (oracle_report t kernel).Oracle.violations with [] -> None | v :: _ -> Some v
 
 let pid_of t = function V -> t.victim.Process.pid | M -> t.attacker.Process.pid
 
@@ -387,7 +531,10 @@ let access_timeline t =
     if pid = t.victim.Process.pid then "victim"
     else if pid = t.attacker.Process.pid then "attacker"
     else if pid < 0 then "kernel"
-    else Printf.sprintf "pid%d" pid
+    else
+      match List.find_opt (fun (p, _) -> p.Process.pid = pid) t.extras with
+      | Some (p, _) -> p.Process.name
+      | None -> Printf.sprintf "pid%d" pid
   in
   List.filter_map
     (fun (txn : Uldma_bus.Txn.t) ->

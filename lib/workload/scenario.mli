@@ -17,6 +17,10 @@ type t = {
   attacker_result_va : int option;
       (** set in the contested scenarios, where the second process also
           runs a legitimate DMA and reports its outcome *)
+  extras : (Uldma_os.Process.t * int option) list;
+      (** third and further processes (the 3-process contested
+          workloads), each with its result page when it reports an
+          outcome; empty in every two-process scenario *)
   transfer_size : int;
   mutable labels : (int * string) list;
       (** physical page base -> symbolic name (A, B, C, foo, D) *)
@@ -78,6 +82,52 @@ val key_contested : unit -> t
 val pal_contested : unit -> t
 (** Same, for the PAL method (§2.7): the two-access window is
     uninterruptible, so even the single pending slot cannot mix. *)
+
+val key_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> t
+(** Three concurrent tenants of the key-based mechanism: one victim and
+    two tenants, each initiating [victim_repeat] / [tenant_repeat]
+    (default 1 each — key-based initiation is 4 NI accesses, so one
+    initiation per process already gives a ~7.6e5-schedule tree)
+    legitimate DMAs on its own pages. Sized so parallel exploration
+    ([--jobs]) has real work to divide. Safety: every DMA happens
+    exactly its requested number of times with no argument mixing,
+    under every three-way schedule. *)
+
+val ext_shadow_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> t
+(** Same, for the extended-shadow mechanism (defaults 2 and 2: also a
+    ~7.6e5-schedule tree). [~victim_repeat:1 ~tenant_repeat:1] gives a
+    1680-schedule tree, small enough for unit tests that still
+    exercise three-way interleaving. *)
+
+val rep5_contested3 : unit -> t
+(** The five-access method against both adversary shapes at once: the
+    Fig. 5 splicer and the store-splice attacker race one rep5 victim
+    in a single three-process (~6.3e5-schedule) tree. Exploration
+    shows the victim's §3.3.1 property holds — no violation ever
+    touches a victim page and the victim's outcome is always truthful
+    — while the strict oracle additionally flags a {e collusion
+    channel}: the two adversaries can jointly complete a five-access
+    sequence and start a C -> X transfer between their {e own} pages.
+    Each colluder could legitimately request the same transfer, so the
+    channel is benign by consent and outside the paper's threat model,
+    but the oracle (which audits addresses against declared intents,
+    like the hardware would) rightly reports it as unattributed. *)
+
+val processes : t -> Uldma_os.Process.t list
+(** Victim, attacker, then [extras], in spawn order. *)
+
+val explore_pids : t -> int list
+(** The pid list to hand to {!Uldma_verify.Explorer.explore} —
+    [processes] projected to pids. *)
+
+val oracle_report : t -> Uldma_os.Kernel.t -> Uldma_verify.Oracle.report
+(** Audit an arbitrary kernel state (typically an explorer terminal
+    snapshot) against the scenario's intents, reading each reporting
+    process's success count out of that state. *)
+
+val oracle_check : t -> Uldma_os.Kernel.t -> Uldma_verify.Oracle.violation option
+(** [oracle_report] as an explorer [check]: the first violation, if
+    any. Pure — safe on worker domains. *)
 
 val run_legs : t -> leg list -> unit
 (** Advance the named process by one NI access per leg. *)

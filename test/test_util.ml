@@ -241,6 +241,101 @@ let units_transfer_monotone =
       let t n = Units.transfer_ps ~bytes_per_s:1e8 n in
       if a <= b then t a <= t b else t b <= t a)
 
+(* ------------------------------------------------------------------ *)
+(* Ws_deque (Chase–Lev work-stealing deque) *)
+
+let test_ws_deque_owner_lifo () =
+  let d = Ws_deque.create () in
+  checkb "empty pop" true (Ws_deque.pop d = None);
+  Ws_deque.push d 1;
+  Ws_deque.push d 2;
+  Ws_deque.push d 3;
+  checki "size" 3 (Ws_deque.size d);
+  checkb "pop newest" true (Ws_deque.pop d = Some 3);
+  checkb "then next" true (Ws_deque.pop d = Some 2);
+  checkb "then oldest" true (Ws_deque.pop d = Some 1);
+  checkb "then empty" true (Ws_deque.pop d = None);
+  checki "size after drain" 0 (Ws_deque.size d)
+
+let test_ws_deque_steal_fifo () =
+  let d = Ws_deque.create () in
+  Ws_deque.push d 1;
+  Ws_deque.push d 2;
+  Ws_deque.push d 3;
+  checkb "steal oldest" true (Ws_deque.steal d = Some 1);
+  checkb "steal next" true (Ws_deque.steal d = Some 2);
+  checkb "owner gets the rest" true (Ws_deque.pop d = Some 3);
+  checkb "steal empty" true (Ws_deque.steal d = None)
+
+let test_ws_deque_grow () =
+  (* push far past the 16-slot initial buffer, with interleaved pops
+     and steals so the logical indices wrap several superseded buffers *)
+  let d = Ws_deque.create () in
+  let popped = ref [] and stolen = ref [] in
+  for i = 1 to 1000 do
+    Ws_deque.push d i;
+    if i mod 3 = 0 then
+      match Ws_deque.pop d with Some v -> popped := v :: !popped | None -> ()
+  done;
+  let rec drain () =
+    match Ws_deque.steal d with
+    | Some v ->
+      stolen := v :: !stolen;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let all = List.sort compare (!popped @ !stolen) in
+  checki "nothing lost or duplicated" 1000 (List.length all);
+  checkb "exactly 1..1000" true (all = List.init 1000 (fun i -> i + 1));
+  checkb "stolen side is FIFO" true (List.rev !stolen = List.sort compare !stolen)
+
+(* Conservation under real contention: one owner domain pushing and
+   popping while three thieves steal. Every pushed element must be
+   consumed exactly once, whichever side wins each race. *)
+let test_ws_deque_concurrent_conservation () =
+  let d = Ws_deque.create () in
+  let n = 20_000 in
+  let stop = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    while not (Atomic.get stop) do
+      match Ws_deque.steal d with
+      | Some v -> got := v :: !got
+      | None -> Domain.cpu_relax ()
+    done;
+    (* final sweep so nothing is left when the owner finished early *)
+    let rec sweep () =
+      match Ws_deque.steal d with
+      | Some v ->
+        got := v :: !got;
+        sweep ()
+      | None -> ()
+    in
+    sweep ();
+    !got
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  let owner_got = ref [] in
+  for i = 1 to n do
+    Ws_deque.push d i;
+    if i land 1 = 0 then
+      match Ws_deque.pop d with Some v -> owner_got := v :: !owner_got | None -> ()
+  done;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+      owner_got := v :: !owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = List.sort compare (stolen @ !owner_got) in
+  checki "every element consumed exactly once" n (List.length all);
+  checkb "the elements are exactly 1..n" true (all = List.init n (fun i -> i + 1))
+
 let () =
   Alcotest.run "util"
     [
@@ -260,6 +355,14 @@ let () =
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "dma_key width" `Quick test_rng_dma_key_width;
           Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+        ] );
+      ( "ws_deque",
+        [
+          Alcotest.test_case "owner LIFO" `Quick test_ws_deque_owner_lifo;
+          Alcotest.test_case "steal FIFO" `Quick test_ws_deque_steal_fifo;
+          Alcotest.test_case "grow preserves elements" `Quick test_ws_deque_grow;
+          Alcotest.test_case "concurrent conservation" `Slow
+            test_ws_deque_concurrent_conservation;
         ] );
       ( "stats",
         [

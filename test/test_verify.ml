@@ -159,27 +159,10 @@ let test_rep5_resists_fig5_schedule () =
 (* ------------------------------------------------------------------ *)
 (* Explorer *)
 
-let explore_with ?dedup ?jobs scenario =
+let explore_with ?dedup ?jobs ?memo_cap ?memo_file ?memo_key scenario =
   let s = scenario () in
-  let pids = [ s.Scenario.victim.Process.pid; s.Scenario.attacker.Process.pid ] in
-  let check kernel =
-    let read pid result_va =
-      match Kernel.find_process kernel pid with
-      | Some p -> Uldma_workload.Stub_loop.read_successes kernel p ~result_va
-      | None -> 0
-    in
-    let reported =
-      (s.Scenario.victim.Process.pid, read s.Scenario.victim.Process.pid s.Scenario.victim_result_va)
-      ::
-      (match s.Scenario.attacker_result_va with
-      | Some result_va ->
-        [ (s.Scenario.attacker.Process.pid, read s.Scenario.attacker.Process.pid result_va) ]
-      | None -> [])
-    in
-    let report = Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported in
-    match report.Oracle.violations with [] -> None | v :: _ -> Some v
-  in
-  Explorer.explore ~root:s.Scenario.kernel ~pids ?dedup ?jobs ~check ()
+  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs
+    ?memo_cap ?memo_file ?memo_key ~check:(Scenario.oracle_check s) ()
 
 let explore scenario = explore_with scenario
 
@@ -325,6 +308,169 @@ let test_explorer_dedup_reduces_states () =
   checkb "dedup hits recorded" true (on.Explorer.dedup_hits > 0);
   checki "brute force visits every interior node at least once" off.Explorer.states_visited
     (off.Explorer.states_visited + off.Explorer.dedup_hits)
+
+(* Regression for the work-stealing driver, in two parts — the two
+   pieces of [Explorer.result] whose assembly actually differs between
+   the sequential DFS and the re-split/steal/sort pipeline.
+
+   (a) stuck-leg accounting: a deliberately spinning third pid makes
+   stuck legs appear at every surviving node, and the global counter
+   must agree at every job count. (A pid that never reaches an NI
+   access also never exits, so no schedule completes — paths = 0 is
+   the documented pruning semantics, which the parallel driver must
+   reproduce too, published-and-stolen subtrees included.)
+
+   (b) violation re-emission order: rep5_contested3's ~1.4e3 collusion
+   violations flow through memo re-emission AND the parallel
+   rank-lexicographic sort; every job count must deliver them in the
+   sequential order. *)
+let test_explorer_jobs_stuck_and_violation_order () =
+  let run_spinner jobs =
+    let s = Scenario.fig5 () in
+    let spinner =
+      Kernel.spawn s.Scenario.kernel ~name:"spinner" ~program:[| Uldma_cpu.Isa.Jmp 0 |] ()
+    in
+    Explorer.explore ~root:s.Scenario.kernel
+      ~pids:(Scenario.explore_pids s @ [ spinner.Process.pid ])
+      ~max_instructions_per_leg:100 ~jobs ~check:(Scenario.oracle_check s) ()
+  in
+  let seq = run_spinner 1 in
+  checkb "spinner makes stuck legs" true (seq.Explorer.stuck_legs > 0);
+  List.iter
+    (fun jobs ->
+      let par = run_spinner jobs in
+      checki (Printf.sprintf "spinner jobs=%d paths" jobs) seq.Explorer.paths par.Explorer.paths;
+      checki
+        (Printf.sprintf "spinner jobs=%d stuck legs" jobs)
+        seq.Explorer.stuck_legs par.Explorer.stuck_legs)
+    [ 2; 4 ];
+  let run_contested jobs =
+    let s = Scenario.rep5_contested3 () in
+    Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ~jobs
+      ~check:(Scenario.oracle_check s) ()
+  in
+  let seq = run_contested 1 in
+  checkb "many violations to order" true (List.length seq.Explorer.violations > 100);
+  List.iter
+    (fun jobs ->
+      let par = run_contested jobs in
+      checki (Printf.sprintf "contested jobs=%d paths" jobs) seq.Explorer.paths
+        par.Explorer.paths;
+      checkb
+        (Printf.sprintf "contested jobs=%d violations identical, in order" jobs)
+        true
+        (canon_violations seq = canon_violations par))
+    [ 2; 4 ]
+
+(* The bounded memo is a cost knob, never a result knob: a cap small
+   enough to force constant eviction must re-derive the identical
+   answer, just visiting more states. *)
+let test_explorer_bounded_memo_equivalence () =
+  let base = explore Scenario.rep5 in
+  let capped = explore_with ~memo_cap:32 Scenario.rep5 in
+  checkb "evictions happened" true (capped.Explorer.evictions > 0);
+  checkb "still complete" false capped.Explorer.truncated;
+  checki "paths equal" base.Explorer.paths capped.Explorer.paths;
+  checkb "violations identical, in order" true (canon_violations base = canon_violations capped);
+  checkb "eviction costs re-expansion" true
+    (capped.Explorer.states_visited >= base.Explorer.states_visited);
+  checki "default cap evicts nothing here" 0 base.Explorer.evictions
+
+(* Persistent cross-scenario cache: a warm run of an independently
+   rebuilt scenario reuses the saved safe summaries (fewer expansions,
+   same answer), while a different memo_key falls back to cold because
+   the stored section's root fingerprint cannot match. *)
+let test_explorer_memo_file_warm_start () =
+  let file = Filename.temp_file "uldma_memo" ".bin" in
+  Sys.remove file;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let cold = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.rep5 in
+      checkb "cache file written" true (Sys.file_exists file);
+      let warm = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.rep5 in
+      checki "paths equal" cold.Explorer.paths warm.Explorer.paths;
+      checkb "violations identical" true (canon_violations cold = canon_violations warm);
+      checkb "warm run expands fewer states" true
+        (warm.Explorer.states_visited < cold.Explorer.states_visited);
+      checkb "warm run hits the cache" true (warm.Explorer.dedup_hits > 0);
+      (* same file, different scenario under a reused key: the root
+         fingerprint guard must reject the section, not corrupt results *)
+      let other = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.fig5 in
+      let plain = explore Scenario.fig5 in
+      checki "foreign section ignored: paths" plain.Explorer.paths other.Explorer.paths;
+      checkb "foreign section ignored: violations" true
+        (canon_violations plain = canon_violations other))
+
+(* Three-process contested tree (1680 schedules): every jobs level and
+   dedup off must agree exactly — this is the shape where the
+   work-stealing driver actually re-splits interior nodes. *)
+let test_explorer_3proc_determinism () =
+  let small () = Scenario.ext_shadow_contested3 ~victim_repeat:1 ~tenant_repeat:1 () in
+  let seq = explore small in
+  checki "multinomial (3,3,3) schedule count" 1680 seq.Explorer.paths;
+  checki "safe" 0 (List.length seq.Explorer.violations);
+  let nodedup = explore_with ~dedup:false small in
+  checki "no-dedup paths" seq.Explorer.paths nodedup.Explorer.paths;
+  List.iter
+    (fun jobs ->
+      let par = explore_with ~jobs small in
+      checki (Printf.sprintf "jobs=%d paths" jobs) seq.Explorer.paths par.Explorer.paths;
+      checkb (Printf.sprintf "jobs=%d complete" jobs) false par.Explorer.truncated;
+      checkb
+        (Printf.sprintf "jobs=%d violations identical" jobs)
+        true
+        (canon_violations seq = canon_violations par))
+    [ 2; 4 ]
+
+(* rep5 vs two colluding adversaries: the victim's §3.3.1 property
+   holds across all ~6.3e5 schedules — every violation the strict
+   oracle reports is an unattributed transfer wholly between the
+   colluders' own pages (the consent-based collusion channel), never
+   touching A or B and never lying to the victim. *)
+let test_explorer_rep5_contested3_victim_safe () =
+  let s = Scenario.rep5_contested3 () in
+  let victim_pages =
+    List.filter_map
+      (fun (base, name) -> if name = "A" || name = "B" then Some base else None)
+      s.Scenario.labels
+  in
+  checki "both victim pages labelled" 2 (List.length victim_pages);
+  let r =
+    Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+      ~check:(Scenario.oracle_check s) ()
+  in
+  checkb "complete" false r.Explorer.truncated;
+  checkb "collusion channel found" true (r.Explorer.violations <> []);
+  List.iter
+    (fun (v, _) ->
+      match v with
+      | Oracle.Unattributed_transfer tr ->
+        let touches addr =
+          List.mem (Uldma_mem.Layout.page_base addr) victim_pages
+        in
+        if touches tr.Uldma_dma.Transfer.src || touches tr.Uldma_dma.Transfer.dst then
+          Alcotest.failf "collusion transfer touches a victim page: %#x -> %#x"
+            tr.Uldma_dma.Transfer.src tr.Uldma_dma.Transfer.dst
+      | Oracle.Rights_violation _ | Oracle.Phantom_success _ | Oracle.Lost_transfer _ ->
+        Alcotest.fail "victim-visible violation (expected only collusion transfers)")
+    r.Explorer.violations
+
+(* Satellite of the memo rework: shard selection hashes the whole key,
+   so long keys sharing a prefix (exactly what root-relative state
+   encodings look like) still spread over the shards. *)
+let test_memo_shard_balance () =
+  let module Memo = Uldma_verify.Memo in
+  let prefix = String.make 500 'k' in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    let key = Printf.sprintf "%s|%d" prefix i in
+    Hashtbl.replace seen (Memo.shard_of_string ~shards:64 key) ()
+  done;
+  checkb "long shared-prefix keys spread over shards" true (Hashtbl.length seen >= 16);
+  (* and FNV-1a really reads past the prefix *)
+  checkb "suffix changes the hash" false
+    (Int64.equal (Memo.fnv1a64 (prefix ^ "a")) (Memo.fnv1a64 (prefix ^ "b")))
 
 (* The fingerprint hashes only engine-visible state: two independently
    built copies of a scenario agree, and advancing one NI-access leg
@@ -582,6 +728,15 @@ let () =
           Alcotest.test_case "dedup on/off equivalence" `Slow test_explorer_dedup_equivalence;
           Alcotest.test_case "jobs determinism" `Slow test_explorer_jobs_determinism;
           Alcotest.test_case "dedup reduces states" `Slow test_explorer_dedup_reduces_states;
+          Alcotest.test_case "jobs: stuck legs + violation order" `Slow
+            test_explorer_jobs_stuck_and_violation_order;
+          Alcotest.test_case "bounded memo equivalence" `Slow
+            test_explorer_bounded_memo_equivalence;
+          Alcotest.test_case "memo file warm start" `Slow test_explorer_memo_file_warm_start;
+          Alcotest.test_case "3-process determinism" `Slow test_explorer_3proc_determinism;
+          Alcotest.test_case "rep5 vs two colluders: victim safe" `Slow
+            test_explorer_rep5_contested3_victim_safe;
+          Alcotest.test_case "memo shard balance" `Quick test_memo_shard_balance;
           Alcotest.test_case "kernel fingerprint stability" `Quick
             test_kernel_fingerprint_stability;
           Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;

@@ -10,8 +10,10 @@
    4. checks the explorer's dedup/parallel soundness invariant: with
       the real Fig. 8 oracle attached, dedup on/off and jobs=1/2 must
       report identical path counts and identical (sorted) violation
-      sets on fig5 (violating) and rep5 (safe), and rep5 dedup must
-      visit strictly fewer states than it counts schedules;
+      sets on fig5 (violating), rep5 (safe) and a small three-process
+      contested workload (which exercises the work-stealing re-split
+      path), and rep5 dedup must visit strictly fewer states than it
+      counts schedules;
    5. re-measures explorer throughput with tracing disabled and
       compares against the recorded baseline (argv.(1), normally
       _results/BENCH_explorer.json): fails only below baseline/5, a
@@ -180,33 +182,8 @@ let explore_rep5 () =
    invariant below compares real violation sets, not just path counts. *)
 let explore_checked ?dedup ?jobs scenario =
   let s = scenario () in
-  let pids =
-    [ s.Scenario.victim.Uldma_os.Process.pid; s.Scenario.attacker.Uldma_os.Process.pid ]
-  in
-  let check kernel =
-    let read pid result_va =
-      match Uldma_os.Kernel.find_process kernel pid with
-      | Some p -> Uldma_workload.Stub_loop.read_successes kernel p ~result_va
-      | None -> 0
-    in
-    let reported =
-      ( s.Scenario.victim.Uldma_os.Process.pid,
-        read s.Scenario.victim.Uldma_os.Process.pid s.Scenario.victim_result_va )
-      ::
-      (match s.Scenario.attacker_result_va with
-      | Some result_va ->
-        [
-          ( s.Scenario.attacker.Uldma_os.Process.pid,
-            read s.Scenario.attacker.Uldma_os.Process.pid result_va );
-        ]
-      | None -> [])
-    in
-    let report =
-      Uldma_verify.Oracle.check ~kernel ~intents:s.Scenario.intents ~reported_successes:reported
-    in
-    match report.Uldma_verify.Oracle.violations with [] -> None | v :: _ -> Some v
-  in
-  Explorer.explore ~root:s.Scenario.kernel ~pids ?dedup ?jobs ~max_paths:1_000_000 ~check ()
+  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs
+    ~max_paths:1_000_000 ~check:(Scenario.oracle_check s) ()
 
 let () =
   (* 1. coverage of a traced run *)
@@ -304,7 +281,16 @@ let () =
         name base.Explorer.paths
         (List.length base.Explorer.violations)
         base.Explorer.states_visited nodedup.Explorer.states_visited)
-    [ ("fig5", Scenario.fig5, true); ("rep5", Scenario.rep5, false) ];
+    [
+      ("fig5", Scenario.fig5, true);
+      ("rep5", Scenario.rep5, false);
+      (* three processes: exercises the work-stealing re-split path
+         (two-process trees rarely leave a sibling worth publishing)
+         at a size small enough for runtest *)
+      ( "ext-shadow-3 (small)",
+        (fun () -> Scenario.ext_shadow_contested3 ~victim_repeat:1 ~tenant_repeat:1 ()),
+        false );
+    ];
   let r5 = explore_checked Scenario.rep5 in
   if r5.Explorer.states_visited >= r5.Explorer.paths then
     fail "rep5: dedup visited %d states for %d paths (expected strictly fewer)"
