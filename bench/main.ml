@@ -126,7 +126,15 @@ let print_bench_results results =
    ratio (schedules per expanded state — how much of the tree the memo
    collapses), and a bounded-memo run (small memo_cap) proving the
    exploration still completes exactly while evicting. All v2 keys are
-   preserved unchanged. *)
+   preserved unchanged.
+
+   Schema v4 adds the "timed" object: rep5 re-explored under each
+   latency-modelling net backend (atm155/atm622/hic at the default
+   tick), recording the enlarged schedule tree (wait legs), the dedup
+   ratio the relative-deadline state encoding achieves on it, wall
+   time and throughput, and a per-backend differential check —
+   brute-force (no-dedup) and jobs=4 runs must reproduce the memoized
+   sequential result exactly. All v3 keys are preserved unchanged. *)
 let time_explore ?dedup ?jobs ~reps () =
   let t0 = Unix.gettimeofday () in
   let last = ref (explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()) in
@@ -158,7 +166,7 @@ let write_bench_explorer_json () =
     float_of_int res.Uldma_verify.Explorer.paths /. s
   in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 3,\n  \"explorer\": {\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 4,\n  \"explorer\": {\n";
   Buffer.add_string buf "    \"scenario\": \"rep5\",\n";
   Buffer.add_string buf "    \"max_paths\": 1000000,\n";
   Printf.bprintf buf "    \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
@@ -253,6 +261,56 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "    }%s\n" (if i = List.length scenarios3 - 1 then "" else ",")
     )
     scenarios3;
+  Buffer.add_string buf "  },\n  \"timed\": {\n";
+  (* rep5 under each timed net backend: the wait leg grows the tree,
+     the relative-deadline encoding must still collapse it (dedup
+     ratio > 1) and brute-force / parallel runs must agree exactly *)
+  Printf.bprintf buf "    \"scenario\": \"rep5\",\n";
+  Printf.bprintf buf "    \"tick_ps\": %d,\n" Uldma_net.Backend.default_tick_ps;
+  let timed_backends =
+    [
+      ("atm155", Uldma_net.Link.atm155);
+      ("atm622", Uldma_net.Link.atm622);
+      ("hic", Uldma_net.Link.hic1355);
+    ]
+  in
+  List.iteri
+    (fun i (name, link) ->
+      let net = Uldma_net.Backend.linked link in
+      let explore ?dedup ?jobs () =
+        let s = Scenario.rep5 ~net () in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Uldma_verify.Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+            ~max_paths:1_000_000 ?dedup ?jobs ~check:(Scenario.oracle_check s) ()
+        in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let r, s = explore () in
+      let rb, _ = explore ~dedup:false () in
+      let r4, _ = explore ~jobs:4 () in
+      let viols (x : _ Uldma_verify.Explorer.result) =
+        List.map snd x.Uldma_verify.Explorer.violations
+      in
+      Printf.bprintf buf "    \"%s\": {\n" name;
+      Printf.bprintf buf "      \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
+      Printf.bprintf buf "      \"violating_schedules\": %d,\n"
+        (List.length r.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      \"truncated\": %b,\n" r.Uldma_verify.Explorer.truncated;
+      Printf.bprintf buf "      \"states_visited\": %d,\n" r.Uldma_verify.Explorer.states_visited;
+      Printf.bprintf buf "      \"dedup_hits\": %d,\n" r.Uldma_verify.Explorer.dedup_hits;
+      Printf.bprintf buf "      \"dedup_ratio\": %.2f,\n"
+        (float_of_int r.Uldma_verify.Explorer.paths
+        /. float_of_int (max 1 r.Uldma_verify.Explorer.states_visited));
+      Printf.bprintf buf "      \"seconds\": %.6f,\n" s;
+      Printf.bprintf buf "      \"paths_per_sec\": %.1f,\n" (pps r s);
+      Printf.bprintf buf "      \"differential_identical\": %b\n"
+        (r.Uldma_verify.Explorer.paths = rb.Uldma_verify.Explorer.paths
+        && r.Uldma_verify.Explorer.paths = r4.Uldma_verify.Explorer.paths
+        && viols r = viols rb && viols r = viols r4);
+      Printf.bprintf buf "    }%s\n" (if i = List.length timed_backends - 1 then "" else ",")
+    )
+    timed_backends;
   Buffer.add_string buf "  },\n  \"initiation_us\": {\n";
   List.iteri
     (fun i (name, us) ->

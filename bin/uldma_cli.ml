@@ -305,35 +305,85 @@ let explore_cmd =
       & info [ "memo-file" ] ~docv:"FILE"
           ~doc:
             "Persist violation-free subtree summaries to $(docv) and reuse them on later runs of \
-             the same scenario (guarded by a schema version and the root state fingerprint).")
+             the same scenario and net backend (guarded by a schema version and the root state \
+             fingerprint).")
   in
-  let run which jobs no_dedup max_paths memo_cap memo_file trace_file trace_format =
+  let net =
+    Arg.(
+      value
+      & opt string "null"
+      & info [ "net" ] ~docv:"BACKEND"
+          ~doc:
+            "DMA wire-time model: $(b,null) (transfers complete instantly, the default), or a \
+             latency-modelling link — $(b,atm155), $(b,atm622), $(b,gigabit), $(b,hic). Timed \
+             backends are supported on the fig5, rep5 and key-based scenarios; with one, \
+             transfer completion becomes an explorable scheduling leg (pseudo-pid -2 in \
+             schedules).")
+  in
+  let tick_ps =
+    Arg.(
+      value
+      & opt int Uldma_net.Backend.default_tick_ps
+      & info [ "tick-ps" ] ~docv:"PS"
+          ~doc:
+            "Quantise timed-backend transfer durations up to multiples of $(docv) picoseconds \
+             (default 1000000 = 1us). Coarser ticks merge more states; durations are never \
+             rounded down to zero.")
+  in
+  let run which jobs no_dedup max_paths memo_cap memo_file net tick_ps trace_file trace_format =
     with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let module Explorer = Uldma_verify.Explorer in
     let module Oracle = Uldma_verify.Oracle in
+    let module Backend = Uldma_net.Backend in
+    let backend =
+      match Backend.of_string ~tick_ps net with
+      | Ok b -> b
+      | Error msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    (* fig5/rep5/key-based have timed variants; the rest run Null only *)
     let name, memo_key, scenario =
       match which with
-      | `Fig5 -> ("rep-args-3 (Fig. 5)", "fig5", Scenario.fig5)
-      | `Fig6 -> ("rep-args-4 (Fig. 6)", "fig6", Scenario.fig6)
-      | `Rep5 -> ("rep-args-5 (Fig. 7)", "rep5", Scenario.rep5)
-      | `Splice -> ("rep-args-5 vs store-splice", "splice", Scenario.rep5_splice)
-      | `Ext_shadow -> ("ext-shadow, two tenants", "ext-shadow", Scenario.ext_shadow_contested)
-      | `Key_based -> ("key-based, two tenants", "key-based", Scenario.key_contested)
-      | `Pal -> ("pal, two tenants", "pal", Scenario.pal_contested)
+      | `Fig5 -> ("rep-args-3 (Fig. 5)", "fig5", `Timed (fun ?net () -> Scenario.fig5 ?net ()))
+      | `Fig6 -> ("rep-args-4 (Fig. 6)", "fig6", `Untimed (fun () -> Scenario.fig6 ()))
+      | `Rep5 -> ("rep-args-5 (Fig. 7)", "rep5", `Timed (fun ?net () -> Scenario.rep5 ?net ()))
+      | `Splice ->
+        ("rep-args-5 vs store-splice", "splice", `Untimed (fun () -> Scenario.rep5_splice ()))
+      | `Ext_shadow ->
+        ( "ext-shadow, two tenants",
+          "ext-shadow",
+          `Untimed (fun () -> Scenario.ext_shadow_contested ()) )
+      | `Key_based ->
+        ( "key-based, two tenants",
+          "key-based",
+          `Timed (fun ?net () -> Scenario.key_contested ?net ()) )
+      | `Pal -> ("pal, two tenants", "pal", `Untimed (fun () -> Scenario.pal_contested ()))
       | `Key3 ->
-        ("key-based, three contested processes", "key-3", fun () -> Scenario.key_contested3 ())
+        ( "key-based, three contested processes",
+          "key-3",
+          `Untimed (fun () -> Scenario.key_contested3 ()) )
       | `Ext_shadow3 ->
         ( "ext-shadow, three contested processes",
           "ext-shadow-3",
-          fun () -> Scenario.ext_shadow_contested3 () )
-      | `Rep5_3 -> ("rep-args-5 vs two attackers", "rep5-3", Scenario.rep5_contested3)
+          `Untimed (fun () -> Scenario.ext_shadow_contested3 ()) )
+      | `Rep5_3 ->
+        ("rep-args-5 vs two attackers", "rep5-3", `Untimed (fun () -> Scenario.rep5_contested3 ()))
     in
-    let s = scenario () in
+    let s =
+      match (scenario, backend) with
+      | `Timed f, _ -> f ~net:backend ()
+      | `Untimed f, Backend.Null -> f ()
+      | `Untimed _, Backend.Linked _ ->
+        Printf.eprintf "scenario %s has no timed variant; --net must be null\n" memo_key;
+        exit 1
+    in
+    let memo_net = Backend.cache_key backend in
     let t0 = Unix.gettimeofday () in
     let r =
       Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ~max_paths
-        ~dedup:(not no_dedup) ~jobs ~memo_cap ?memo_file ~memo_key
+        ~dedup:(not no_dedup) ~jobs ~memo_cap ?memo_file ~memo_key ~memo_net
         ~check:(Scenario.oracle_check s) ()
     in
     let secs = Unix.gettimeofday () -. t0 in
@@ -343,6 +393,11 @@ let explore_cmd =
         ~columns:[ ("metric", Uldma_util.Tbl.Left); ("value", Uldma_util.Tbl.Right) ]
     in
     let row k v = Uldma_util.Tbl.add_row tbl [ k; v ] in
+    (match backend with
+    | Backend.Null -> ()
+    | Backend.Linked _ ->
+      row "net backend" (Format.asprintf "%a" Backend.pp backend);
+      row "tick" (Format.asprintf "%a" Uldma_util.Units.pp_time tick_ps));
     row "schedules" (string_of_int r.Explorer.paths);
     row "violating schedules" (string_of_int (List.length r.Explorer.violations));
     row "states visited" (string_of_int r.Explorer.states_visited);
@@ -368,8 +423,8 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const run $ which $ jobs $ no_dedup $ max_paths $ memo_cap $ memo_file $ trace_file_arg
-      $ trace_format_arg)
+      const run $ which $ jobs $ no_dedup $ max_paths $ memo_cap $ memo_file $ net $ tick_ps
+      $ trace_file_arg $ trace_format_arg)
 
 let stub_cmd =
   let doc =

@@ -634,12 +634,20 @@ let handle t (txn : Txn.t) =
    explorer's state fingerprint. Includes everything a future load can
    reveal: matcher/context registers, the pending two-step deposit, the
    kernel-page registers, atomic slots, started transfers (src/dst/
-   size/pid/context plus status-remaining-at-now — with the explorer's
-   zero-duration backend remaining is always 0, so merged states agree
-   on every future status load), mapped-out entries (sorted for
-   canonicity) and the outbound network queue. Excludes diagnostics the
-   simulated programs cannot read back: event log, counters, trace
-   sink, absolute timestamps. *)
+   size/pid/context plus the clock-relative in-flight view:
+   remaining-wire-time-at-now and total duration — remaining bytes are
+   a pure function of size/duration/remaining_ps, so two states that
+   agree on those agree on every future status load however the
+   absolute clock differs; under the zero-duration Null backend both
+   extra fields are constant 0 and the encoding is as before, merging
+   exactly the same states), mapped-out entries (sorted for canonicity)
+   and the outbound network queue. Excludes diagnostics the simulated
+   programs cannot read back: event log, counters, trace sink, absolute
+   timestamps. Note the remaining time is encoded *exactly*: bucketing
+   it (e.g. to the timed backend's tick) would be unsound, because two
+   states in the same bucket can diverge observably one tick later —
+   quantisation belongs in the backend's duration_ps, where it shrinks
+   the set of deadlines without ever merging distinct ones. *)
 let encode buf t =
   let i v =
     Buffer.add_string buf (string_of_int v);
@@ -682,7 +690,9 @@ let encode buf t =
       i tr.Transfer.dst;
       i tr.Transfer.size;
       i tr.Transfer.pid;
-      i (opt tr.Transfer.context))
+      i (opt tr.Transfer.context);
+      i (Transfer.remaining_ps tr ~now:(now t));
+      i tr.Transfer.duration)
     t.transfers;
   (match t.map_out_staged with None -> () | Some p -> Printf.bprintf buf "M%d;" p);
   if Hashtbl.length t.mapped_out > 0 then begin
@@ -700,6 +710,19 @@ let encode buf t =
         Atomic_op.encode_value buf op;
         Printf.bprintf buf "@%d;" reply_paddr)
     t.outbound
+
+(* Earliest future completion among in-flight transfers, if any. Under
+   a zero-duration backend every end_time equals its started_at, which
+   is never after now, so this is always None there. *)
+let next_transfer_deadline t =
+  let now = now t in
+  List.fold_left
+    (fun acc (tr : Transfer.t) ->
+      let fin = Transfer.end_time tr in
+      if fin > now then
+        match acc with Some best when best <= fin -> acc | _ -> Some fin
+      else acc)
+    None t.transfers
 
 let device t =
   {

@@ -140,10 +140,21 @@ val encode : Buffer.t -> t -> unit
 (** Append a canonical textual encoding of the engine's observable
     state (matcher, contexts, pending deposits, atomic slots, transfer
     observables, mapped-out table, outbound queue), for the explorer's
-    state fingerprint. Two engines with equal encodings are
+    state fingerprint. In-flight transfers are encoded by their
+    clock-relative view — exact remaining-wire-time-at-now plus total
+    duration — so two engines that differ only in absolute clock but
+    agree on every deadline encode identically; under a zero-duration
+    backend the extra fields are constant and the encoding merges the
+    same states it always did. Two engines with equal encodings are
     indistinguishable to the simulated programs and to the Fig. 8
     oracle. Diagnostic state (event log, counters, trace sink, absolute
     timestamps) is excluded. *)
+
+val next_transfer_deadline : t -> Uldma_util.Units.ps option
+(** Earliest [end_time] strictly after [now] among started transfers —
+    the next instant at which waiting (advancing the clock without
+    running any process) changes an observable. [None] when nothing is
+    in flight, in particular always under a zero-duration backend. *)
 
 val context_transfer_end : t -> int -> Uldma_util.Units.ps option
 (** Completion time of the context's last transfer (for sys_dma_wait). *)

@@ -52,6 +52,8 @@ let remaining t ~now =
 
 let end_time t = t.started_at + t.duration
 
+let remaining_ps t ~now = if t.duration <= 0 then 0 else max 0 (end_time t - now)
+
 let pp ppf t =
   Format.fprintf ppf "DMA %#x -> %#x (%d bytes, pid %d%s, at %a, %a on the wire)" t.src t.dst
     t.size t.pid

@@ -41,4 +41,12 @@ val remaining : t -> now:Uldma_util.Units.ps -> int
 
 val end_time : t -> Uldma_util.Units.ps
 
+val remaining_ps : t -> now:Uldma_util.Units.ps -> Uldma_util.Units.ps
+(** Wire time still to elapse at [now]; 0 once complete (and always 0
+    under a zero-duration backend). Together with [duration] this is a
+    clock-relative view of the transfer: two transfers with equal
+    [size]/[duration]/[remaining_ps] are indistinguishable to every
+    future observation, whatever the absolute clock reads — which is
+    exactly what the explorer's state encoding needs. *)
+
 val pp : Format.formatter -> t -> unit

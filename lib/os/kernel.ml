@@ -5,7 +5,10 @@ open Uldma_bus
 open Uldma_cpu
 open Uldma_dma
 
-type backend_spec = Null | Local of { bytes_per_s : float }
+type backend_spec =
+  | Null
+  | Local of { bytes_per_s : float }
+  | Timed of { label : string; duration_of_bytes : int -> int }
 
 type config = {
   timing : Timing.t;
@@ -64,6 +67,13 @@ let build_backend spec ram =
   match spec with
   | Null -> Transfer.null_backend
   | Local { bytes_per_s } -> Transfer.local_backend ram ~setup_ps:(Units.ns 400.0) ~bytes_per_s
+  | Timed { duration_of_bytes; _ } ->
+    (* Null's no-data-movement semantics (Table 1 methodology), but
+       with a real wire time: status loads taken before the deadline
+       see bytes remaining, and sys_dma_wait genuinely blocks. The
+       closure is pure in RAM so sharing it across kernel copies is
+       fine. *)
+    { Transfer.null_backend with Transfer.duration_ps = duration_of_bytes }
 
 (* The machine emits trace events on behalf of whichever process is
    running; [kernel_pid] when none is. *)
@@ -607,6 +617,24 @@ let wake_sleepers t =
       | Process.Blocked_until _ | Process.Ready | Process.Exited _ -> ())
     t.procs
 
+(* Next instant at which pure waiting changes an observable: the
+   earliest in-flight transfer completion. Always None under the
+   zero-duration Null backend. *)
+let next_transfer_deadline t = Engine.next_transfer_deadline t.engine
+
+(* Idle the machine forward to the next transfer completion. Explored
+   as a scheduling leg of its own (Explorer.wait_leg): at NI-access
+   granularity "let the wire drain" is a scheduling decision just like
+   "run pid p next". Wakes sys_dma_wait sleepers whose deadline has
+   now passed. *)
+let advance_to_next_completion t =
+  match next_transfer_deadline t with
+  | Some at ->
+    charge t (at - now_ps t);
+    wake_sleepers t;
+    true
+  | None -> false
+
 let soonest_wake t =
   List.fold_left
     (fun acc (p : Process.t) ->
@@ -693,9 +721,17 @@ let write_user t p vaddr value = Phys_mem.store_word t.ram (user_paddr t p vaddr
    *excluded*: clocks, charged bus time, context-switch and
    instruction counters, trace state — pure cost bookkeeping that
    differs between commuting schedule prefixes but cannot influence
-   any future observable step (explorer scenarios run the zero-duration
-   Null backend and no time-dependent syscalls). Two kernels with equal
-   encodings evolve identically under identical future schedules.
+   any future observable step. Time-dependent observables are folded
+   in *relative to now* rather than excluded: in-flight transfers by
+   their exact remaining-wire-time and duration (Engine.encode), and a
+   blocked process by its remaining sleep. Thus two kernels that
+   differ only by an absolute clock offset but agree on every pending
+   deadline still merge — the offset cannot influence any future
+   observable — while states whose deadlines genuinely differ never
+   do. Under the zero-duration Null backend all these relative fields
+   are constants and the encoding partitions states exactly as it did
+   before timed backends existed. Two kernels with equal encodings
+   evolve identically under identical future schedules.
 
    [relative_to] (the explorer's root snapshot) restricts the RAM part
    to pages that physically diverged from the root: pages still shared
@@ -723,6 +759,10 @@ let state_encoding ?relative_to t =
         | Process.Ready -> 0
         | Process.Blocked_until _ -> 1
         | Process.Exited _ -> 2);
+      (* remaining sleep, not the absolute wake instant *)
+      (match p.Process.state with
+      | Process.Blocked_until at -> i (max 0 (at - now_ps t))
+      | Process.Ready | Process.Exited _ -> ());
       i p.Process.ctx.Cpu.pc;
       i (match p.Process.dma_context with None -> min_int | Some c -> c);
       i (match p.Process.dma_key with None -> min_int | Some k -> k);

@@ -14,7 +14,16 @@
     paper's mechanisms all run with it false, and the safety test suite
     checks exactly that. *)
 
-type backend_spec = Null | Local of { bytes_per_s : float }
+type backend_spec =
+  | Null  (** zero-duration, no data movement (Table 1 methodology) *)
+  | Local of { bytes_per_s : float }  (** real copies within local RAM *)
+  | Timed of { label : string; duration_of_bytes : int -> int }
+      (** Null's no-data-movement semantics with a real wire time:
+          [duration_of_bytes n] picoseconds for an [n]-byte transfer.
+          [label] names the model (e.g. a net backend's cache key) for
+          reporting; [duration_of_bytes] must be pure. This is how
+          [Uldma_net.Backend] plugs into the kernel without [lib/os]
+          depending on [lib/net]. *)
 
 type config = {
   timing : Uldma_bus.Timing.t;
@@ -97,13 +106,19 @@ val state_encoding : ?relative_to:t -> t -> string
     root (O(dirtied), not O(RAM)). Cost bookkeeping (clock, charged bus
     time, switch/instruction counters, trace state) is excluded: it
     differs between commuting schedule prefixes but cannot influence
-    future observable steps under the explorer's zero-duration backend.
-    Equal encodings => identical evolution under identical schedules;
-    the explorer's memo table keys on this string, so dedup can miss a
-    merge but never merge distinct states. [relative_to] (a common
-    snapshot ancestor, e.g. the explorer root) restricts the RAM part
-    to pages physically diverged from it — exact, and O(work since the
-    root) instead of O(all setup-time writes). *)
+    future observable steps. Time-dependent observables are folded in
+    {e relative to now}: each in-flight transfer's exact remaining wire
+    time and duration, and each blocked process's remaining sleep — so
+    states differing only by an absolute clock offset merge while
+    states with genuinely different pending deadlines never do. Under
+    the [Null] backend these fields are constants and the encoding
+    partitions states exactly as before. Equal encodings => identical
+    evolution under identical schedules; the explorer's memo table keys
+    on this string, so dedup can miss a merge but never merge distinct
+    states. [relative_to] (a common snapshot ancestor, e.g. the
+    explorer root) restricts the RAM part to pages physically diverged
+    from it — exact, and O(work since the root) instead of O(all
+    setup-time writes). *)
 
 val fingerprint : ?relative_to:t -> t -> int64
 (** FNV-1a hash of [state_encoding] — for shard selection and
@@ -189,6 +204,19 @@ val step : t -> [ `Stepped of int | `Idle ]
 val step_pid : t -> int -> [ `Ok | `Not_runnable ]
 (** Force one instruction of a specific process (interleaving
     explorer); performs a context switch if needed. *)
+
+val next_transfer_deadline : t -> Uldma_util.Units.ps option
+(** Earliest in-flight transfer completion strictly after now — the
+    next instant at which pure waiting changes an observable. Always
+    [None] under the zero-duration [Null] backend. *)
+
+val advance_to_next_completion : t -> bool
+(** Idle the machine forward to [next_transfer_deadline] (waking any
+    sleepers whose deadline passed) and return [true]; [false] (and no
+    effect) when nothing is in flight. The explorer exposes this as a
+    scheduling leg of its own ({!Uldma_verify.Explorer.wait_leg}): at
+    NI-access granularity "let the wire drain before anyone touches
+    the NI again" is a scheduling decision like any other. *)
 
 val run : t -> ?max_steps:int -> unit -> run_result
 val run_until : t -> ?max_steps:int -> (t -> bool) -> run_result

@@ -230,7 +230,7 @@ let fig5_attack3 () =
   attack_table
     ~title:
       "Fig. 5: attack on the 3-access variant — attacker transfers its data (C) into the victim's destination (B)"
-    Scenario.fig5 Scenario.fig5_schedule
+    (fun () -> Scenario.fig5 ()) Scenario.fig5_schedule
 
 let fig6_attack4 () =
   attack_table
@@ -305,12 +305,12 @@ let fig8_proof () =
         (if n_viol = 0 then "SAFE under all schedules" else "VULNERABLE");
       ]
   in
-  explore "rep-args-3 (Fig. 5)" Scenario.fig5;
+  explore "rep-args-3 (Fig. 5)" (fun () -> Scenario.fig5 ());
   explore "rep-args-4 (Fig. 6)" Scenario.fig6;
-  explore "rep-args-5 (Fig. 7)" Scenario.rep5;
+  explore "rep-args-5 (Fig. 7)" (fun () -> Scenario.rep5 ());
   explore "rep-args-5 vs store-splice" Scenario.rep5_splice;
   explore "ext-shadow, two tenants" Scenario.ext_shadow_contested;
-  explore "key-based, two tenants" Scenario.key_contested;
+  explore "key-based, two tenants" (fun () -> Scenario.key_contested ());
   explore "pal, two tenants" Scenario.pal_contested;
   tbl
 

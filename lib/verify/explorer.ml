@@ -31,6 +31,23 @@ let advance_one_leg kernel pid ~max_instructions =
   in
   loop 0
 
+(* The pseudo-pid of the "let the wire drain" leg: instead of running a
+   process to its next NI access, the machine idles forward to the next
+   in-flight transfer completion. Only offered when a timed backend has
+   a transfer in flight (Kernel.next_transfer_deadline = Some), so the
+   Null backend's schedule trees — and goldens — are untouched. Chosen
+   outside any real pid range (real pids start at 0; -1 is the kernel). *)
+let wait_leg = -2
+
+(* One scheduling leg: a real pid runs to its next NI access, the wait
+   leg idles to the next completion. Every call site (sequential DFS,
+   the expansion loop, and the work-stealing publish path) must go
+   through here so stolen wait legs behave identically. *)
+let advance_leg kernel leg ~max_instructions =
+  if leg = wait_leg then
+    if Kernel.advance_to_next_completion kernel then `Progress else `Stuck
+  else advance_one_leg kernel leg ~max_instructions
+
 (* ------------------------------------------------------------------ *)
 (* State-deduplicated, optionally multi-domain search.
 
@@ -141,7 +158,16 @@ let rec explore_state sh split sink out kernel schedule_rev depth =
          recomputed inside a List.mem per candidate pid) *)
       let live = Kernel.runnable_pids kernel in
       let runnable = List.filter (fun pid -> List.mem pid live) sh.pids in
-      match runnable with
+      (* with a transfer in flight, "wait for it" is one more explorable
+         leg, ordered after every real pid (canonical_order ranks
+         unknown pids last, matching this expansion order); a node is
+         terminal only when nothing can run *and* nothing is draining *)
+      let legs =
+        match Kernel.next_transfer_deadline kernel with
+        | Some _ -> runnable @ [ wait_leg ]
+        | None -> runnable
+      in
+      match legs with
       | [] ->
         ignore (Atomic.fetch_and_add sh.paths 1 : int);
         let s =
@@ -170,7 +196,7 @@ let rec explore_state sh split sink out kernel schedule_rev depth =
                 else begin
                   let fork = Kernel.snapshot kernel in
                   note sh sink fork depth `Fork;
-                  match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
+                  match advance_leg fork pid ~max_instructions:sh.max_instructions with
                   | `Progress | `Exited ->
                     sp.sp_publish
                       { t_kernel = fork; t_schedule_rev = pid :: schedule_rev; t_depth = depth + 1 }
@@ -182,7 +208,7 @@ let rec explore_state sh split sink out kernel schedule_rev depth =
             true
           | _ -> false
         in
-        let to_expand = if published then [ first ] else runnable in
+        let to_expand = if published then [ first ] else legs in
         let acc_paths = ref 0 and acc_viol = ref [] and acc_stuck = ref 0 in
         let clean = ref (not published) in
         List.iter
@@ -194,7 +220,7 @@ let rec explore_state sh split sink out kernel schedule_rev depth =
             else begin
               let fork = Kernel.snapshot kernel in
               note sh sink fork depth `Fork;
-              match advance_one_leg fork pid ~max_instructions:sh.max_instructions with
+              match advance_leg fork pid ~max_instructions:sh.max_instructions with
               | `Progress | `Exited ->
                 let s, c =
                   explore_state sh split sink out fork (pid :: schedule_rev) (depth + 1)
@@ -363,12 +389,12 @@ let default_memo_cap = 1 lsl 18
 
 let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
     ?(dedup = true) ?(jobs = 1) ?(memo_cap = default_memo_cap) ?memo_file
-    ?(memo_key = "default") ~check () =
+    ?(memo_key = "default") ?(memo_net = "null") ~check () =
   let jobs = max 1 jobs in
   let root_fp = Kernel.fingerprint root in
   let persist_base =
     match memo_file with
-    | Some file when dedup -> Memo.Persist.load ~file ~scenario:memo_key ~root:root_fp
+    | Some file when dedup -> Memo.Persist.load ~file ~scenario:memo_key ~net:memo_net ~root:root_fp
     | Some _ | None -> None
   in
   let memo = Memo.create ~shards:(if jobs = 1 then 1 else 64) ~cap:memo_cap ~locked:(jobs > 1) in
@@ -429,7 +455,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
     Memo.iter memo (fun e s ->
         if s.s_violations = [] then
           safe := (e, { Memo.Persist.p_paths = s.s_paths; p_stuck = s.s_stuck }) :: !safe);
-    Memo.Persist.save ~file ~scenario:memo_key ~root:root_fp !safe
+    Memo.Persist.save ~file ~scenario:memo_key ~net:memo_net ~root:root_fp !safe
   | Some _ | None -> ());
   {
     paths = Atomic.get sh.paths;

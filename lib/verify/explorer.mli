@@ -12,6 +12,25 @@
     transaction. This is exactly the granularity of the paper's own
     Fig. 5/6/8 interleaving diagrams.
 
+    {2 Timed backends and the wait leg}
+
+    Under a timed net backend ([Kernel.Timed], built from
+    {!Uldma_net.Backend}) transfers stay in flight for a real wire
+    time, and "let the wire drain before anyone touches the NI again"
+    becomes a scheduling decision of its own. Whenever a transfer is in
+    flight the explorer therefore offers one extra leg, {!wait_leg}
+    (pseudo-pid [-2], ordered after every real pid): it idles the
+    machine to the next transfer completion instead of running a
+    process. Terminal states require both no runnable process and
+    nothing in flight. Dedup stays sound because the state encoding
+    folds in each transfer's {e exact} remaining-time-at-now (see
+    [Kernel.state_encoding]); the schedule tree stays finite because a
+    backend's durations are quantised to its tick, which caps how many
+    distinct deadline patterns the legs between two NI accesses can
+    produce. With the zero-duration Null backend no deadline ever
+    exists, no wait leg is ever offered, and trees (and goldens) are
+    exactly as before.
+
     States are forked with [Kernel.snapshot] (copy-on-write RAM and
     persistent page tables, so a fork is cheap even with large RAM) and
     a leg's NI accesses are counted by the bus's O(1) per-pid counters
@@ -94,17 +113,28 @@ val explore :
   ?memo_cap:int ->
   ?memo_file:string ->
   ?memo_key:string ->
+  ?memo_net:string ->
   check:(Uldma_os.Kernel.t -> 'v option) ->
   unit ->
   'v result
 (** [check] runs at each terminal state (all of [pids] exited or
-    stuck). Defaults: 2000 instructions per leg, 1_000_000 paths,
-    [dedup] on, [jobs] 1, [memo_cap] 262144 summaries, no [memo_file],
-    [memo_key] ["default"]. The root kernel is not mutated. With
-    [jobs > 1], [check] runs on worker domains and must be pure.
-    [memo_key] distinguishes scenarios sharing one [memo_file]; reusing
-    a key across different scenarios is safe (the root fingerprint
-    guard rejects the stale section) but forfeits the warm start. *)
+    stuck, and nothing in flight). Defaults: 2000 instructions per
+    leg, 1_000_000 paths, [dedup] on, [jobs] 1, [memo_cap] 262144
+    summaries, no [memo_file], [memo_key] ["default"], [memo_net]
+    ["null"]. The root kernel is not mutated. With [jobs > 1], [check]
+    runs on worker domains and must be pure. [memo_key] distinguishes
+    scenarios sharing one [memo_file]; [memo_net] must name the
+    kernel's net backend (e.g. [Uldma_net.Backend.cache_key]) whenever
+    it is not the Null backend — the persistent cache keys sections by
+    (scenario, net) because the root fingerprint alone cannot tell
+    backends apart (nothing is in flight at the root). Reusing a key
+    across different scenarios is safe (the root fingerprint guard
+    rejects the stale section) but forfeits the warm start. *)
+
+val wait_leg : int
+(** The pseudo-pid ([-2]) recorded in a schedule when the leg idled the
+    machine to the next in-flight transfer completion instead of
+    running a process. Never appears under the Null backend. *)
 
 val advance_one_leg : Uldma_os.Kernel.t -> int -> max_instructions:int -> [ `Progress | `Exited | `Stuck ]
 (** Run pid until its next NI access completes (or it exits). Exposed

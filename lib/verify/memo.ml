@@ -89,12 +89,23 @@ let iter t f =
 module Persist = struct
   type entry = { p_paths : int; p_stuck : int }
 
-  let schema = 1
+  (* v2: sections are keyed by (scenario, net backend) and the state
+     encoding carries in-flight transfer deadlines. A v1 file keyed by
+     scenario alone would alias a timed run onto a cached Null summary
+     (the root state has no transfers in flight, so the root
+     fingerprint guard cannot tell the backends apart) — and its
+     summaries were computed against the pre-deadline encoding anyway,
+     so v1 files are rejected wholesale by the schema check. *)
+  let schema = 2
 
   let magic = "uldma-explorer-memo"
 
+  (* The per-section key. NUL cannot appear in a CLI scenario name or a
+     backend cache key, so the concatenation is unambiguous. *)
+  let section ~scenario ~net = scenario ^ "\x00" ^ net
+
   (* the whole file is one marshalled value:
-     (magic, schema, scenario -> (root fingerprint, encoding -> entry)) *)
+     (magic, schema, section -> (root fingerprint, encoding -> entry)) *)
   type file_body = (string, int64 * (string, entry) Hashtbl.t) Hashtbl.t
 
   let read_file file : file_body option =
@@ -110,23 +121,24 @@ module Persist = struct
       close_in_noerr ic;
       body
 
-  let load ~file ~scenario ~root =
+  let load ~file ~scenario ~net ~root =
     match read_file file with
     | None -> None
     | Some body -> (
-      match Hashtbl.find_opt body scenario with
+      match Hashtbl.find_opt body (section ~scenario ~net) with
       | Some (stored_root, tbl) when Int64.equal stored_root root -> Some tbl
       | Some _ | None -> None)
 
-  let save ~file ~scenario ~root entries =
+  let save ~file ~scenario ~net ~root entries =
     let body = match read_file file with Some b -> b | None -> Hashtbl.create 4 in
+    let key = section ~scenario ~net in
     let tbl =
-      match Hashtbl.find_opt body scenario with
+      match Hashtbl.find_opt body key with
       | Some (stored_root, tbl) when Int64.equal stored_root root -> tbl
       | Some _ | None -> Hashtbl.create (List.length entries)
     in
     List.iter (fun (k, e) -> Hashtbl.replace tbl k e) entries;
-    Hashtbl.replace body scenario (root, tbl);
+    Hashtbl.replace body key (root, tbl);
     let tmp = file ^ ".tmp" in
     match open_out_bin tmp with
     | exception Sys_error _ -> ()

@@ -56,32 +56,40 @@ val fnv1a64 : string -> int64
 
 (** {2 Persistent cross-scenario cache}
 
-    A [Marshal]-ed file mapping scenario name -> (root fingerprint,
-    encoding -> safe-subtree summary). Only {e safe} summaries (no
-    violations) are ever persisted, so a warm hit can skip a subtree
-    without being able to suppress a violation. Three guards decide
-    whether a load is usable, and any failure silently yields an empty
-    cache (the file is rebuilt on save):
+    A [Marshal]-ed file mapping (scenario, net backend) -> (root
+    fingerprint, encoding -> safe-subtree summary). Only {e safe}
+    summaries (no violations) are ever persisted, so a warm hit can
+    skip a subtree without being able to suppress a violation. Three
+    guards decide whether a load is usable, and any failure silently
+    yields an empty cache (the file is rebuilt on save):
     - a schema version stamped into the file ([schema]);
-    - the scenario name (different scenarios never share entries);
+    - the section key: scenario name {e and} net-backend identity
+      (e.g. [Uldma_net.Backend.cache_key], which folds in the tick).
+      The net backend must be part of the key because the root
+      fingerprint alone cannot distinguish backends — no transfer is
+      in flight at the root, so a timed run would otherwise warm-start
+      from a Null summary whose subtree counts are simply wrong;
     - the root kernel's fingerprint (encodings are root-relative, so a
-      rebuilt-differently root invalidates its scenario's entries). *)
+      rebuilt-differently root invalidates its section's entries). *)
 module Persist : sig
   type entry = { p_paths : int; p_stuck : int }
 
   val schema : int
+  (** 2: sections keyed by (scenario, net) and encodings carrying
+      in-flight deadlines. v1 files are rejected wholesale. *)
 
-  val load : file:string -> scenario:string -> root:int64 -> (string, entry) Hashtbl.t option
+  val load :
+    file:string -> scenario:string -> net:string -> root:int64 -> (string, entry) Hashtbl.t option
   (** [None] when the file is missing, unreadable, of another schema,
-      or holds no matching (scenario, root) section. The returned table
-      must be treated as read-only (concurrent lookups are safe only
-      without writers). *)
+      or holds no matching (scenario, net, root) section. The returned
+      table must be treated as read-only (concurrent lookups are safe
+      only without writers). *)
 
   val save :
-    file:string -> scenario:string -> root:int64 -> (string * entry) list -> unit
-  (** Merge [entries] into the file's section for [scenario] (replacing
-      it wholesale if the stored root fingerprint differs) and rewrite
-      the file atomically (temp file + rename). Sections for other
-      scenarios are preserved. Write errors are silently ignored: the
+    file:string -> scenario:string -> net:string -> root:int64 -> (string * entry) list -> unit
+  (** Merge [entries] into the file's section for [(scenario, net)]
+      (replacing it wholesale if the stored root fingerprint differs)
+      and rewrite the file atomically (temp file + rename). Other
+      sections are preserved. Write errors are silently ignored: the
       cache is an accelerator, never a dependency. *)
 end

@@ -24,9 +24,21 @@ type leg = V | M
 
 let transfer_size = 256
 
+(* A timed scenario swaps the default Null backend for a Kernel.Timed
+   spec carrying the net backend's (tick-quantised) wire-time model;
+   explicitly passing Backend.null is byte-identical to the default. *)
+let backend_of_net : Uldma_net.Backend.t option -> Kernel.backend_spec = function
+  | None | Some Uldma_net.Backend.Null -> Kernel.Null
+  | Some b ->
+    Kernel.Timed
+      {
+        label = Uldma_net.Backend.cache_key b;
+        duration_of_bytes = Uldma_net.Backend.duration_ps b;
+      }
+
 (* A small machine is plenty for two processes and keeps
    explorer snapshots cheap. *)
-let make_kernel mechanism =
+let make_kernel ?net mechanism =
   let kernel =
     Kernel.create
       {
@@ -34,6 +46,7 @@ let make_kernel mechanism =
         Kernel.ram_size = 64 * Layout.page_size;
         mechanism;
         sched = Sched.Round_robin { quantum = 50 };
+        backend = backend_of_net net;
       }
   in
   (* record the engine-visible access stream for [access_timeline] *)
@@ -86,9 +99,9 @@ let fig5_attacker kernel =
   Process.set_program attacker (Asm.assemble asm);
   (attacker, [ page_label kernel attacker foo "foo"; page_label kernel attacker c "C" ])
 
-let fig5 () =
+let fig5 ?net () =
   let mech = Uldma.Rep_args.mech_of_variant Seq_matcher.Three in
-  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Three) in
+  let kernel = make_kernel ?net (Engine.Rep_args Seq_matcher.Three) in
   let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
   let attacker, attacker_labels = fig5_attacker kernel in
   {
@@ -229,9 +242,9 @@ let ext_stateless_race () =
       ];
   }
 
-let rep5_scenario ~emit =
+let rep5_scenario ?net ~emit () =
   let mech = Uldma.Rep_args.mech in
-  let kernel = make_kernel (Engine.Rep_args Seq_matcher.Five) in
+  let kernel = make_kernel ?net (Engine.Rep_args Seq_matcher.Five) in
   let victim, a, b, result, intent = make_victim kernel mech ~emit_override:emit in
   let attacker, attacker_labels = fig5_attacker kernel in
   {
@@ -247,7 +260,7 @@ let rep5_scenario ~emit =
       page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
   }
 
-let rep5 () = rep5_scenario ~emit:(Some Uldma.Rep_args.emit_dma_five_no_retry)
+let rep5 ?net () = rep5_scenario ?net ~emit:(Some Uldma.Rep_args.emit_dma_five_no_retry) ()
 
 (* A second adversary shape against the five-access method: the
    attacker issues S(X) S(X) L(X) on its own page X, trying to splice
@@ -291,14 +304,14 @@ let rep5_splice () =
       ];
   }
 
-let rep5_with_retry () = rep5_scenario ~emit:None
+let rep5_with_retry () = rep5_scenario ~emit:None ()
 
 (* Both processes legitimately use the same mechanism on their own
    buffers; the "attacker" here is just a concurrent tenant. Safety =
    both DMAs happen exactly once with no argument mixing, under every
    schedule — the atomicity claim of sec. 3.1/3.2. *)
-let contested (mech : Mech.t) mechanism =
-  let kernel = make_kernel mechanism in
+let contested ?net (mech : Mech.t) mechanism =
+  let kernel = make_kernel ?net mechanism in
   let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
   let attacker = Kernel.spawn kernel ~name:"tenant" ~program:[||] () in
   let c = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
@@ -334,7 +347,7 @@ let contested (mech : Mech.t) mechanism =
 
 let ext_shadow_contested () = contested Uldma.Ext_shadow.mech Engine.Ext_shadow
 
-let key_contested () = contested Uldma.Key_dma.mech Engine.Key_based
+let key_contested ?net () = contested ?net Uldma.Key_dma.mech Engine.Key_based
 
 let pal_contested () = contested Uldma.Pal_dma.mech Engine.Shrimp_two_step
 

@@ -28,7 +28,16 @@ type t = {
 
 type leg = V | M
 
-val fig5 : unit -> t
+(** The [?net] parameter on {!fig5}, {!rep5} and {!key_contested}
+    selects the DMA wire-time model ({!Uldma_net.Backend}): omitted or
+    [Backend.Null], transfers complete instantly (the Table-1
+    methodology every golden output uses — passing [Backend.null]
+    explicitly is byte-identical to the default); a [Backend.Linked]
+    backend gives every transfer its link's tick-quantised wire time,
+    sys_dma_wait genuinely blocks, and the explorer gains the
+    transfer-completion wait leg ({!Uldma_verify.Explorer.wait_leg}). *)
+
+val fig5 : ?net:Uldma_net.Backend.t -> unit -> t
 (** The Fig. 5 attack on the 3-access repeated-passing variant: the
     attacker splices shadow(C) into the victim's sequence, starting a
     C -> B transfer. Drive with [fig5_schedule]. *)
@@ -59,7 +68,7 @@ val flash_race : hook:bool -> t
 (** Same race against the FLASH mechanism; safe only with the
     kernel-maintained current-process register ([hook:true]). *)
 
-val rep5 : unit -> t
+val rep5 : ?net:Uldma_net.Backend.t -> unit -> t
 (** The five-access method (no retry loop, for bounded exploration)
     against the Fig. 5-style attacker. *)
 
@@ -76,7 +85,7 @@ val ext_shadow_contested : unit -> t
     register context. Exhaustive exploration must find both transfers
     happening exactly once under every schedule (§3.2 atomicity). *)
 
-val key_contested : unit -> t
+val key_contested : ?net:Uldma_net.Backend.t -> unit -> t
 (** Same, for the key-based mechanism (§3.1). *)
 
 val pal_contested : unit -> t

@@ -37,9 +37,63 @@ let test_golden id () =
         "%s drifted from its golden output.\n--- expected ---\n%s\n--- actual ---\n%s\n(regenerate with `dune exec tools/gen_golden.exe` if intentional)"
         id expected actual
 
+(* The Null net backend must reproduce the checked-in Fig. 8 table
+   byte-for-byte: re-explore the three scenarios that now take a [?net]
+   parameter, passing [Backend.null] explicitly, and compare each
+   result against the corresponding row parsed back out of
+   golden/fig8_proof.txt. This pins "timed backends change nothing
+   unless asked for" at the level of the published numbers, not just
+   the internal counters. *)
+
+let fig8_rows () =
+  let lines = String.split_on_char '\n' (read_file (Filename.concat "golden" "fig8_proof.txt")) in
+  List.filter_map
+    (fun line ->
+      match String.split_on_char '|' line with
+      | "" :: cells when List.length cells >= 5 ->
+        let cells = List.map String.trim cells in
+        Some (List.nth cells 0, (List.nth cells 1, List.nth cells 2, List.nth cells 3, List.nth cells 4))
+      | _ -> None)
+    lines
+
+let test_null_matches_fig8 () =
+  let module Scenario = Uldma_workload.Scenario in
+  let module Explorer = Uldma_verify.Explorer in
+  let rows = fig8_rows () in
+  List.iter
+    (fun (variant, build) ->
+      let expected =
+        match List.assoc_opt variant rows with
+        | Some r -> r
+        | None -> Alcotest.failf "row %S missing from golden/fig8_proof.txt" variant
+      in
+      let s : Scenario.t = build () in
+      let r =
+        Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+          ~max_paths:1_000_000 ~check:(Scenario.oracle_check s) ()
+      in
+      let actual =
+        ( string_of_int r.Explorer.paths,
+          string_of_int (List.length r.Explorer.violations),
+          (if r.Explorer.truncated then "TRUNCATED" else "yes"),
+          if r.Explorer.violations = [] then "SAFE under all schedules" else "VULNERABLE" )
+      in
+      if actual <> expected then
+        let show (a, b, c, d) = Printf.sprintf "(%s, %s, %s, %s)" a b c d in
+        Alcotest.failf "%s under the explicit Null backend: got %s, golden row says %s" variant
+          (show actual) (show expected))
+    [
+      ("rep-args-3 (Fig. 5)", fun () -> Scenario.fig5 ~net:Uldma_net.Backend.null ());
+      ("rep-args-5 (Fig. 7)", fun () -> Scenario.rep5 ~net:Uldma_net.Backend.null ());
+      ("key-based, two tenants", fun () -> Scenario.key_contested ~net:Uldma_net.Backend.null ());
+    ]
+
 let () =
   Alcotest.run "golden"
     [
       ( "experiments",
         List.map (fun id -> Alcotest.test_case id `Slow (test_golden id)) golden_ids );
+      ( "null-backend",
+        [ Alcotest.test_case "explicit Null reproduces Fig. 8 rows" `Slow test_null_matches_fig8 ]
+      );
     ]

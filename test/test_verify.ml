@@ -167,13 +167,13 @@ let explore_with ?dedup ?jobs ?memo_cap ?memo_file ?memo_key scenario =
 let explore scenario = explore_with scenario
 
 let test_explorer_rep5_safe_all_schedules () =
-  let r = explore Scenario.rep5 in
+  let r = explore (fun () -> Scenario.rep5 ()) in
   checkb "complete" false r.Explorer.truncated;
   checkb "many schedules" true (r.Explorer.paths > 100);
   checki "no violations" 0 (List.length r.Explorer.violations)
 
 let test_explorer_rep3_finds_fig5 () =
-  let r = explore Scenario.fig5 in
+  let r = explore (fun () -> Scenario.fig5 ()) in
   checkb "complete" false r.Explorer.truncated;
   checkb "violations found" true (List.length r.Explorer.violations > 0);
   (* at least one of them is the argument-mixing attack *)
@@ -202,12 +202,12 @@ let test_explorer_contested_mechanisms_safe () =
         Alcotest.failf "%s: %d violating schedules" name (List.length r.Explorer.violations))
     [
       ("ext-shadow", Scenario.ext_shadow_contested);
-      ("key-based", Scenario.key_contested);
+      ("key-based", (fun () -> Scenario.key_contested ()));
       ("pal", Scenario.pal_contested);
     ]
 
 let test_explorer_schedules_recorded () =
-  let r = explore Scenario.fig5 in
+  let r = explore (fun () -> Scenario.fig5 ()) in
   match r.Explorer.violations with
   | (_, schedule) :: _ ->
     checkb "non-trivial schedule" true (List.length schedule >= 3);
@@ -278,7 +278,7 @@ let test_explorer_dedup_equivalence () =
       checki "paths equal" off.Explorer.paths on.Explorer.paths;
       checkb "violations identical, in order" true (canon_violations on = canon_violations off);
       checki "no dedup hits when off" 0 off.Explorer.dedup_hits)
-    [ Scenario.fig5; Scenario.rep5 ]
+    [ (fun () -> Scenario.fig5 ()); (fun () -> Scenario.rep5 ()) ]
 
 (* Same invariant across worker-domain counts: the parallel driver
    concatenates per-subtree results in the sequential DFS order, so
@@ -297,11 +297,11 @@ let test_explorer_jobs_determinism () =
             (canon_violations seq = canon_violations par);
           checkb (Printf.sprintf "jobs=%d complete" jobs) false par.Explorer.truncated)
         [ 2; 4 ])
-    [ Scenario.fig5; Scenario.rep5 ]
+    [ (fun () -> Scenario.fig5 ()); (fun () -> Scenario.rep5 ()) ]
 
 let test_explorer_dedup_reduces_states () =
-  let on = explore Scenario.rep5 in
-  let off = explore_with ~dedup:false Scenario.rep5 in
+  let on = explore (fun () -> Scenario.rep5 ()) in
+  let off = explore_with ~dedup:false (fun () -> Scenario.rep5 ()) in
   checkb "fewer states than schedules" true (on.Explorer.states_visited < on.Explorer.paths);
   checkb "fewer states than brute force" true
     (on.Explorer.states_visited < off.Explorer.states_visited);
@@ -366,8 +366,8 @@ let test_explorer_jobs_stuck_and_violation_order () =
    enough to force constant eviction must re-derive the identical
    answer, just visiting more states. *)
 let test_explorer_bounded_memo_equivalence () =
-  let base = explore Scenario.rep5 in
-  let capped = explore_with ~memo_cap:32 Scenario.rep5 in
+  let base = explore (fun () -> Scenario.rep5 ()) in
+  let capped = explore_with ~memo_cap:32 (fun () -> Scenario.rep5 ()) in
   checkb "evictions happened" true (capped.Explorer.evictions > 0);
   checkb "still complete" false capped.Explorer.truncated;
   checki "paths equal" base.Explorer.paths capped.Explorer.paths;
@@ -386,9 +386,9 @@ let test_explorer_memo_file_warm_start () =
   Fun.protect
     ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
     (fun () ->
-      let cold = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.rep5 in
+      let cold = explore_with ~memo_file:file ~memo_key:"rep5" (fun () -> Scenario.rep5 ()) in
       checkb "cache file written" true (Sys.file_exists file);
-      let warm = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.rep5 in
+      let warm = explore_with ~memo_file:file ~memo_key:"rep5" (fun () -> Scenario.rep5 ()) in
       checki "paths equal" cold.Explorer.paths warm.Explorer.paths;
       checkb "violations identical" true (canon_violations cold = canon_violations warm);
       checkb "warm run expands fewer states" true
@@ -396,8 +396,8 @@ let test_explorer_memo_file_warm_start () =
       checkb "warm run hits the cache" true (warm.Explorer.dedup_hits > 0);
       (* same file, different scenario under a reused key: the root
          fingerprint guard must reject the section, not corrupt results *)
-      let other = explore_with ~memo_file:file ~memo_key:"rep5" Scenario.fig5 in
-      let plain = explore Scenario.fig5 in
+      let other = explore_with ~memo_file:file ~memo_key:"rep5" (fun () -> Scenario.fig5 ()) in
+      let plain = explore (fun () -> Scenario.fig5 ()) in
       checki "foreign section ignored: paths" plain.Explorer.paths other.Explorer.paths;
       checkb "foreign section ignored: violations" true
         (canon_violations plain = canon_violations other))
@@ -539,7 +539,7 @@ let test_kernel_snapshot_isolation () =
         (Uldma_mem.Phys_mem.equal_range root_ram (Kernel.ram b) ~addr:0 ~len:ram_len);
       (* the untouched sibling must still be fully usable *)
       checkb (name ^ ": sibling still runnable") true (Kernel.runnable_pids b <> []))
-    [ ("fig5", Scenario.fig5); ("rep5", Scenario.rep5) ]
+    [ ("fig5", (fun () -> Scenario.fig5 ())); ("rep5", (fun () -> Scenario.rep5 ())) ]
 
 let test_timeline_reproduces_fig5 () =
   let s = Scenario.fig5 () in

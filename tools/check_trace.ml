@@ -282,16 +282,23 @@ let () =
         (List.length base.Explorer.violations)
         base.Explorer.states_visited nodedup.Explorer.states_visited)
     [
-      ("fig5", Scenario.fig5, true);
-      ("rep5", Scenario.rep5, false);
+      ("fig5", (fun () -> Scenario.fig5 ()), true);
+      ("rep5", (fun () -> Scenario.rep5 ()), false);
       (* three processes: exercises the work-stealing re-split path
          (two-process trees rarely leave a sibling worth publishing)
          at a size small enough for runtest *)
       ( "ext-shadow-3 (small)",
         (fun () -> Scenario.ext_shadow_contested3 ~victim_repeat:1 ~tenant_repeat:1 ()),
         false );
+      (* a timed backend: transfers have real (tick-quantised) wire
+         time, so the tree gains transfer-completion wait legs and the
+         encoding's relative-deadline fields do real work; the same
+         dedup/jobs agreement must hold *)
+      ( "rep5 --net atm155 (timed)",
+        (fun () -> Scenario.rep5 ~net:(Uldma_net.Backend.linked Uldma_net.Link.atm155) ()),
+        false );
     ];
-  let r5 = explore_checked Scenario.rep5 in
+  let r5 = explore_checked (fun () -> Scenario.rep5 ()) in
   if r5.Explorer.states_visited >= r5.Explorer.paths then
     fail "rep5: dedup visited %d states for %d paths (expected strictly fewer)"
       r5.Explorer.states_visited r5.Explorer.paths;

@@ -1,0 +1,171 @@
+(* Differential soundness harness for the timed explorer.
+
+   For each (scenario, net backend) pair, the brute-force exploration
+   (dedup off, one domain) is the ground truth: it expands every
+   schedule with no memoization and no cross-domain scheduling. Every
+   other configuration — dedup on, and dedup on with 2 and 4 worker
+   domains — must reproduce its path count, its violation set (oracle
+   kind + schedule), and even the violation order. Any disagreement
+   means the relative-deadline state encoding merged two states that
+   were not actually equivalent (or the work-stealing driver lost or
+   duplicated a subtree), so this harness is the machine check behind
+   DESIGN.md 5e's soundness argument.
+
+   Exit 0 when every cell agrees, 1 on any mismatch. --quick runs a
+   subset sized for `dune runtest`; the full matrix (all scenarios x
+   all backends x jobs 1/2/4) is the CI leg. *)
+
+module Scenario = Uldma_workload.Scenario
+module Explorer = Uldma_verify.Explorer
+module Oracle = Uldma_verify.Oracle
+module Backend = Uldma_net.Backend
+module Link = Uldma_net.Link
+
+let failures = ref 0
+
+let complain fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "diff-explore: MISMATCH: %s\n%!" msg)
+    fmt
+
+let kind_name = function
+  | Oracle.Unattributed_transfer _ -> "unattributed"
+  | Oracle.Rights_violation _ -> "rights"
+  | Oracle.Phantom_success _ -> "phantom"
+  | Oracle.Lost_transfer _ -> "lost"
+
+(* violation identity = oracle kind + full schedule (schedules are
+   unique per terminal); payloads carry simulated timestamps that
+   legitimately differ between merged prefixes *)
+let canon (r : _ Explorer.result) =
+  List.map (fun (v, schedule) -> (kind_name v, schedule)) r.Explorer.violations
+
+let explore ?dedup ?jobs ~max_paths build =
+  let s = build () in
+  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs ~max_paths
+    ~check:(Scenario.oracle_check s) ()
+
+let run_cell ~label ~max_paths ~jobs_list build =
+  let brute = explore ~dedup:false ~max_paths build in
+  if brute.Explorer.truncated then
+    complain "%s: brute-force run truncated at %d paths; raise --max-paths" label
+      brute.Explorer.paths;
+  let brute_canon = canon brute in
+  let check what (r : _ Explorer.result) =
+    if r.Explorer.paths <> brute.Explorer.paths then
+      complain "%s: %s counted %d paths, brute-force %d" label what r.Explorer.paths
+        brute.Explorer.paths;
+    if canon r <> brute_canon then
+      complain "%s: %s violation set/order differs from brute-force (%d vs %d violations)" label
+        what
+        (List.length r.Explorer.violations)
+        (List.length brute.Explorer.violations)
+  in
+  let dedup = explore ~max_paths build in
+  check "dedup" dedup;
+  List.iter
+    (fun jobs -> check (Printf.sprintf "jobs=%d" jobs) (explore ~jobs ~max_paths build))
+    jobs_list;
+  let ratio =
+    if dedup.Explorer.states_visited = 0 then 0.0
+    else float_of_int dedup.Explorer.paths /. float_of_int dedup.Explorer.states_visited
+  in
+  Printf.printf
+    "diff-explore: %-28s ok (%d paths, %d violations, %d dedup states, ratio %.2f, brute %d \
+     states)\n\
+     %!"
+    label brute.Explorer.paths
+    (List.length brute.Explorer.violations)
+    dedup.Explorer.states_visited ratio brute.Explorer.states_visited
+
+let scenarios =
+  [
+    ("fig5", fun net -> Scenario.fig5 ?net ());
+    ("rep5", fun net -> Scenario.rep5 ?net ());
+    ("key-based", fun net -> Scenario.key_contested ?net ());
+  ]
+
+let backends ~tick_ps =
+  [
+    ("null", None);
+    ("atm155", Some (Backend.linked ~tick_ps Link.atm155));
+    ("atm622", Some (Backend.linked ~tick_ps Link.atm622));
+    ("hic", Some (Backend.linked ~tick_ps Link.hic1355));
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: diff_explore [--quick] [--scenario fig5|rep5|key-based|all] [--net \
+     null|atm155|atm622|gigabit|hic|all] [--tick-ps N] [--jobs N,N,...] [--max-paths N]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let scenario_filter = ref "all" in
+  let net_filter = ref "all" in
+  let tick_ps = ref Backend.default_tick_ps in
+  let jobs_list = ref [ 2; 4 ] in
+  let max_paths = ref 2_000_000 in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--scenario" :: v :: rest ->
+      scenario_filter := v;
+      parse rest
+    | "--net" :: v :: rest ->
+      net_filter := v;
+      parse rest
+    | "--tick-ps" :: v :: rest ->
+      tick_ps := int_of_string v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      jobs_list := List.map int_of_string (String.split_on_char ',' v);
+      parse rest
+    | "--max-paths" :: v :: rest ->
+      max_paths := int_of_string v;
+      parse rest
+    | _ -> usage ()
+  in
+  (match parse (List.tl (Array.to_list Sys.argv)) with
+  | () -> ()
+  | exception Failure _ -> usage ());
+  let scenarios =
+    if !quick then [ ("rep5", List.assoc "rep5" scenarios) ]
+    else if !scenario_filter = "all" then scenarios
+    else
+      match List.assoc_opt !scenario_filter scenarios with
+      | Some f -> [ (!scenario_filter, f) ]
+      | None -> usage ()
+  in
+  let backends =
+    let all = backends ~tick_ps:!tick_ps in
+    if !quick then [ ("null", None); List.nth all 1 ]
+    else if !net_filter = "all" then all
+    else
+      match Backend.of_string ~tick_ps:!tick_ps !net_filter with
+      | Ok Backend.Null -> [ ("null", None) ]
+      | Ok b -> [ (!net_filter, Some b) ]
+      | Error msg ->
+        prerr_endline msg;
+        usage ()
+  in
+  let jobs_list = if !quick then [ 2 ] else !jobs_list in
+  List.iter
+    (fun (sname, build) ->
+      List.iter
+        (fun (bname, net) ->
+          run_cell
+            ~label:(Printf.sprintf "%s --net %s" sname bname)
+            ~max_paths:!max_paths ~jobs_list
+            (fun () -> build net))
+        backends)
+    scenarios;
+  if !failures > 0 then begin
+    Printf.printf "diff-explore: %d mismatching cell(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "diff-explore: all configurations agree"
