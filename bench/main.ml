@@ -134,15 +134,45 @@ let print_bench_results results =
    ratio the relative-deadline state encoding achieves on it, wall
    time and throughput, and a per-backend differential check —
    brute-force (no-dedup) and jobs=4 runs must reproduce the memoized
-   sequential result exactly. All v3 keys are preserved unchanged. *)
+   sequential result exactly. All v3 keys are preserved unchanged.
+
+   Schema v5 changes three things (see EXPERIMENTS.md):
+   - honest timing: every timed leg (sequential and parallel alike)
+     runs one untimed warmup in the same configuration and then
+     reports the *minimum* of its timed repetitions, and no leg uses a
+     persistent memo cache — so speedups compare legs of identical
+     warmth instead of folding cold-start noise into whichever leg ran
+     first;
+   - one dedup_ratio definition everywhere: hits / (hits +
+     states_visited), the fraction of node arrivals answered by the
+     memo (v4 mixed two unrelated formulas: the headline entry used
+     states/brute-states = 0.1114 while scenarios3 used
+     paths/states = 1085.7);
+   - the work-stealing internals become visible: a top-level "cores"
+     field, per-jobs "publications"/"steals", per-scenario "cutoff",
+     "memo_merges" and "lease_splits" (from the jobs=4 run), a
+     "domains" object with the per-domain Uldma_obs.Counters, and a
+     "truncated_parallel" object checking that a max_paths-clipped run
+     is identical at jobs 1/2/4 (the lease mechanism). All v4 keys
+     are preserved. *)
 let time_explore ?dedup ?jobs ~reps () =
-  let t0 = Unix.gettimeofday () in
-  let last = ref (explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()) in
-  for _ = 2 to reps do
-    last := explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 ()
+  (* same-warmth discipline: one untimed warmup in this exact
+     configuration, then min-of-reps *)
+  ignore (explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 () : _ Uldma_verify.Explorer.result);
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = explore_rep5 ?dedup ?jobs ~max_paths:1_000_000 () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
   done;
-  let secs = (Unix.gettimeofday () -. t0) /. float_of_int reps in
-  (!last, secs)
+  (Option.get !last, !best)
+
+let dedup_ratio (r : _ Uldma_verify.Explorer.result) =
+  let h = r.Uldma_verify.Explorer.dedup_hits and v = r.Uldma_verify.Explorer.states_visited in
+  float_of_int h /. float_of_int (max 1 (h + v))
 
 let write_bench_explorer_json () =
   (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -166,7 +196,10 @@ let write_bench_explorer_json () =
     float_of_int res.Uldma_verify.Explorer.paths /. s
   in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 4,\n  \"explorer\": {\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 5,\n";
+  Printf.bprintf buf "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  Buffer.add_string buf "  \"timing\": \"min of repetitions after one untimed same-config warmup; no persistent memo cache\",\n";
+  Buffer.add_string buf "  \"explorer\": {\n";
   Buffer.add_string buf "    \"scenario\": \"rep5\",\n";
   Buffer.add_string buf "    \"max_paths\": 1000000,\n";
   Printf.bprintf buf "    \"paths\": %d,\n" r.Uldma_verify.Explorer.paths;
@@ -176,9 +209,7 @@ let write_bench_explorer_json () =
   Printf.bprintf buf "    \"paths_per_sec\": %.1f,\n" (pps r secs);
   Printf.bprintf buf "    \"states_visited\": %d,\n" r.Uldma_verify.Explorer.states_visited;
   Printf.bprintf buf "    \"dedup_hits\": %d,\n" r.Uldma_verify.Explorer.dedup_hits;
-  Printf.bprintf buf "    \"dedup_ratio\": %.4f,\n"
-    (float_of_int r.Uldma_verify.Explorer.states_visited
-    /. float_of_int (max 1 r_nd.Uldma_verify.Explorer.states_visited));
+  Printf.bprintf buf "    \"dedup_ratio\": %.4f,\n" (dedup_ratio r);
   Printf.bprintf buf "    \"stuck_legs\": %d,\n" r.Uldma_verify.Explorer.stuck_legs;
   Buffer.add_string buf "    \"no_dedup\": {\n";
   Printf.bprintf buf "      \"paths\": %d,\n" r_nd.Uldma_verify.Explorer.paths;
@@ -206,19 +237,32 @@ let write_bench_explorer_json () =
   in
   List.iteri
     (fun i (name, build) ->
-      let explore ?jobs ?memo_cap () =
+      let explore_once ?jobs ?memo_cap ?(max_paths = 1_000_000) () =
         let s = build () in
         let t0 = Unix.gettimeofday () in
         let r =
           Uldma_verify.Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
-            ~max_paths:1_000_000 ?jobs ?memo_cap ~check:(Scenario.oracle_check s) ()
+            ~max_paths ?jobs ?memo_cap ~check:(Scenario.oracle_check s) ()
         in
         (r, Unix.gettimeofday () -. t0)
+      in
+      (* one untimed warmup + min-of-2 per leg: every leg (sequential
+         and parallel) gets identical warmth and no persistent cache *)
+      let explore ?jobs ?memo_cap () =
+        ignore (explore_once ?jobs ?memo_cap () : _ * float);
+        let ra, ta = explore_once ?jobs ?memo_cap () in
+        let _, tb = explore_once ?jobs ?memo_cap () in
+        (ra, Float.min ta tb)
       in
       let r1, s1 = explore () in
       let r2, s2 = explore ~jobs:2 () in
       let r4, s4 = explore ~jobs:4 () in
       let rb, sb = explore ~memo_cap:512 () in
+      (* the lease check needs no timing: single clipped runs *)
+      let trunc_paths = 50_000 in
+      let t1, _ = explore_once ~max_paths:trunc_paths () in
+      let t2, _ = explore_once ~jobs:2 ~max_paths:trunc_paths () in
+      let t4, _ = explore_once ~jobs:4 ~max_paths:trunc_paths () in
       Printf.bprintf buf "    \"%s\": {\n" name;
       Printf.bprintf buf "      \"paths\": %d,\n" r1.Uldma_verify.Explorer.paths;
       Printf.bprintf buf "      \"violating_schedules\": %d,\n"
@@ -226,15 +270,17 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "      \"truncated\": %b,\n" r1.Uldma_verify.Explorer.truncated;
       Printf.bprintf buf "      \"states_visited\": %d,\n" r1.Uldma_verify.Explorer.states_visited;
       Printf.bprintf buf "      \"dedup_hits\": %d,\n" r1.Uldma_verify.Explorer.dedup_hits;
-      Printf.bprintf buf "      \"dedup_ratio\": %.1f,\n"
-        (float_of_int r1.Uldma_verify.Explorer.paths
-        /. float_of_int (max 1 r1.Uldma_verify.Explorer.states_visited));
+      Printf.bprintf buf "      \"dedup_ratio\": %.4f,\n" (dedup_ratio r1);
       Printf.bprintf buf "      \"stuck_legs\": %d,\n" r1.Uldma_verify.Explorer.stuck_legs;
+      Printf.bprintf buf "      \"cutoff\": %d,\n" r4.Uldma_verify.Explorer.cutoff;
+      Printf.bprintf buf "      \"memo_merges\": %d,\n" r4.Uldma_verify.Explorer.memo_merges;
+      Printf.bprintf buf "      \"lease_splits\": %d,\n" r4.Uldma_verify.Explorer.lease_splits;
       let jobs_obj key (r : _ Uldma_verify.Explorer.result) secs =
         Printf.bprintf buf "      \"%s\": {\n" key;
         Printf.bprintf buf "        \"seconds\": %.6f,\n" secs;
         Printf.bprintf buf "        \"paths_per_sec\": %.1f,\n" (pps r secs);
-        Printf.bprintf buf "        \"steals\": %d\n" r.Uldma_verify.Explorer.steals;
+        Printf.bprintf buf "        \"steals\": %d,\n" r.Uldma_verify.Explorer.steals;
+        Printf.bprintf buf "        \"publications\": %d\n" r.Uldma_verify.Explorer.publications;
         Printf.bprintf buf "      },\n"
       in
       jobs_obj "jobs1" r1 s1;
@@ -249,6 +295,32 @@ let write_bench_explorer_json () =
            = List.map snd r2.Uldma_verify.Explorer.violations
         && List.map snd r2.Uldma_verify.Explorer.violations
            = List.map snd r4.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      \"truncated_parallel\": {\n";
+      Printf.bprintf buf "        \"max_paths\": %d,\n" trunc_paths;
+      Printf.bprintf buf "        \"truncated\": %b,\n" t1.Uldma_verify.Explorer.truncated;
+      Printf.bprintf buf "        \"results_identical\": %b\n"
+        (t1.Uldma_verify.Explorer.truncated && t2.Uldma_verify.Explorer.truncated
+        && t4.Uldma_verify.Explorer.truncated
+        && t1.Uldma_verify.Explorer.paths = t2.Uldma_verify.Explorer.paths
+        && t2.Uldma_verify.Explorer.paths = t4.Uldma_verify.Explorer.paths
+        && List.map snd t1.Uldma_verify.Explorer.violations
+           = List.map snd t2.Uldma_verify.Explorer.violations
+        && List.map snd t2.Uldma_verify.Explorer.violations
+           = List.map snd t4.Uldma_verify.Explorer.violations);
+      Printf.bprintf buf "      },\n";
+      Printf.bprintf buf "      \"domains\": {\n";
+      let dnames =
+        List.filter
+          (fun n -> String.length n > 9 && String.sub n 0 9 = "explorer.")
+          (Uldma_obs.Counters.counter_names r4.Uldma_verify.Explorer.counters)
+      in
+      List.iteri
+        (fun j n ->
+          Printf.bprintf buf "        \"%s\": %d%s\n" n
+            (Uldma_obs.Counters.value r4.Uldma_verify.Explorer.counters n)
+            (if j = List.length dnames - 1 then "" else ","))
+        dnames;
+      Printf.bprintf buf "      },\n";
       Printf.bprintf buf "      \"bounded_memo\": {\n";
       Printf.bprintf buf "        \"memo_cap\": 512,\n";
       Printf.bprintf buf "        \"evictions\": %d,\n" rb.Uldma_verify.Explorer.evictions;
@@ -286,7 +358,14 @@ let write_bench_explorer_json () =
         in
         (r, Unix.gettimeofday () -. t0)
       in
-      let r, s = explore () in
+      (* only the sequential leg is reported timed; give it the same
+         warmup + min-of-2 discipline as every other timed leg *)
+      let r, s =
+        ignore (explore () : _ * float);
+        let ra, ta = explore () in
+        let _, tb = explore () in
+        (ra, Float.min ta tb)
+      in
       let rb, _ = explore ~dedup:false () in
       let r4, _ = explore ~jobs:4 () in
       let viols (x : _ Uldma_verify.Explorer.result) =
@@ -299,9 +378,7 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "      \"truncated\": %b,\n" r.Uldma_verify.Explorer.truncated;
       Printf.bprintf buf "      \"states_visited\": %d,\n" r.Uldma_verify.Explorer.states_visited;
       Printf.bprintf buf "      \"dedup_hits\": %d,\n" r.Uldma_verify.Explorer.dedup_hits;
-      Printf.bprintf buf "      \"dedup_ratio\": %.2f,\n"
-        (float_of_int r.Uldma_verify.Explorer.paths
-        /. float_of_int (max 1 r.Uldma_verify.Explorer.states_visited));
+      Printf.bprintf buf "      \"dedup_ratio\": %.4f,\n" (dedup_ratio r);
       Printf.bprintf buf "      \"seconds\": %.6f,\n" s;
       Printf.bprintf buf "      \"paths_per_sec\": %.1f,\n" (pps r s);
       Printf.bprintf buf "      \"differential_identical\": %b\n"

@@ -405,6 +405,12 @@ let explore_cmd =
     row "stuck legs" (string_of_int r.Explorer.stuck_legs);
     row "memo evictions" (string_of_int r.Explorer.evictions);
     row "steals" (string_of_int r.Explorer.steals);
+    if jobs > 1 then begin
+      row "publications" (string_of_int r.Explorer.publications);
+      row "lease splits" (string_of_int r.Explorer.lease_splits);
+      row "memo merges" (string_of_int r.Explorer.memo_merges);
+      row "cutoff (final)" (string_of_int r.Explorer.cutoff)
+    end;
     row "complete" (if r.Explorer.truncated then "TRUNCATED" else "yes");
     row "jobs" (string_of_int (max 1 jobs));
     row "seconds" (Printf.sprintf "%.3f" secs);

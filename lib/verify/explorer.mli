@@ -44,12 +44,12 @@
     re-emit them under each new prefix, so deduplication (and
     parallelism) change cost, never results: [paths], the violating
     schedules, and even their order are identical with [dedup] on or
-    off and with any [jobs] value (exactly, whenever [max_paths] is not
-    hit; under truncation a parallel run may tie-break differently).
-    One caveat: a memo hit re-emits the ['v] value computed on the
-    first-discovered prefix, so payload fields outside the dedup
-    abstraction — simulated timestamps, chiefly — may differ from what
-    a brute-force run would compute for the same schedule.
+    off and with any [jobs] value — including under truncation (see
+    the lease discussion below). One caveat: a memo hit re-emits the
+    ['v] value computed on the first-discovered prefix, so payload
+    fields outside the dedup abstraction — simulated timestamps,
+    chiefly — may differ from what a brute-force run would compute for
+    the same schedule.
 
     {2 Parallel driver (work stealing)}
 
@@ -62,10 +62,35 @@
     subtree keeps shedding work for as long as anyone is idle.
     Termination is detected with an atomic in-flight task counter.
     [check] then runs on worker domains and must be pure (the standard
-    oracles are). Determinism is kept by construction: violations are
-    keyed by their schedules, whose DFS (pid-rank lexicographic) order
-    is a total order independent of which domain found them, so the
-    pooled results are sorted back into the sequential emission order.
+    oracles are).
+
+    Three mechanisms keep the parallel driver from paying for its own
+    machinery (DESIGN.md §5f):
+
+    - {e Sequential cutoff}: a node is published only when its
+      estimated subtree size (remaining depth × spare width) clears an
+      adaptive threshold; small subtrees run inline with no deque, no
+      fork a thief could take, and — with domain-local generations —
+      no shard locks. Hungry domains failing to steal lower the
+      threshold (bootstrapping an empty system); publications nobody
+      steals raise it. The equilibrium value is reported as [cutoff].
+    - {e Domain-local memo generations}: each worker writes summaries
+      to a private unsynchronised generation, merged into the shared
+      sharded table in batches at task boundaries ([memo_merges]
+      counts them). Shards are owned by the first domain to merge into
+      them, and a worker hitting another domain's shard prefers
+      stealing from that domain next.
+    - {e Truncation leases}: [max_paths] is split into per-task leases
+      at publication, and every run logs what it finds in DFS order; a
+      final settlement walk replays the log against the real budget.
+      Violations therefore come out in DFS (pid-rank lexicographic)
+      order — the sequential emission order — with no sorting, and a
+      truncated parallel run reproduces the {e exact} sequential
+      clipped frontier: same [paths], same violation list and order,
+      same [truncated] flag at every [jobs] value. The one field that
+      stays best-effort in a {e truncated parallel} run is
+      [stuck_legs] (stuck legs are not individually positioned in the
+      log); it is exact sequentially and whenever the run completes.
 
     {2 Memo bounding and persistence}
 
@@ -101,6 +126,24 @@ type 'v result = {
           rotation (0 when the table never filled) *)
   steals : int;
       (** tasks taken from another domain's deque (0 when [jobs] = 1) *)
+  publications : int;
+      (** subtree-root tasks published for stealing (0 when [jobs] = 1);
+          kept low by the adaptive cutoff *)
+  lease_splits : int;
+      (** published tasks whose lease was strictly below [max_paths] —
+          i.e. publications where truncation accounting actually had to
+          split the budget *)
+  memo_merges : int;
+      (** domain-local memo generations merged into the shared table
+          (0 when [jobs] = 1, where writes go straight to the single
+          unlocked shard) *)
+  cutoff : int;
+      (** final value of the adaptive publication threshold (the
+          initial default when [jobs] = 1, where nothing adapts it) *)
+  counters : Uldma_obs.Counters.t;
+      (** per-domain observability: [explorer.d<i>.steals],
+          [.publications], [.lease_splits], [.memo_merges] for each
+          worker domain [i]. Filled after all domains join. *)
 }
 
 val explore :

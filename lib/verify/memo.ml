@@ -29,6 +29,7 @@ type 'a t = {
   cap : int; (* per-shard hot capacity *)
   locked : bool;
   evicted : int Atomic.t;
+  owners : int Atomic.t array; (* domain that first merged into the shard, -1 *)
 }
 
 let create ~shards ~cap ~locked =
@@ -43,34 +44,84 @@ let create ~shards ~cap ~locked =
     cap = per_shard;
     locked;
     evicted = Atomic.make 0;
+    owners = Array.init shards (fun _ -> Atomic.make (-1));
   }
 
-let with_shard t key f =
-  let sh = t.shards.(shard_of_string ~shards:(Array.length t.shards) key) in
+let shard_index t key = shard_of_string ~shards:(Array.length t.shards) key
+
+let with_shard_at t idx f =
+  let sh = t.shards.(idx) in
   if t.locked then Mutex.protect sh.lock (fun () -> f sh) else f sh
 
-let find t key =
-  with_shard t key (fun sh ->
-      match Hashtbl.find_opt sh.hot key with
-      | Some _ as hit -> hit
-      | None -> (
-        match Hashtbl.find_opt sh.cold key with
-        | Some v as hit ->
-          (* promotion: a touched entry survives the next rotation *)
-          Hashtbl.replace sh.hot key v;
-          hit
-        | None -> None))
+let with_shard t key f = with_shard_at t (shard_index t key) f
 
-let add t key v =
-  with_shard t key (fun sh ->
+let find_in_shard sh key =
+  match Hashtbl.find_opt sh.hot key with
+  | Some _ as hit -> hit
+  | None -> (
+    match Hashtbl.find_opt sh.cold key with
+    | Some v as hit ->
+      (* promotion: a touched entry survives the next rotation *)
       Hashtbl.replace sh.hot key v;
-      if Hashtbl.length sh.hot >= t.cap then begin
-        (* rotate: cold's entries (minus any promoted duplicates, which
-           live on in hot) are gone for good *)
-        ignore (Atomic.fetch_and_add t.evicted (Hashtbl.length sh.cold) : int);
-        sh.cold <- sh.hot;
-        sh.hot <- Hashtbl.create t.cap
+      hit
+    | None -> None)
+
+let find t key = with_shard t key (fun sh -> find_in_shard sh key)
+
+let find_with_shard t key =
+  let idx = shard_index t key in
+  (with_shard_at t idx (fun sh -> find_in_shard sh key), idx)
+
+(* caller holds the shard lock (or the table is unlocked) *)
+let add_in_shard t sh key v =
+  Hashtbl.replace sh.hot key v;
+  if Hashtbl.length sh.hot >= t.cap then begin
+    (* rotate: cold's entries (minus any promoted duplicates, which
+       live on in hot) are gone for good *)
+    ignore (Atomic.fetch_and_add t.evicted (Hashtbl.length sh.cold) : int);
+    sh.cold <- sh.hot;
+    sh.hot <- Hashtbl.create t.cap
+  end
+
+let add t key v = with_shard t key (fun sh -> add_in_shard t sh key v)
+
+let try_add t key v =
+  let sh = t.shards.(shard_index t key) in
+  if not t.locked then begin
+    add_in_shard t sh key v;
+    true
+  end
+  else if Mutex.try_lock sh.lock then begin
+    Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) (fun () -> add_in_shard t sh key v);
+    true
+  end
+  else false
+
+let shard_owner t idx = Atomic.get t.owners.(idx)
+
+let merge_batch t ~domain tbl =
+  let nshards = Array.length t.shards in
+  (* bucket the batch by shard first so each shard's lock is taken at
+     most once per merge, however many entries land in it *)
+  let per = Array.make nshards [] in
+  Hashtbl.iter (fun k v -> let i = shard_of_string ~shards:nshards k in per.(i) <- (k, v) :: per.(i)) tbl;
+  let n = ref 0 in
+  Array.iteri
+    (fun i kvs ->
+      if kvs <> [] then begin
+        (* pin ownership to the first domain that populates the shard;
+           later merges leave it, so thieves can steer toward the
+           domain whose generations feed the shards they read *)
+        ignore (Atomic.compare_and_set t.owners.(i) (-1) domain : bool);
+        with_shard_at t i (fun sh ->
+            List.iter
+              (fun (k, v) ->
+                incr n;
+                add_in_shard t sh k v)
+              kvs)
       end)
+    per;
+  !n
 
 let evictions t = Atomic.get t.evicted
 

@@ -34,6 +34,30 @@ val create : shards:int -> cap:int -> locked:bool -> 'a t
 val find : 'a t -> string -> 'a option
 val add : 'a t -> string -> 'a -> unit
 
+val try_add : 'a t -> string -> 'a -> bool
+(** Non-blocking {!add}: take the shard lock only if it is free.
+    Returns [false] — without inserting — when another domain holds the
+    lock, so a writer can defer the entry to a private generation and
+    {!merge_batch} it later instead of stalling. Always succeeds on an
+    [locked:false] table. *)
+
+val find_with_shard : 'a t -> string -> 'a option * int
+(** [find] plus the shard index the key hashed to, so a caller can pair
+    the answer with {!shard_owner} (the explorer uses this to steer
+    steals toward the domain feeding the shards it reads). *)
+
+val merge_batch : 'a t -> domain:int -> (string, 'a) Hashtbl.t -> int
+(** Merge a whole private generation into the table, grouping entries
+    by shard so each shard's lock is taken at most once per call (vs.
+    once per entry with {!add}). The first domain to populate a shard
+    becomes its pinned owner (see {!shard_owner}). Returns the number
+    of entries merged. The source table is not modified. *)
+
+val shard_owner : 'a t -> int -> int
+(** Domain pinned to the shard by the first {!merge_batch} that
+    populated it, or [-1] while the shard is unowned. Plain {!add}
+    never claims ownership. *)
+
 val evictions : 'a t -> int
 (** Entries discarded by generation rotation so far. *)
 

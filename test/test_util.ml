@@ -336,6 +336,62 @@ let test_ws_deque_concurrent_conservation () =
   checki "every element consumed exactly once" n (List.length all);
   checkb "the elements are exactly 1..n" true (all = List.init n (fun i -> i + 1))
 
+(* Steal-burst on a near-empty deque: the hard Chase–Lev window is the
+   single-element race, where the owner's pop and every thief's steal
+   CAS the same top index. The adaptive publication cutoff makes this
+   the common case (a worker publishes one task at a time and often
+   pops it straight back), so hammer it: the owner pushes elements one
+   or two at a time and immediately tries to pop, while a burst of
+   thieves steals whatever appears. Every element must be consumed
+   exactly once — a lost CAS must lose the *element* to exactly one
+   winner, never duplicate it, never drop it. *)
+let test_ws_deque_steal_burst_near_empty () =
+  let d = Ws_deque.create () in
+  let n = 4_000 in
+  let stop = Atomic.make false in
+  let thief () =
+    let got = ref [] in
+    while not (Atomic.get stop) do
+      match Ws_deque.steal d with
+      | Some v -> got := v :: !got
+      | None -> Domain.cpu_relax ()
+    done;
+    let rec sweep () =
+      match Ws_deque.steal d with
+      | Some v ->
+        got := v :: !got;
+        sweep ()
+      | None -> ()
+    in
+    sweep ();
+    !got
+  in
+  let thieves = List.init 4 (fun _ -> Domain.spawn thief) in
+  let owner_got = ref [] in
+  let try_pop () =
+    match Ws_deque.pop d with Some v -> owner_got := v :: !owner_got | None -> ()
+  in
+  for i = 1 to n do
+    Ws_deque.push d i;
+    (* keep the deque hovering at 0–2 elements: pop right back most of
+       the time so nearly every steal races the owner for the last one *)
+    if i land 3 <> 0 then try_pop ()
+  done;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+      owner_got := v :: !owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = List.sort compare (stolen @ !owner_got) in
+  checki "every element consumed exactly once" n (List.length all);
+  checkb "the elements are exactly 1..n" true (all = List.init n (fun i -> i + 1));
+  checki "deque left empty" 0 (Ws_deque.size d)
+
 let () =
   Alcotest.run "util"
     [
@@ -363,6 +419,8 @@ let () =
           Alcotest.test_case "grow preserves elements" `Quick test_ws_deque_grow;
           Alcotest.test_case "concurrent conservation" `Slow
             test_ws_deque_concurrent_conservation;
+          Alcotest.test_case "steal burst near empty" `Slow
+            test_ws_deque_steal_burst_near_empty;
         ] );
       ( "stats",
         [

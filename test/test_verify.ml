@@ -159,10 +159,10 @@ let test_rep5_resists_fig5_schedule () =
 (* ------------------------------------------------------------------ *)
 (* Explorer *)
 
-let explore_with ?dedup ?jobs ?memo_cap ?memo_file ?memo_key scenario =
+let explore_with ?dedup ?jobs ?memo_cap ?memo_file ?memo_key ?max_paths scenario =
   let s = scenario () in
   Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs
-    ?memo_cap ?memo_file ?memo_key ~check:(Scenario.oracle_check s) ()
+    ?memo_cap ?memo_file ?memo_key ?max_paths ~check:(Scenario.oracle_check s) ()
 
 let explore scenario = explore_with scenario
 
@@ -422,6 +422,42 @@ let test_explorer_3proc_determinism () =
         true
         (canon_violations seq = canon_violations par))
     [ 2; 4 ]
+
+(* Truncation under parallelism: the lease mechanism must make a
+   clipped parallel run reproduce the sequential clipped frontier
+   exactly — same path count, same violation list in the same order,
+   same truncated flag — at every jobs level. Two shapes: the safe
+   ext-shadow-3 tree (clipping only the count) and rep5-contested3
+   with the budget landing *inside* the violation region (clipping the
+   violation list mid-stream, the hard case for per-task leases). *)
+let test_explorer_truncated_parallel_leases () =
+  List.iter
+    (fun (label, scenario, max_paths, expect_viol) ->
+      let seq = explore_with ~max_paths scenario in
+      checkb (label ^ " seq truncated") true seq.Explorer.truncated;
+      checki (label ^ " seq clipped exactly at budget") max_paths seq.Explorer.paths;
+      if expect_viol then
+        checkb (label ^ " budget lands inside the violation region") true
+          (seq.Explorer.violations <> []);
+      List.iter
+        (fun jobs ->
+          let par = explore_with ~jobs ~max_paths scenario in
+          checkb (Printf.sprintf "%s jobs=%d truncated" label jobs) true par.Explorer.truncated;
+          checki (Printf.sprintf "%s jobs=%d clipped paths" label jobs) seq.Explorer.paths
+            par.Explorer.paths;
+          checkb
+            (Printf.sprintf "%s jobs=%d clipped violations identical, in order" label jobs)
+            true
+            (canon_violations seq = canon_violations par);
+          checkb
+            (Printf.sprintf "%s jobs=%d lease splits bounded by publications" label jobs)
+            true
+            (par.Explorer.lease_splits <= par.Explorer.publications))
+        [ 2; 4 ])
+    [
+      ("ext-shadow-3", (fun () -> Scenario.ext_shadow_contested3 ()), 5_000, false);
+      ("rep5-3", (fun () -> Scenario.rep5_contested3 ()), 300_000, true);
+    ]
 
 (* rep5 vs two colluding adversaries: the victim's §3.3.1 property
    holds across all ~6.3e5 schedules — every violation the strict
@@ -734,6 +770,8 @@ let () =
             test_explorer_bounded_memo_equivalence;
           Alcotest.test_case "memo file warm start" `Slow test_explorer_memo_file_warm_start;
           Alcotest.test_case "3-process determinism" `Slow test_explorer_3proc_determinism;
+          Alcotest.test_case "truncated parallel leases" `Slow
+            test_explorer_truncated_parallel_leases;
           Alcotest.test_case "rep5 vs two colluders: victim safe" `Slow
             test_explorer_rep5_contested3_victim_safe;
           Alcotest.test_case "memo shard balance" `Quick test_memo_shard_balance;
