@@ -426,9 +426,67 @@ let write_bench_explorer_json () =
     (float_of_int r.Uldma_verify.Explorer.paths /. secs)
     path
 
+(* ------------------------------------------------------------------ *)
+(* Cluster-service trajectory *)
+
+(* BENCH_cluster.json (schema v1, written through Kv_load.Report — the
+   same code path as `uldma_cli cluster`) records the KV-service tail
+   latency per wire plus the doorbell-batching speedup at a reduced but
+   statistically meaningful scale (10^5 transfers; the CLI default is
+   10^6), so the cluster numbers travel with every PR next to
+   BENCH_explorer.json. *)
+let write_bench_cluster_json () =
+  let module Kv = Uldma_workload.Kv_load in
+  let params = { Kv.default_params with Kv.clients = 200; transfers = 100_000 } in
+  let cal =
+    match Kv.calibrate params.Kv.mech with Ok c -> c | Error e -> failwith e
+  in
+  let backends =
+    List.map
+      (fun name ->
+        match Uldma_net.Backend.of_string name with
+        | Ok b -> (name, b)
+        | Error e -> failwith e)
+      [ "atm155"; "atm622"; "gigabit"; "hic" ]
+  in
+  let cluster =
+    Uldma.Session.cluster_exn ~net:"atm155" ~mech:params.Kv.mech ~nodes:params.Kv.nodes ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let cosim_bytes, cosim_packets = Kv.cosim_burst cluster ~words:64 in
+  let sweep = Kv.sweep params ~cal backends in
+  let gigabit = List.assoc "gigabit" backends in
+  let batch1 = Kv.run { params with Kv.batch = 1 } ~cal ~net:gigabit in
+  let batched = Kv.run params ~cal ~net:gigabit in
+  let wall = Unix.gettimeofday () -. t0 in
+  let report =
+    {
+      Kv.Report.params;
+      cal;
+      headline_net = "atm155";
+      sweep;
+      batching = { Kv.Report.bat_net = "gigabit"; batch1; batched };
+      cosim_nodes = params.Kv.nodes;
+      cosim_bytes;
+      cosim_packets;
+    }
+  in
+  let path = Filename.concat results_dir "BENCH_cluster.json" in
+  Kv.Report.write ~path ~wall_seconds:wall report;
+  let p99 name =
+    float_of_int (Uldma_obs.Percentile.percentile (List.assoc name sweep).Kv.latency 0.99) /. 1e6
+  in
+  Printf.printf
+    "cluster: %d nodes, %d clients, %d transfers; p99 atm155 %.1f us / gigabit %.1f us; batching \
+     %.2fx; wrote %s\n"
+    params.Kv.nodes params.Kv.clients params.Kv.transfers (p99 "atm155") (p99 "gigabit")
+    (Kv.Report.speedup report.Kv.Report.batching)
+    path
+
 let () =
   run_experiments ();
   let results = benchmark () in
   print_bench_results results;
   write_bench_explorer_json ();
+  write_bench_cluster_json ();
   print_endline "done."

@@ -432,6 +432,229 @@ let explore_cmd =
       const run $ which $ jobs $ no_dedup $ max_paths $ memo_cap $ memo_file $ net $ tick_ps
       $ trace_file_arg $ trace_format_arg)
 
+let cluster_cmd =
+  let module Kv = Uldma_workload.Kv_load in
+  let module Backend = Uldma_net.Backend in
+  let doc =
+    "Drive a key-value load (thousands of client processes, millions of small GET/PUT transfers) \
+     across an N-node co-simulated cluster and export tail latency per wire to \
+     _results/BENCH_cluster.json."
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size (default 4).")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "clients" ] ~docv:"K"
+          ~doc:"Simulated client processes, spread round-robin over the nodes (default 1000).")
+  in
+  let transfers =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "transfers" ] ~docv:"M" ~doc:"Total GET/PUT requests (default 1000000).")
+  in
+  let net =
+    Arg.(
+      value
+      & opt string "atm155"
+      & info [ "net" ] ~docv:"BACKEND"
+          ~doc:
+            "Headline wire, same spellings as $(b,explore --net): $(b,null), $(b,atm155), \
+             $(b,atm622), $(b,gigabit), $(b,hic) (default atm155).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "batch" ] ~docv:"D"
+          ~doc:
+            "Descriptors per doorbell (default 8). Each doorbell costs one verified initiation \
+             sequence; descriptors are cheap cached stores into the per-process submission queue.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "window" ] ~docv:"W" ~doc:"Max outstanding requests per client (default 32).")
+  in
+  let value_size =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "value-size" ] ~docv:"BYTES" ~doc:"Value payload size (default 64).")
+  in
+  let get_ratio =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "get-ratio" ] ~docv:"R" ~doc:"Fraction of GETs, in [0,1] (default 0.5).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed (default 42).") in
+  let mech =
+    Arg.(
+      value
+      & opt string "ext-shadow"
+      & info [ "mech" ] ~docv:"MECHANISM"
+          ~doc:
+            "Initiation mechanism to calibrate doorbell cost from, and to install on every \
+             cluster node (default ext-shadow).")
+  in
+  let tick_ps =
+    Arg.(
+      value
+      & opt int Backend.default_tick_ps
+      & info [ "tick-ps" ] ~docv:"PS"
+          ~doc:"Tick for the timed wires (default 1000000 = 1us); must be positive.")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt string "atm155,atm622,gigabit,hic"
+      & info [ "backends" ] ~docv:"LIST"
+          ~doc:"Comma-separated wires for the per-backend sweep (default all four timed links).")
+  in
+  let batch_net =
+    Arg.(
+      value
+      & opt string "gigabit"
+      & info [ "batch-net" ] ~docv:"BACKEND"
+          ~doc:
+            "Wire for the batch-vs-unbatched comparison (default gigabit: a fast link keeps the \
+             client CPU — i.e. initiation cost — the bottleneck, which is the regime doorbell \
+             batching targets).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string (Filename.concat "_results" "BENCH_cluster.json")
+      & info [ "out" ] ~docv:"FILE" ~doc:"Report path (default _results/BENCH_cluster.json).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Fan the backend sweep out over $(docv) domains (results are identical).")
+  in
+  let die msg =
+    prerr_endline msg;
+    exit 1
+  in
+  let run nodes clients transfers net batch window value_size get_ratio seed mech tick_ps backends
+      batch_net out jobs =
+    let params =
+      match
+        Kv.validate_params
+          {
+            Kv.nodes;
+            clients;
+            transfers;
+            batch;
+            window;
+            value_size;
+            get_ratio;
+            seed;
+            mech;
+          }
+      with
+      | Ok p -> p
+      | Error e -> die e
+    in
+    (* --tick-ps <= 0 and unknown backend names both surface here *)
+    let resolve name =
+      match Backend.of_string ~tick_ps name with Ok b -> b | Error e -> die e
+    in
+    let headline_backend = resolve net in
+    ignore (headline_backend : Backend.t);
+    let sweep_names =
+      let named = String.split_on_char ',' backends |> List.map String.trim in
+      let named = List.filter (fun s -> s <> "") named in
+      if List.mem net named then named else net :: named
+    in
+    let sweep_backends = List.map (fun n -> (n, resolve n)) sweep_names in
+    let bat_backend = resolve batch_net in
+    let cal = match Kv.calibrate mech with Ok c -> c | Error e -> die e in
+    let t0 = Unix.gettimeofday () in
+    (* instruction-level leg: real kernels, real mesh, real packets *)
+    let cluster =
+      match Uldma.Session.cluster ~net ~tick_ps ~mech ~nodes () with
+      | Ok c -> c
+      | Error e -> die e
+    in
+    let burst_words = 64 in
+    let cosim_bytes, cosim_packets = Kv.cosim_burst cluster ~words:burst_words in
+    if cosim_bytes <> nodes * burst_words * 8 then
+      die
+        (Printf.sprintf "cosim validation failed: %d bytes delivered, expected %d" cosim_bytes
+           (nodes * burst_words * 8));
+    Printf.printf
+      "cosim: %d nodes moved %d bytes (%d packets) through the %s mesh; calibrated %s: doorbell \
+       %d ps, descriptor %d ps\n"
+      nodes cosim_bytes cosim_packets net mech cal.Kv.initiation_ps cal.Kv.submit_ps;
+    let sweep = Kv.sweep ~jobs params ~cal sweep_backends in
+    let batch1 = Kv.run { params with Kv.batch = 1 } ~cal ~net:bat_backend in
+    let batched = Kv.run params ~cal ~net:bat_backend in
+    let wall = Unix.gettimeofday () -. t0 in
+    let tbl =
+      Uldma_util.Tbl.create
+        ~title:
+          (Printf.sprintf
+             "KV service: %d nodes, %d clients, %d transfers, batch %d, %d-byte values"
+             nodes clients transfers batch value_size)
+        ~columns:
+          [
+            ("wire", Uldma_util.Tbl.Left);
+            ("p50 us", Uldma_util.Tbl.Right);
+            ("p99 us", Uldma_util.Tbl.Right);
+            ("p999 us", Uldma_util.Tbl.Right);
+            ("mean us", Uldma_util.Tbl.Right);
+            ("k tx/s", Uldma_util.Tbl.Right);
+            ("Gb/s", Uldma_util.Tbl.Right);
+          ]
+    in
+    List.iter
+      (fun (name, r) ->
+        let pc q = float_of_int (Uldma_obs.Percentile.percentile r.Kv.latency q) /. 1e6 in
+        Uldma_util.Tbl.add_row tbl
+          [
+            name;
+            Printf.sprintf "%.1f" (pc 0.50);
+            Printf.sprintf "%.1f" (pc 0.99);
+            Printf.sprintf "%.1f" (pc 0.999);
+            Printf.sprintf "%.1f" (Uldma_obs.Percentile.mean r.Kv.latency /. 1e6);
+            Printf.sprintf "%.0f" (Kv.transfers_per_s r /. 1e3);
+            Printf.sprintf "%.3f" (Kv.gbps r);
+          ])
+      sweep;
+    Uldma_util.Tbl.print tbl;
+    let report =
+      {
+        Kv.Report.params;
+        cal;
+        headline_net = net;
+        sweep;
+        batching = { Kv.Report.bat_net = batch_net; batch1; batched };
+        cosim_nodes = nodes;
+        cosim_bytes;
+        cosim_packets;
+      }
+    in
+    Printf.printf
+      "doorbell batching on %s: batch=1 %.0f tx/s -> batch=%d %.0f tx/s (%.2fx)\n" batch_net
+      (Kv.transfers_per_s batch1) batch (Kv.transfers_per_s batched)
+      (Kv.Report.speedup report.Kv.Report.batching);
+    Kv.Report.write ~path:out ~wall_seconds:wall report;
+    Printf.printf "report: %s (schema v1, %.2fs wall)\n" out wall
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc)
+    Term.(
+      const run $ nodes $ clients $ transfers $ net $ batch $ window $ value_size $ get_ratio
+      $ seed $ mech $ tick_ps $ backends $ batch_net $ out $ jobs)
+
 let stub_cmd =
   let doc =
     "Print the instruction sequence a mechanism's stub emits (the paper's Figs. 1-4/7 as code)."
@@ -469,4 +692,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; mechanisms_cmd; sweep_cmd; timeline_cmd; explore_cmd; stub_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            mechanisms_cmd;
+            sweep_cmd;
+            timeline_cmd;
+            explore_cmd;
+            cluster_cmd;
+            stub_cmd;
+          ]))

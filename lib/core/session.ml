@@ -194,6 +194,50 @@ let run_exn ?max_steps t =
   | Kernel.Max_steps -> failwith ("Session.run_exn: " ^ t.mech.Mech.name ^ " did not finish")
   | Kernel.Predicate -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Cluster front door                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cluster ?(net = "atm155") ?tick_ps ?mech ?preset ?config ?config_of ~nodes () =
+  match Uldma_net.Backend.of_string ?tick_ps net with
+  | Error e -> Error e
+  | Ok backend -> (
+    if nodes < 2 || nodes > Cluster.max_nodes then
+      Error
+        (Printf.sprintf "cluster size must be in 2..%d nodes (got %d)" Cluster.max_nodes nodes)
+    else
+      let base =
+        match (config, preset) with
+        | Some c, _ -> c
+        | None, Some p -> config_of_preset p
+        | None, None -> Kernel.default_config
+      in
+      let apply_mech =
+        match mech with
+        | None -> Ok (fun c -> c)
+        | Some name -> (
+          match Api.find name with
+          | Some m -> Ok (fun c -> Api.kernel_config ~base:c m)
+          | None ->
+            Error
+              (Printf.sprintf "unknown mechanism %S (expected one of: %s)" name
+                 (String.concat ", " Api.names)))
+      in
+      match apply_mech with
+      | Error e -> Error e
+      | Ok apply ->
+        let config_of =
+          match config_of with
+          | Some f -> fun i -> apply (f i)
+          | None -> fun _ -> apply base
+        in
+        Ok (Cluster.create ~net:backend ~config_of ~nodes ~config:(apply base) ()))
+
+let cluster_exn ?net ?tick_ps ?mech ?preset ?config ?config_of ~nodes () =
+  match cluster ?net ?tick_ps ?mech ?preset ?config ?config_of ~nodes () with
+  | Ok c -> c
+  | Error e -> invalid_arg ("Session.cluster: " ^ e)
+
 let successes t proc = Kernel.read_user t.kernel proc.process proc.result_va
 let last_status t proc = Kernel.read_user t.kernel proc.process (proc.result_va + 8)
 let read t proc va = Kernel.read_user t.kernel proc.process va

@@ -132,6 +132,43 @@ val read : t -> proc -> int -> int
 val write : t -> proc -> int -> int -> unit
 (** Peek/poke a word in the process's address space (host-level). *)
 
+(** {1 Clusters}
+
+    The same front-door philosophy for N-node co-simulations: name the
+    wire and the mechanism, get back a fully meshed {!Cluster}. *)
+
+val cluster :
+  ?net:string ->
+  ?tick_ps:Uldma_util.Units.ps ->
+  ?mech:string ->
+  ?preset:preset ->
+  ?config:Kernel.config ->
+  ?config_of:(int -> Kernel.config) ->
+  nodes:int ->
+  unit ->
+  (Cluster.t, string) result
+(** [cluster ~nodes ()] builds an [nodes]-way full mesh over the named
+    wire. [?net] accepts exactly the [Backend.of_string] spellings the
+    CLI's [--net] uses ([null], [atm155], [atm622], [gigabit], [hic];
+    default [atm155]) and [?tick_ps] its quantisation (must be
+    positive). [?mech] names a mechanism ([Api.find]) applied to every
+    node's configuration; [?config] wins over [?preset] wins over the
+    paper machine, and [?config_of] overrides per node (the mechanism,
+    when given, is applied on top). All validation failures come back
+    as [Error], never as exceptions. *)
+
+val cluster_exn :
+  ?net:string ->
+  ?tick_ps:Uldma_util.Units.ps ->
+  ?mech:string ->
+  ?preset:preset ->
+  ?config:Kernel.config ->
+  ?config_of:(int -> Kernel.config) ->
+  nodes:int ->
+  unit ->
+  Cluster.t
+(** [cluster], raising [Invalid_argument] on error. *)
+
 val metrics : t -> Uldma_obs.Counters.t
 (** The machine's named-counter registry ([Kernel.counter_snapshot]):
     [os.*], [bus.*] and [dma.*] sections. *)

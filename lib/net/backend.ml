@@ -37,16 +37,23 @@ let cache_key = function
 let all_names = [ "null"; "atm155"; "atm622"; "gigabit"; "hic" ]
 
 let of_string ?tick_ps s =
-  match String.lowercase_ascii s with
-  | "null" -> Ok Null
-  | "atm155" -> Ok (linked ?tick_ps Link.atm155)
-  | "atm622" -> Ok (linked ?tick_ps Link.atm622)
-  | "gigabit" -> Ok (linked ?tick_ps Link.gigabit)
-  | "hic" | "hic1355" -> Ok (linked ?tick_ps Link.hic1355)
-  | other ->
-    Error
-      (Printf.sprintf "unknown net backend %S (expected %s)" other
-         (String.concat "|" all_names))
+  (* validate the tick here rather than letting [linked] raise: CLI
+     callers pattern-match on the Result and should get a message, not
+     an exception, for --tick-ps 0 *)
+  match tick_ps with
+  | Some t when t <= 0 ->
+    Error (Printf.sprintf "tick_ps must be positive (got %d)" t)
+  | _ -> (
+    match String.lowercase_ascii s with
+    | "null" -> Ok Null
+    | "atm155" -> Ok (linked ?tick_ps Link.atm155)
+    | "atm622" -> Ok (linked ?tick_ps Link.atm622)
+    | "gigabit" -> Ok (linked ?tick_ps Link.gigabit)
+    | "hic" | "hic1355" -> Ok (linked ?tick_ps Link.hic1355)
+    | other ->
+      Error
+        (Printf.sprintf "unknown net backend %S (expected one of: %s)" other
+           (String.concat ", " all_names)))
 
 let pp ppf = function
   | Null -> Format.pp_print_string ppf "null (zero-duration)"

@@ -63,6 +63,8 @@ val all_names : string list
 
 val of_string : ?tick_ps:Uldma_util.Units.ps -> string -> (t, string) result
 (** Parse a CLI spelling ([null], [atm155], [atm622], [gigabit],
-    [hic]); [tick_ps] applies to the linked backends. *)
+    [hic]); [tick_ps] applies to the linked backends. Unknown names and
+    non-positive ticks come back as [Error] with the valid spellings
+    listed — never as an exception. *)
 
 val pp : Format.formatter -> t -> unit

@@ -9,6 +9,11 @@ let hic1355 = { name = "HIC/IEEE-1355"; bytes_per_s = Units.mbps 800.0; latency_
 
 let all = [ atm155; atm622; gigabit; hic1355 ]
 
+(* Infinite bandwidth, zero latency: the wire model matching the Null
+   backend, so N-node meshes can be built uniformly over links even
+   when the scenario wants zero-duration transfers. *)
+let instant = { name = "instant"; bytes_per_s = infinity; latency_ps = 0 }
+
 let wire_time_ps t n = t.latency_ps + Units.transfer_ps ~bytes_per_s:t.bytes_per_s n
 
 let pp ppf t =

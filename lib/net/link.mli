@@ -19,6 +19,11 @@ val gigabit : t
 val hic1355 : t
 
 val all : t list
+(** The four timed presets (not [instant]). *)
+
+val instant : t
+(** Infinite bandwidth, zero latency — the wire model of the [Null]
+    backend, for meshes that want uniform plumbing without wire time. *)
 
 val wire_time_ps : t -> int -> Uldma_util.Units.ps
 (** Latency + serialisation time for a payload of n bytes. *)

@@ -1,154 +1,33 @@
-open Uldma_mem
-open Uldma_os
-open Uldma_dma
-open Uldma_net
+(* The historical two-node API, now a shim over the N-node mesh
+   ({!Uldma.Cluster} with nodes = 2): node A is index 0, node B is
+   index 1, and the co-simulation loop, wire protocol and atomic
+   round-trip behaviour are the core cluster's. *)
+
+module Core = Uldma.Cluster
 
 type node = A | B
 
-type side = {
-  kernel : Kernel.t;
-  nif : Netif.t; (* packets in flight *toward* this side *)
-  mutable delivered : int;
-}
+let idx = function A -> 0 | B -> 1
 
-type t = { a : side; b : side }
+type t = Core.t
 
 let create ~link ~config_a ~config_b =
-  let make config =
-    let kernel = Kernel.create config in
-    let nif = Netif.create ~link in
-    (* arrivals at this side are traced on this side's machine id *)
-    Netif.set_sink nif ~machine:(Kernel.machine_id kernel) (Kernel.trace kernel);
-    { kernel; nif; delivered = 0 }
-  in
-  { a = make config_a; b = make config_b }
+  Core.create ~net:(Uldma_net.Backend.linked link) ~nodes:2
+    ~config_of:(fun i -> if i = 0 then config_a else config_b)
+    ~config:config_a ()
 
-let side t = function A -> t.a | B -> t.b
-
-let kernel t node = (side t node).kernel
+let kernel t n = Core.node t (idx n)
 
 let peer = function A -> B | B -> A
 
-(* On the wire we distinguish plain writes from atomic requests by the
-   destination: atomic requests travel to [atomic_tag + remote_addr]
-   and carry the encoded op + the reply address in their payload. *)
-let atomic_tag = 1 lsl 60
-
-let encode_atomic (op : Uldma_dma.Atomic_op.t) ~reply_paddr =
-  let payload = Bytes.create 32 in
-  let opcode, a, b =
-    match op with
-    | Uldma_dma.Atomic_op.Add v -> (1, v, 0)
-    | Uldma_dma.Atomic_op.Fetch_store v -> (2, v, 0)
-    | Uldma_dma.Atomic_op.Cas { expected; new_value } -> (3, expected, new_value)
-  in
-  Bytes.set_int64_le payload 0 (Int64.of_int opcode);
-  Bytes.set_int64_le payload 8 (Int64.of_int a);
-  Bytes.set_int64_le payload 16 (Int64.of_int b);
-  Bytes.set_int64_le payload 24 (Int64.of_int reply_paddr);
-  payload
-
-let decode_atomic payload =
-  let word i = Int64.to_int (Bytes.get_int64_le payload (8 * i)) in
-  let op =
-    match word 0 with
-    | 1 -> Uldma_dma.Atomic_op.Add (word 1)
-    | 2 -> Uldma_dma.Atomic_op.Fetch_store (word 1)
-    | _ -> Uldma_dma.Atomic_op.Cas { expected = word 1; new_value = word 2 }
-  in
-  (op, word 3)
-
-(* move freshly sent packets of [from_side] onto the wire toward its peer *)
-let pump_outbound from_side to_side =
-  List.iter
-    (fun (p : Engine.outbound_packet) ->
-      match p.Engine.kind with
-      | Engine.Remote_write ->
-        Netif.send to_side.nif ~now:p.Engine.sent_at ~dst_paddr:p.Engine.remote_addr
-          ~payload:p.Engine.payload
-      | Engine.Remote_atomic { op; reply_paddr } ->
-        Netif.send to_side.nif ~now:p.Engine.sent_at
-          ~dst_paddr:(atomic_tag lor p.Engine.remote_addr)
-          ~payload:(encode_atomic op ~reply_paddr))
-    (Engine.take_outbound (Kernel.engine from_side.kernel))
-
-(* [origin] is the side the packet came from (for atomic replies) *)
-let apply_packet side ~origin (p : Netif.packet) =
-  let ram = Kernel.ram side.kernel in
-  if p.Netif.dst_paddr land atomic_tag <> 0 then begin
-    let target = p.Netif.dst_paddr land lnot atomic_tag in
-    let op, reply_paddr = decode_atomic p.Netif.payload in
-    let old_value =
-      Uldma_dma.Atomic_op.execute op ~read:(Phys_mem.load_word ram)
-        ~write:(Phys_mem.store_word ram) ~target
-    in
-    let reply = Bytes.create 8 in
-    Bytes.set_int64_le reply 0 (Int64.of_int old_value);
-    (* the reply rides the wire back to the originator's mailbox *)
-    Netif.send origin.nif ~now:p.Netif.arrive_at ~dst_paddr:reply_paddr ~payload:reply
-  end
-  else begin
-    let len = Bytes.length p.Netif.payload in
-    for i = 0 to len - 1 do
-      Phys_mem.store_byte ram (p.Netif.dst_paddr + i) (Char.code (Bytes.get p.Netif.payload i))
-    done
-  end;
-  side.delivered <- side.delivered + 1
-
-let deliver_arrived side ~origin =
-  ignore (Netif.poll side.nif ~now:(Kernel.now_ps side.kernel) (apply_packet side ~origin) : int)
-
-let pump t =
-  pump_outbound t.a t.b;
-  pump_outbound t.b t.a;
-  deliver_arrived t.a ~origin:t.b;
-  deliver_arrived t.b ~origin:t.a
-
 type stop = All_exited | Max_steps | Predicate
 
-(* If a node is idle but has packets in flight toward it, advance its
-   clock to the next arrival so the packet can land. *)
-let settle_idle side =
-  match Netif.next_arrival side.nif with
-  | Some at when at > Kernel.now_ps side.kernel ->
-    Uldma_bus.Clock.advance (Kernel.clock side.kernel) (at - Kernel.now_ps side.kernel)
-  | Some _ | None -> ()
+let run t ?max_steps ?until () =
+  match Core.run t ?max_steps ?until () with
+  | Core.All_exited -> All_exited
+  | Core.Max_steps -> Max_steps
+  | Core.Predicate -> Predicate
 
-let run t ?(max_steps = 20_000_000) ?(until = fun _ -> false) () =
-  let rec loop n =
-    if until t then Predicate
-    else if n >= max_steps then Max_steps
-    else begin
-      let runnable side = Kernel.runnable_pids side.kernel <> [] in
-      (* an exited node's RAM still receives packets: advance its dead
-         clock to the next arrival so deliveries are not starved *)
-      if not (runnable t.a) then settle_idle t.a;
-      if not (runnable t.b) then settle_idle t.b;
-      pump t;
-      let choice =
-        match (runnable t.a, runnable t.b) with
-        | true, true ->
-          if Kernel.now_ps t.a.kernel <= Kernel.now_ps t.b.kernel then Some t.a else Some t.b
-        | true, false -> Some t.a
-        | false, true -> Some t.b
-        | false, false -> None
-      in
-      match choice with
-      | Some side -> (
-        match Kernel.step side.kernel with
-        | `Stepped _ -> loop (n + 1)
-        | `Idle -> loop (n + 1))
-      | None ->
-        (* both machines idle: let in-flight packets land, then stop *)
-        settle_idle t.a;
-        settle_idle t.b;
-        pump t;
-        if Netif.in_flight t.a.nif = 0 && Netif.in_flight t.b.nif = 0 then All_exited
-        else loop (n + 1)
-    end
-  in
-  loop 0
+let now_ps = Core.now_ps
 
-let now_ps t = max (Kernel.now_ps t.a.kernel) (Kernel.now_ps t.b.kernel)
-
-let packets_delivered t node = (side t node).delivered
+let packets_delivered t n = Core.packets_into t (idx n)

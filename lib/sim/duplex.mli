@@ -1,15 +1,16 @@
-(** A two-node NOW with a full machine on each side.
+(** A two-node NOW with a full machine on each side — the historical
+    A/B spelling of a 2-node {!Uldma.Cluster} mesh.
 
-    Unlike {!Cluster} (sender machine + passive remote memory), both
-    nodes here run kernels, processes and engines; each node's
+    Both nodes run kernels, processes and engines; each node's
     remote-window traffic is delivered into the *other* node's physical
     RAM after the link's wire time. The co-simulation loop always
     advances the node whose clock is behind, so cross-node timing
     (e.g. ping-pong round trips) is causally consistent: a packet sent
     at sender-time t arrives no earlier than receiver-time t + wire.
 
-    Used by the ping-pong latency experiment and available to
-    applications that need genuine request/response behaviour. *)
+    New code should use {!Uldma.Cluster} (or {!Uldma.Session.cluster})
+    directly; this wrapper remains for the ping-pong experiment's
+    original callers. *)
 
 type node = A | B
 

@@ -550,31 +550,29 @@ let pingpong_rtt ~link ~send ~rounds =
       backend = Kernel.Local { bytes_per_s = 1e9 };
     }
   in
-  let duplex = Duplex.create ~link ~config_a:config ~config_b:config in
-  let setup node ~is_pinger peer_flag_paddr =
-    let kernel = Duplex.kernel duplex node in
+  (* a 2-node mesh on the new N-node surface: ping is node 0, pong is
+     node 1 (plain remote offsets route to the successor, i.e. the peer) *)
+  let cluster =
+    Uldma.Cluster.create ~net:(Uldma_net.Backend.linked link) ~nodes:2 ~config ()
+  in
+  let setup node ~is_pinger =
+    let kernel = Uldma.Cluster.node cluster node in
     let p = Kernel.spawn kernel ~name:(if is_pinger then "ping" else "pong") ~program:[||] () in
     let flag = Kernel.alloc_pages kernel p ~n:1 ~perms:Perms.read_write in
-    let remote =
-      match peer_flag_paddr with
-      | Some paddr ->
-        Kernel.map_remote_pages kernel p ~remote_paddr:paddr ~n:1 ~perms:Perms.read_write
-      | None -> 0
-    in
-    (p, flag, remote)
+    (p, flag)
   in
   (* two passes: allocate flags first to learn their physical bases *)
-  let a, flag_a, _ = setup Duplex.A ~is_pinger:true None in
-  let b, flag_b, _ = setup Duplex.B ~is_pinger:false None in
-  let paddr_of node p flag = Kernel.user_paddr (Duplex.kernel duplex node) p flag in
-  let remote_for node p peer_paddr =
-    Kernel.map_remote_pages (Duplex.kernel duplex node) p ~remote_paddr:peer_paddr ~n:1
+  let a, flag_a = setup 0 ~is_pinger:true in
+  let b, flag_b = setup 1 ~is_pinger:false in
+  let paddr_of node p flag = Kernel.user_paddr (Uldma.Cluster.node cluster node) p flag in
+  let remote_for ~src ~dst p peer_paddr =
+    Uldma.Cluster.map_remote cluster ~src ~dst p ~remote_paddr:peer_paddr ~n:1
       ~perms:Perms.read_write
   in
-  let remote_a = remote_for Duplex.A a (Layout.page_base (paddr_of Duplex.B b flag_b)) in
-  let remote_b = remote_for Duplex.B b (Layout.page_base (paddr_of Duplex.A a flag_a)) in
+  let remote_a = remote_for ~src:0 ~dst:1 a (Layout.page_base (paddr_of 1 b flag_b)) in
+  let remote_b = remote_for ~src:1 ~dst:0 b (Layout.page_base (paddr_of 0 a flag_a)) in
   let finish_setup node p ~is_pinger ~local_flag ~remote_flag =
-    let kernel = Duplex.kernel duplex node in
+    let kernel = Uldma.Cluster.node cluster node in
     (match send with
     | Ext_shadow_dma ->
       (match Kernel.alloc_dma_context kernel p with Some _ -> () | None -> failwith "ctx");
@@ -584,12 +582,12 @@ let pingpong_rtt ~link ~send ~rounds =
     Process.set_program p
       (pingpong_program ~rounds ~is_pinger ~local_flag ~remote_flag ~send)
   in
-  finish_setup Duplex.A a ~is_pinger:true ~local_flag:flag_a ~remote_flag:remote_a;
-  finish_setup Duplex.B b ~is_pinger:false ~local_flag:flag_b ~remote_flag:remote_b;
-  (match Duplex.run duplex () with
-  | Duplex.All_exited -> ()
-  | Duplex.Max_steps | Duplex.Predicate -> failwith "pingpong did not converge");
-  Units.to_us (Duplex.now_ps duplex) /. float_of_int rounds
+  finish_setup 0 a ~is_pinger:true ~local_flag:flag_a ~remote_flag:remote_a;
+  finish_setup 1 b ~is_pinger:false ~local_flag:flag_b ~remote_flag:remote_b;
+  (match Uldma.Cluster.run cluster () with
+  | Uldma.Cluster.All_exited -> ()
+  | Uldma.Cluster.Max_steps | Uldma.Cluster.Predicate -> failwith "pingpong did not converge");
+  Units.to_us (Uldma.Cluster.now_ps cluster) /. float_of_int rounds
 
 let pingpong () =
   let tbl =

@@ -1,0 +1,76 @@
+(* Classic array-backed binary heap. The comparison key is the pair
+   (key, seq): seq is a global insertion counter, which makes the pop
+   order among equal keys exactly the insertion order — the property
+   the event-driven cluster simulation relies on for determinism. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let fresh = Array.make cap t.heap.(0) in
+  Array.blit t.heap 0 fresh 0 t.size;
+  t.heap <- fresh
+
+let push t ~key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 e;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.heap.(0).key

@@ -1,0 +1,23 @@
+(** A deterministic binary min-heap keyed by [int] priorities.
+
+    Built for discrete-event simulation: [pop] returns the element with
+    the smallest key, and elements inserted with {e equal} keys come
+    back in insertion order (a monotonically increasing sequence number
+    breaks ties), so a simulation driven off this heap is reproducible
+    regardless of heap-internal layout. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> key:int -> 'a -> unit
+(** O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-key element (FIFO among equal keys);
+    [None] when empty. O(log n). *)
+
+val peek_key : 'a t -> int option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

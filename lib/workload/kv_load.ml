@@ -1,0 +1,453 @@
+open Uldma_util
+open Uldma_net
+
+(* ------------------------------------------------------------------ *)
+(* Parameters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type params = {
+  nodes : int;
+  clients : int;
+  transfers : int;
+  batch : int;
+  window : int;
+  value_size : int;
+  get_ratio : float;
+  seed : int;
+  mech : string;
+}
+
+let default_params =
+  {
+    nodes = 4;
+    clients = 1000;
+    transfers = 1_000_000;
+    batch = 8;
+    window = 32;
+    value_size = 64;
+    get_ratio = 0.5;
+    seed = 42;
+    mech = "ext-shadow";
+  }
+
+let validate_params p =
+  if p.nodes < 2 || p.nodes > Uldma.Cluster.max_nodes then
+    Error (Printf.sprintf "nodes must be in 2..%d (got %d)" Uldma.Cluster.max_nodes p.nodes)
+  else if p.clients < 1 then Error "clients must be >= 1"
+  else if p.transfers < 1 then Error "transfers must be >= 1"
+  else if p.batch < 1 then Error "batch must be >= 1"
+  else if p.window < 1 then Error "window must be >= 1"
+  else if p.value_size < 1 then Error "value-size must be >= 1"
+  else if not (p.get_ratio >= 0.0 && p.get_ratio <= 1.0) then
+    Error "get-ratio must be in [0, 1]"
+  else Ok p
+
+(* ------------------------------------------------------------------ *)
+(* Calibration: run the real mechanism, read the clock.                *)
+(* ------------------------------------------------------------------ *)
+
+type calibration = {
+  cal_mech : string;
+  initiation_ps : int;
+  submit_ps : int;
+  service_base_ps : int;
+  ram_bytes_per_s : float;
+}
+
+let calibrate ?(iterations = 256) ?config mech =
+  match Uldma.Api.find mech with
+  | None ->
+    Error
+      (Printf.sprintf "unknown mechanism %S (expected one of: %s)" mech
+         (String.concat ", " Uldma.Api.names))
+  | Some m ->
+    (* Table-1 methodology on the Null backend: the clock delta per
+       iteration is pure initiation cost (loop overhead included, which
+       is honest — a real submission loop pays it too). *)
+    let s = Uldma.Session.of_mech ?config m in
+    let p = Uldma.Session.process s ~name:"cal" () in
+    Uldma.Session.dma_stub ~iterations ~transfer_size:64 s p;
+    Uldma.Session.run_exn s;
+    let initiation_ps = Uldma.Session.now_ps s / iterations in
+    let timing = Uldma_os.Kernel.timing (Uldma.Session.kernel s) in
+    (* enqueue one descriptor: build it in registers and store it to
+       the (cached) submission queue *)
+    let submit_ps =
+      (2 * Uldma_bus.Timing.instruction_ps timing) + (2 * Uldma_bus.Timing.cached_access_ps timing)
+    in
+    Ok
+      {
+        cal_mech = mech;
+        initiation_ps;
+        submit_ps;
+        service_base_ps = Units.ns 500.0;
+        ram_bytes_per_s = 1e9;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Instruction-level validation burst over the real mesh.              *)
+(* ------------------------------------------------------------------ *)
+
+let cosim_burst cluster ~words =
+  let open Uldma_os in
+  let module C = Uldma.Cluster in
+  let n = C.nodes cluster in
+  for src = 0 to n - 1 do
+    let kernel = C.node cluster src in
+    let dst = (src + 1) mod n in
+    let p = Kernel.spawn kernel ~name:(Printf.sprintf "burst%d" src) ~program:[||] () in
+    (* write into the last page of the successor's RAM: the frame
+       allocator hands out low frames first, so the top page is free *)
+    let peer_ram = (Kernel.config (C.node cluster dst)).Kernel.ram_size in
+    let vaddr =
+      C.map_remote cluster ~src ~dst p
+        ~remote_paddr:(peer_ram - Uldma_mem.Layout.page_size)
+        ~n:1 ~perms:Uldma_mem.Perms.read_write
+    in
+    let open Uldma_cpu in
+    let asm = Asm.create () in
+    let loop = Asm.fresh_label asm "loop" in
+    Asm.li asm 10 vaddr;
+    Asm.li asm 11 words;
+    Asm.li asm 12 0;
+    Asm.label asm loop;
+    Asm.store asm ~base:10 ~off:0 12;
+    Asm.add asm 10 10 (Isa.Imm 8);
+    Asm.add asm 12 12 (Isa.Imm 1);
+    Asm.blt asm 12 11 loop;
+    Asm.halt asm;
+    Process.set_program p (Asm.assemble asm)
+  done;
+  (match C.run cluster () with
+  | C.All_exited -> ()
+  | C.Max_steps | C.Predicate -> failwith "Kv_load.cosim_burst: cluster did not converge");
+  let bytes = ref 0 and packets = ref 0 in
+  for i = 0 to n - 1 do
+    bytes := !bytes + C.write_bytes_into cluster i;
+    packets := !packets + C.packets_into cluster i
+  done;
+  (!bytes, !packets)
+
+(* ------------------------------------------------------------------ *)
+(* The discrete-event load generator.                                  *)
+(*                                                                     *)
+(* Resources: one shared CPU per node (clients contend FCFS for        *)
+(* descriptor writes and doorbells), one NI engine per node (serves    *)
+(* GET/PUT value movement), and one wire per ordered node pair with    *)
+(* exactly Netif's timing algebra: departure waits for the wire to be  *)
+(* free, serialisation occupies it, latency pipelines.                 *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  net_name : string;
+  transfers : int;
+  gets : int;
+  puts : int;
+  doorbells : int;
+  value_bytes : int;
+  wire_bytes : int;
+  latency : Uldma_obs.Percentile.t;
+  sim_ps : int;
+  counters : Uldma_obs.Counters.t;
+}
+
+let header_bytes = 32 (* request header: op, key, length, sequence *)
+let ack_bytes = 16 (* PUT acknowledgement *)
+
+type desc = {
+  d_dst : int;
+  d_req_bytes : int;
+  d_resp_bytes : int;
+  d_submit_at : int;
+}
+
+type ev =
+  | Step of int  (** client wakes to submit / flush *)
+  | Rx of { rx_c : int; rx_src : int; rx_dst : int; rx_resp : int; rx_submit : int }
+  | Done of { dn_c : int; dn_submit : int }
+
+let run p ~cal ~net =
+  (match validate_params p with Ok _ -> () | Error e -> invalid_arg ("Kv_load.run: " ^ e));
+  let n = p.nodes in
+  let link = match Backend.link net with Some l -> l | None -> Link.instant in
+  let client_node c = c mod n in
+  (* per-ordered-pair wire occupancy, Netif's busy_until *)
+  let wire_busy = Array.make (n * n) 0 in
+  let cpu_free = Array.make n 0 in
+  let engine_free = Array.make n 0 in
+  let remaining = Array.make p.clients 0 in
+  let outstanding = Array.make p.clients 0 in
+  let ready = Array.make p.clients 0 in
+  let parked = Array.make p.clients false in
+  let pending = Array.make p.clients [] in
+  let pending_len = Array.make p.clients 0 in
+  let base = p.transfers / p.clients and extra = p.transfers mod p.clients in
+  for c = 0 to p.clients - 1 do
+    remaining.(c) <- (base + if c < extra then 1 else 0)
+  done;
+  let rngs = Array.init p.clients (fun c -> Rng.create ~seed:(p.seed + (31 * c) + 1)) in
+  let heap = Pqueue.create () in
+  let latency = Uldma_obs.Percentile.create () in
+  let counters = Uldma_obs.Counters.create () in
+  let gets = ref 0 and puts = ref 0 and doorbells = ref 0 in
+  let value_bytes = ref 0 and wire_bytes = ref 0 in
+  let completed = ref 0 and sim_end = ref 0 in
+  let send ~src ~dst ~now bytes =
+    let k = (src * n) + dst in
+    let depart = max now wire_busy.(k) in
+    wire_busy.(k) <- depart + Units.transfer_ps ~bytes_per_s:link.Link.bytes_per_s bytes;
+    wire_bytes := !wire_bytes + bytes;
+    depart + Link.wire_time_ps link bytes
+  in
+  let flush c =
+    if pending_len.(c) > 0 then begin
+      let node = client_node c in
+      (* the doorbell: one verified initiation sequence, whatever the
+         batch size — this is the scaling lever *)
+      let start = max ready.(c) cpu_free.(node) in
+      let fin = start + cal.initiation_ps in
+      ready.(c) <- fin;
+      cpu_free.(node) <- fin;
+      incr doorbells;
+      List.iter
+        (fun d ->
+          let arrive = send ~src:node ~dst:d.d_dst ~now:fin d.d_req_bytes in
+          Pqueue.push heap ~key:arrive
+            (Rx
+               {
+                 rx_c = c;
+                 rx_src = node;
+                 rx_dst = d.d_dst;
+                 rx_resp = d.d_resp_bytes;
+                 rx_submit = d.d_submit_at;
+               }))
+        (List.rev pending.(c));
+      pending.(c) <- [];
+      pending_len.(c) <- 0
+    end
+  in
+  let step c now =
+    let node = client_node c in
+    if remaining.(c) > 0 && outstanding.(c) < p.window then begin
+      (* enqueue one descriptor in the process's submission queue *)
+      let start = max (max now ready.(c)) cpu_free.(node) in
+      let fin = start + cal.submit_ps in
+      ready.(c) <- fin;
+      cpu_free.(node) <- fin;
+      let rng = rngs.(c) in
+      let dst = (node + 1 + Rng.int rng (n - 1)) mod n in
+      let is_get = Rng.chance rng p.get_ratio in
+      if is_get then incr gets else incr puts;
+      let d_req_bytes = header_bytes + if is_get then 0 else p.value_size in
+      let d_resp_bytes = if is_get then header_bytes + p.value_size else ack_bytes in
+      pending.(c) <- { d_dst = dst; d_req_bytes; d_resp_bytes; d_submit_at = fin } :: pending.(c);
+      pending_len.(c) <- pending_len.(c) + 1;
+      remaining.(c) <- remaining.(c) - 1;
+      outstanding.(c) <- outstanding.(c) + 1;
+      if pending_len.(c) >= p.batch || remaining.(c) = 0 then flush c;
+      Pqueue.push heap ~key:ready.(c) (Step c)
+    end
+    else if remaining.(c) > 0 then begin
+      (* window full: push out what we have and sleep on a completion *)
+      flush c;
+      parked.(c) <- true
+    end
+    else flush c
+  in
+  for c = 0 to p.clients - 1 do
+    if remaining.(c) > 0 then Pqueue.push heap ~key:0 (Step c)
+  done;
+  let total = p.transfers in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.pop heap with
+    | None -> continue := false
+    | Some (now, ev) -> (
+      match ev with
+      | Step c -> step c now
+      | Rx { rx_c; rx_src; rx_dst; rx_resp; rx_submit } ->
+        (* the target node's NI serves the request: fixed cost plus the
+           value moving through its memory system. No server CPU — the
+           whole point of user-level DMA as a service. *)
+        let start = max now engine_free.(rx_dst) in
+        let fin =
+          start + cal.service_base_ps
+          + Units.transfer_ps ~bytes_per_s:cal.ram_bytes_per_s p.value_size
+        in
+        engine_free.(rx_dst) <- fin;
+        let arrive = send ~src:rx_dst ~dst:rx_src ~now:fin rx_resp in
+        Pqueue.push heap ~key:arrive (Done { dn_c = rx_c; dn_submit = rx_submit })
+      | Done { dn_c; dn_submit } ->
+        Uldma_obs.Percentile.record latency (now - dn_submit);
+        Uldma_obs.Counters.observe counters "kv.latency_ps" (now - dn_submit);
+        value_bytes := !value_bytes + p.value_size;
+        outstanding.(dn_c) <- outstanding.(dn_c) - 1;
+        incr completed;
+        if now > !sim_end then sim_end := now;
+        if parked.(dn_c) then begin
+          parked.(dn_c) <- false;
+          Pqueue.push heap ~key:(max now ready.(dn_c)) (Step dn_c)
+        end)
+  done;
+  if !completed <> total then
+    failwith
+      (Printf.sprintf "Kv_load.run: internal stall (%d of %d transfers completed)" !completed
+         total);
+  Uldma_obs.Counters.add counters "kv.requests" total;
+  Uldma_obs.Counters.add counters "kv.gets" !gets;
+  Uldma_obs.Counters.add counters "kv.puts" !puts;
+  Uldma_obs.Counters.add counters "kv.doorbells" !doorbells;
+  Uldma_obs.Counters.add counters "kv.wire_bytes" !wire_bytes;
+  Uldma_obs.Counters.add counters "kv.value_bytes" !value_bytes;
+  {
+    net_name = Backend.name net;
+    transfers = total;
+    gets = !gets;
+    puts = !puts;
+    doorbells = !doorbells;
+    value_bytes = !value_bytes;
+    wire_bytes = !wire_bytes;
+    latency;
+    sim_ps = !sim_end;
+    counters;
+  }
+
+let sweep ?(jobs = 1) p ~cal backends =
+  if jobs <= 1 || List.length backends <= 1 then
+    List.map (fun (name, net) -> (name, run p ~cal ~net)) backends
+  else begin
+    (* each run is pure and deterministic, so fanning out over domains
+       cannot change the result — only the wall clock *)
+    let slots = Array.of_list backends in
+    let out = Array.map (fun (name, _) -> (name, None)) slots in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length slots then begin
+          let name, net = slots.(i) in
+          out.(i) <- (name, Some (run p ~cal ~net));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (min (jobs - 1) (Array.length slots - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function name, Some r -> (name, r) | _, None -> assert false)
+         out)
+  end
+
+let sim_seconds r = float_of_int r.sim_ps *. 1e-12
+let transfers_per_s r = float_of_int r.transfers /. sim_seconds r
+let gbps r = float_of_int (r.value_bytes * 8) /. sim_seconds r /. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  type batching = { bat_net : string; batch1 : result; batched : result }
+
+  type t = {
+    params : params;
+    cal : calibration;
+    headline_net : string;
+    sweep : (string * result) list;
+    batching : batching;
+    cosim_nodes : int;
+    cosim_bytes : int;
+    cosim_packets : int;
+  }
+
+  let speedup b = transfers_per_s b.batched /. transfers_per_s b.batch1
+
+  let pct r q = Uldma_obs.Percentile.percentile r.latency q
+
+  let emit_result buf ~indent r =
+    let pad = String.make indent ' ' in
+    Printf.bprintf buf "%s\"transfers\": %d,\n" pad r.transfers;
+    Printf.bprintf buf "%s\"gets\": %d,\n" pad r.gets;
+    Printf.bprintf buf "%s\"puts\": %d,\n" pad r.puts;
+    Printf.bprintf buf "%s\"doorbells\": %d,\n" pad r.doorbells;
+    Printf.bprintf buf "%s\"value_bytes\": %d,\n" pad r.value_bytes;
+    Printf.bprintf buf "%s\"wire_bytes\": %d,\n" pad r.wire_bytes;
+    Printf.bprintf buf "%s\"p50_ps\": %d,\n" pad (pct r 0.50);
+    Printf.bprintf buf "%s\"p99_ps\": %d,\n" pad (pct r 0.99);
+    Printf.bprintf buf "%s\"p999_ps\": %d,\n" pad (pct r 0.999);
+    Printf.bprintf buf "%s\"mean_ps\": %.1f,\n" pad (Uldma_obs.Percentile.mean r.latency);
+    Printf.bprintf buf "%s\"min_ps\": %d,\n" pad (Uldma_obs.Percentile.min_value r.latency);
+    Printf.bprintf buf "%s\"max_ps\": %d,\n" pad (Uldma_obs.Percentile.max_value r.latency);
+    Printf.bprintf buf "%s\"sim_seconds\": %.9f,\n" pad (sim_seconds r);
+    Printf.bprintf buf "%s\"transfers_per_s\": %.1f,\n" pad (transfers_per_s r);
+    Printf.bprintf buf "%s\"goodput_gbps\": %.6f\n" pad (gbps r)
+
+  let to_json ?wall_seconds t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Printf.bprintf buf "  \"schema_version\": 1,\n";
+    Printf.bprintf buf "  \"bench\": \"cluster\",\n";
+    (match wall_seconds with
+    | Some w -> Printf.bprintf buf "  \"wall_seconds\": %.3f,\n" w
+    | None -> ());
+    Printf.bprintf buf "  \"params\": {\n";
+    Printf.bprintf buf "    \"nodes\": %d,\n" t.params.nodes;
+    Printf.bprintf buf "    \"clients\": %d,\n" t.params.clients;
+    Printf.bprintf buf "    \"transfers\": %d,\n" t.params.transfers;
+    Printf.bprintf buf "    \"batch\": %d,\n" t.params.batch;
+    Printf.bprintf buf "    \"window\": %d,\n" t.params.window;
+    Printf.bprintf buf "    \"value_size_bytes\": %d,\n" t.params.value_size;
+    Printf.bprintf buf "    \"get_ratio\": %.3f,\n" t.params.get_ratio;
+    Printf.bprintf buf "    \"seed\": %d,\n" t.params.seed;
+    Printf.bprintf buf "    \"mech\": %S,\n" t.params.mech;
+    Printf.bprintf buf "    \"net\": %S\n" t.headline_net;
+    Printf.bprintf buf "  },\n";
+    Printf.bprintf buf "  \"calibration\": {\n";
+    Printf.bprintf buf "    \"mech\": %S,\n" t.cal.cal_mech;
+    Printf.bprintf buf "    \"initiation_ps\": %d,\n" t.cal.initiation_ps;
+    Printf.bprintf buf "    \"submit_ps\": %d,\n" t.cal.submit_ps;
+    Printf.bprintf buf "    \"service_base_ps\": %d,\n" t.cal.service_base_ps;
+    Printf.bprintf buf "    \"ram_bytes_per_s\": %.0f\n" t.cal.ram_bytes_per_s;
+    Printf.bprintf buf "  },\n";
+    Printf.bprintf buf "  \"cosim\": {\n";
+    Printf.bprintf buf "    \"nodes\": %d,\n" t.cosim_nodes;
+    Printf.bprintf buf "    \"write_bytes\": %d,\n" t.cosim_bytes;
+    Printf.bprintf buf "    \"packets\": %d\n" t.cosim_packets;
+    Printf.bprintf buf "  },\n";
+    Printf.bprintf buf "  \"backends\": {\n";
+    let rec emit_sweep = function
+      | [] -> ()
+      | (name, r) :: rest ->
+        Printf.bprintf buf "    %S: {\n" name;
+        emit_result buf ~indent:6 r;
+        Printf.bprintf buf "    }%s\n" (if rest = [] then "" else ",");
+        emit_sweep rest
+    in
+    emit_sweep t.sweep;
+    Printf.bprintf buf "  },\n";
+    Printf.bprintf buf "  \"batching\": {\n";
+    Printf.bprintf buf "    \"net\": %S,\n" t.batching.bat_net;
+    Printf.bprintf buf "    \"batch1\": {\n";
+    emit_result buf ~indent:6 t.batching.batch1;
+    Printf.bprintf buf "    },\n";
+    Printf.bprintf buf "    \"batched\": {\n";
+    emit_result buf ~indent:6 t.batching.batched;
+    Printf.bprintf buf "    },\n";
+    Printf.bprintf buf "    \"batch\": %d,\n" t.params.batch;
+    Printf.bprintf buf "    \"speedup\": %.3f\n" (speedup t.batching);
+    Printf.bprintf buf "  }\n";
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+  let write ~path ?wall_seconds t =
+    let dir = Filename.dirname path in
+    if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let oc = open_out path in
+    output_string oc (to_json ?wall_seconds t);
+    close_out oc
+end

@@ -1,0 +1,110 @@
+(* Cluster-service smoke + determinism gate (the @cluster-smoke leg).
+
+   1. Instruction-level: a 3-node Session.cluster mesh moves a remote-
+      store burst end to end (every byte accounted for).
+   2. Load generator: a reduced 3-node x 2-backend KV run (10^4
+      transfers) must produce a byte-identical BENCH_cluster.json when
+      repeated with the same seed (modulo the wall_seconds line), obey
+      basic percentile sanity (p50 <= p99 <= p999 <= max), and show
+      doorbell batching beating batch=1 on the fast link.
+
+   Exit 0 = all gates pass. *)
+
+let fail = ref false
+
+let check name ok =
+  Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") name;
+  if not ok then fail := true
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let strip_wall json =
+  String.split_on_char '\n' json
+  |> List.filter (fun line -> not (contains ~sub:"wall_seconds" line))
+  |> String.concat "\n"
+
+let () =
+  Printf.printf "cluster-smoke: instruction-level mesh burst\n";
+  let nodes = 3 and words = 64 in
+  let cluster = Uldma.Session.cluster_exn ~net:"gigabit" ~nodes () in
+  let bytes, packets = Uldma_workload.Kv_load.cosim_burst cluster ~words in
+  check
+    (Printf.sprintf "burst delivers %d bytes (%d packets)" bytes packets)
+    (bytes = nodes * words * 8 && packets >= nodes * words);
+
+  Printf.printf "cluster-smoke: 3-node x 2-backend load generation\n";
+  let p =
+    {
+      Uldma_workload.Kv_load.default_params with
+      Uldma_workload.Kv_load.nodes;
+      clients = 60;
+      transfers = 10_000;
+      seed = 7;
+    }
+  in
+  let cal =
+    match Uldma_workload.Kv_load.calibrate p.Uldma_workload.Kv_load.mech with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  check
+    (Printf.sprintf "calibration: initiation %d ps, submit %d ps" cal.initiation_ps cal.submit_ps)
+    (cal.initiation_ps > 0 && cal.submit_ps > 0);
+  let backends =
+    List.map
+      (fun name ->
+        match Uldma_net.Backend.of_string name with
+        | Ok b -> (name, b)
+        | Error e -> failwith e)
+      [ "atm155"; "gigabit" ]
+  in
+  let report wall =
+    let sweep = Uldma_workload.Kv_load.sweep p ~cal backends in
+    let batch1 =
+      Uldma_workload.Kv_load.run
+        { p with Uldma_workload.Kv_load.batch = 1 }
+        ~cal ~net:(List.assoc "gigabit" backends)
+    in
+    let batched = Uldma_workload.Kv_load.run p ~cal ~net:(List.assoc "gigabit" backends) in
+    let r =
+      {
+        Uldma_workload.Kv_load.Report.params = p;
+        cal;
+        headline_net = "atm155";
+        sweep;
+        batching = { Uldma_workload.Kv_load.Report.bat_net = "gigabit"; batch1; batched };
+        cosim_nodes = nodes;
+        cosim_bytes = bytes;
+        cosim_packets = packets;
+      }
+    in
+    (r, Uldma_workload.Kv_load.Report.to_json ~wall_seconds:wall r)
+  in
+  let r1, json1 = report 1.0 in
+  let _r2, json2 = report 2.0 in
+  check "same seed => byte-identical report (modulo wall_seconds)"
+    (strip_wall json1 = strip_wall json2 && json1 <> json2);
+  List.iter
+    (fun (name, r) ->
+      let pc q = Uldma_obs.Percentile.percentile r.Uldma_workload.Kv_load.latency q in
+      check
+        (Printf.sprintf "%s: p50 %d <= p99 %d <= p999 %d <= max %d ps" name (pc 0.50) (pc 0.99)
+           (pc 0.999)
+           (Uldma_obs.Percentile.max_value r.Uldma_workload.Kv_load.latency))
+        (pc 0.50 <= pc 0.99
+        && pc 0.99 <= pc 0.999
+        && pc 0.999 <= Uldma_obs.Percentile.max_value r.Uldma_workload.Kv_load.latency
+        && pc 0.50 > 0))
+    r1.Uldma_workload.Kv_load.Report.sweep;
+  let sp = Uldma_workload.Kv_load.Report.speedup r1.Uldma_workload.Kv_load.Report.batching in
+  check
+    (Printf.sprintf "doorbell batching (batch=%d) beats batch=1: %.2fx" p.batch sp)
+    (sp > 1.02);
+  if !fail then begin
+    Printf.printf "cluster-smoke: FAILED\n";
+    exit 1
+  end
+  else Printf.printf "cluster-smoke: all gates passed\n"
