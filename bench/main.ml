@@ -154,7 +154,21 @@ let print_bench_results results =
      "domains" object with the per-domain Uldma_obs.Counters, and a
      "truncated_parallel" object checking that a max_paths-clipped run
      is identical at jobs 1/2/4 (the lease mechanism). All v4 keys
-     are preserved. *)
+     are preserved.
+
+   Schema v6 surfaces the fingerprint-keyed memo work (DESIGN.md 5g):
+   the headline "explorer" object gains "snapshots"/"bytes_hashed"
+   totals with per-node ratios (a node arrival = memo miss + memo hit
+   = states_visited + dedup_hits) and "encode_ns_per_node" — a
+   dedicated microbench timing one memo-key computation on a fixed
+   mid-exploration state, in both the default fingerprint mode and the
+   string-keyed paranoid mode ("encode_ns_per_node_paranoid") — and
+   each scenarios3 entry gains "snapshots_per_node",
+   "bytes_hashed_per_node" and a timed "paranoid" leg whose results
+   must be identical to the fingerprint run (the in-bench version of
+   tools/diff_explore's paranoid-vs-fingerprint check). The
+   encode_ns_per_node number is CI-gated against this committed file.
+   All v5 keys are preserved. *)
 let time_explore ?dedup ?jobs ~reps () =
   (* same-warmth discipline: one untimed warmup in this exact
      configuration, then min-of-reps *)
@@ -173,6 +187,40 @@ let time_explore ?dedup ?jobs ~reps () =
 let dedup_ratio (r : _ Uldma_verify.Explorer.result) =
   let h = r.Uldma_verify.Explorer.dedup_hits and v = r.Uldma_verify.Explorer.states_visited in
   float_of_int h /. float_of_int (max 1 (h + v))
+
+(* a "node" is one arrival at a dedup decision point: memo miss
+   (expanded) or memo hit *)
+let nodes (r : _ Uldma_verify.Explorer.result) =
+  max 1 (r.Uldma_verify.Explorer.states_visited + r.Uldma_verify.Explorer.dedup_hits)
+
+let per_node (r : _ Uldma_verify.Explorer.result) total =
+  float_of_int total /. float_of_int (nodes r)
+
+(* Microbench: nanoseconds to compute one memo key on a fixed
+   mid-exploration state (rep5, every pid advanced one leg past the
+   root, so the state has live processes and diverged pages). The
+   explorer's per-node encoding cost is too small for per-call
+   gettimeofday, so it is timed here over a tight loop instead — and
+   CI gates this number against the committed BENCH_explorer.json. *)
+let encode_ns_per_node ~paranoid =
+  let module Scenario = Uldma_workload.Scenario in
+  let s = Scenario.rep5 () in
+  let root = s.Scenario.kernel in
+  let k = Uldma_os.Kernel.snapshot root in
+  List.iter
+    (fun pid -> ignore (Uldma_verify.Explorer.advance_one_leg k pid ~max_instructions:2000))
+    (Scenario.explore_pids s);
+  let iters = 20_000 in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Uldma_os.Kernel.state_key ~relative_to:root ~paranoid k : string * int)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (run () : float);
+  let dt = Float.min (run ()) (run ()) in
+  dt *. 1e9 /. float_of_int iters
 
 let write_bench_explorer_json () =
   (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -196,7 +244,7 @@ let write_bench_explorer_json () =
     float_of_int res.Uldma_verify.Explorer.paths /. s
   in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 5,\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 6,\n";
   Printf.bprintf buf "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   Buffer.add_string buf "  \"timing\": \"min of repetitions after one untimed same-config warmup; no persistent memo cache\",\n";
   Buffer.add_string buf "  \"explorer\": {\n";
@@ -211,6 +259,15 @@ let write_bench_explorer_json () =
   Printf.bprintf buf "    \"dedup_hits\": %d,\n" r.Uldma_verify.Explorer.dedup_hits;
   Printf.bprintf buf "    \"dedup_ratio\": %.4f,\n" (dedup_ratio r);
   Printf.bprintf buf "    \"stuck_legs\": %d,\n" r.Uldma_verify.Explorer.stuck_legs;
+  Printf.bprintf buf "    \"snapshots\": %d,\n" r.Uldma_verify.Explorer.snapshots;
+  Printf.bprintf buf "    \"snapshots_per_node\": %.3f,\n"
+    (per_node r r.Uldma_verify.Explorer.snapshots);
+  Printf.bprintf buf "    \"bytes_hashed\": %d,\n" r.Uldma_verify.Explorer.bytes_hashed;
+  Printf.bprintf buf "    \"bytes_hashed_per_node\": %.1f,\n"
+    (per_node r r.Uldma_verify.Explorer.bytes_hashed);
+  Printf.bprintf buf "    \"encode_ns_per_node\": %.1f,\n" (encode_ns_per_node ~paranoid:false);
+  Printf.bprintf buf "    \"encode_ns_per_node_paranoid\": %.1f,\n"
+    (encode_ns_per_node ~paranoid:true);
   Buffer.add_string buf "    \"no_dedup\": {\n";
   Printf.bprintf buf "      \"paths\": %d,\n" r_nd.Uldma_verify.Explorer.paths;
   Printf.bprintf buf "      \"states_visited\": %d,\n" r_nd.Uldma_verify.Explorer.states_visited;
@@ -237,27 +294,28 @@ let write_bench_explorer_json () =
   in
   List.iteri
     (fun i (name, build) ->
-      let explore_once ?jobs ?memo_cap ?(max_paths = 1_000_000) () =
+      let explore_once ?paranoid_memo ?jobs ?memo_cap ?(max_paths = 1_000_000) () =
         let s = build () in
         let t0 = Unix.gettimeofday () in
         let r =
           Uldma_verify.Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
-            ~max_paths ?jobs ?memo_cap ~check:(Scenario.oracle_check s) ()
+            ~max_paths ?paranoid_memo ?jobs ?memo_cap ~check:(Scenario.oracle_check s) ()
         in
         (r, Unix.gettimeofday () -. t0)
       in
       (* one untimed warmup + min-of-2 per leg: every leg (sequential
          and parallel) gets identical warmth and no persistent cache *)
-      let explore ?jobs ?memo_cap () =
-        ignore (explore_once ?jobs ?memo_cap () : _ * float);
-        let ra, ta = explore_once ?jobs ?memo_cap () in
-        let _, tb = explore_once ?jobs ?memo_cap () in
+      let explore ?paranoid_memo ?jobs ?memo_cap () =
+        ignore (explore_once ?paranoid_memo ?jobs ?memo_cap () : _ * float);
+        let ra, ta = explore_once ?paranoid_memo ?jobs ?memo_cap () in
+        let _, tb = explore_once ?paranoid_memo ?jobs ?memo_cap () in
         (ra, Float.min ta tb)
       in
       let r1, s1 = explore () in
       let r2, s2 = explore ~jobs:2 () in
       let r4, s4 = explore ~jobs:4 () in
       let rb, sb = explore ~memo_cap:512 () in
+      let rp, sp = explore ~paranoid_memo:true () in
       (* the lease check needs no timing: single clipped runs *)
       let trunc_paths = 50_000 in
       let t1, _ = explore_once ~max_paths:trunc_paths () in
@@ -275,6 +333,10 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "      \"cutoff\": %d,\n" r4.Uldma_verify.Explorer.cutoff;
       Printf.bprintf buf "      \"memo_merges\": %d,\n" r4.Uldma_verify.Explorer.memo_merges;
       Printf.bprintf buf "      \"lease_splits\": %d,\n" r4.Uldma_verify.Explorer.lease_splits;
+      Printf.bprintf buf "      \"snapshots_per_node\": %.3f,\n"
+        (per_node r1 r1.Uldma_verify.Explorer.snapshots);
+      Printf.bprintf buf "      \"bytes_hashed_per_node\": %.1f,\n"
+        (per_node r1 r1.Uldma_verify.Explorer.bytes_hashed);
       let jobs_obj key (r : _ Uldma_verify.Explorer.result) secs =
         Printf.bprintf buf "      \"%s\": {\n" key;
         Printf.bprintf buf "        \"seconds\": %.6f,\n" secs;
@@ -320,6 +382,17 @@ let write_bench_explorer_json () =
             (Uldma_obs.Counters.value r4.Uldma_verify.Explorer.counters n)
             (if j = List.length dnames - 1 then "" else ","))
         dnames;
+      Printf.bprintf buf "      },\n";
+      Printf.bprintf buf "      \"paranoid\": {\n";
+      Printf.bprintf buf "        \"seconds\": %.6f,\n" sp;
+      Printf.bprintf buf "        \"bytes_hashed_per_node\": %.1f,\n"
+        (per_node rp rp.Uldma_verify.Explorer.bytes_hashed);
+      Printf.bprintf buf "        \"speedup_fingerprint_vs_paranoid\": %.3f,\n" (sp /. s1);
+      Printf.bprintf buf "        \"results_identical\": %b\n"
+        (rp.Uldma_verify.Explorer.paths = r1.Uldma_verify.Explorer.paths
+        && rp.Uldma_verify.Explorer.states_visited = r1.Uldma_verify.Explorer.states_visited
+        && List.map snd rp.Uldma_verify.Explorer.violations
+           = List.map snd r1.Uldma_verify.Explorer.violations);
       Printf.bprintf buf "      },\n";
       Printf.bprintf buf "      \"bounded_memo\": {\n";
       Printf.bprintf buf "        \"memo_cap\": 512,\n";

@@ -282,6 +282,17 @@ let explore_cmd =
       & info [ "no-dedup" ]
           ~doc:"Disable state deduplication: expand every schedule even through states already seen.")
   in
+  let paranoid_memo =
+    Arg.(
+      value
+      & flag
+      & info [ "paranoid-memo" ]
+          ~doc:
+            "Key the dedup memo on full canonical encoding strings instead of streamed 126-bit \
+             fingerprints. Slower, but key equality is then exactly state equality — the \
+             verification mode tools/diff_explore runs differentially against the fingerprint \
+             default. Ignores --memo-file (the persistent cache stores fingerprint keys).")
+  in
   let max_paths =
     Arg.(
       value
@@ -330,7 +341,8 @@ let explore_cmd =
              (default 1000000 = 1us). Coarser ticks merge more states; durations are never \
              rounded down to zero.")
   in
-  let run which jobs no_dedup max_paths memo_cap memo_file net tick_ps trace_file trace_format =
+  let run which jobs no_dedup paranoid_memo max_paths memo_cap memo_file net tick_ps trace_file
+      trace_format =
     with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let module Explorer = Uldma_verify.Explorer in
@@ -383,7 +395,7 @@ let explore_cmd =
     let t0 = Unix.gettimeofday () in
     let r =
       Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ~max_paths
-        ~dedup:(not no_dedup) ~jobs ~memo_cap ?memo_file ~memo_key ~memo_net
+        ~dedup:(not no_dedup) ~paranoid_memo ~jobs ~memo_cap ?memo_file ~memo_key ~memo_net
         ~check:(Scenario.oracle_check s) ()
     in
     let secs = Unix.gettimeofday () -. t0 in
@@ -404,6 +416,11 @@ let explore_cmd =
     row "dedup hits" (string_of_int r.Explorer.dedup_hits);
     row "stuck legs" (string_of_int r.Explorer.stuck_legs);
     row "memo evictions" (string_of_int r.Explorer.evictions);
+    row "snapshots" (string_of_int r.Explorer.snapshots);
+    if not no_dedup then begin
+      row "memo keying" (if paranoid_memo then "paranoid (full encodings)" else "fingerprint-128");
+      row "bytes hashed" (string_of_int r.Explorer.bytes_hashed)
+    end;
     row "steals" (string_of_int r.Explorer.steals);
     if jobs > 1 then begin
       row "publications" (string_of_int r.Explorer.publications);
@@ -429,8 +446,8 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const run $ which $ jobs $ no_dedup $ max_paths $ memo_cap $ memo_file $ net $ tick_ps
-      $ trace_file_arg $ trace_format_arg)
+      const run $ which $ jobs $ no_dedup $ paranoid_memo $ max_paths $ memo_cap $ memo_file $ net
+      $ tick_ps $ trace_file_arg $ trace_format_arg)
 
 let cluster_cmd =
   let module Kv = Uldma_workload.Kv_load in

@@ -33,17 +33,26 @@ let execute t ~read ~write ~target =
   | Cas { expected; new_value } -> if old_value = expected then write target new_value);
   old_value
 
-let encode_value buf = function
-  | Add v -> Printf.bprintf buf "a%d" v
-  | Fetch_store v -> Printf.bprintf buf "f%d" v
-  | Cas { expected; new_value } -> Printf.bprintf buf "c%d,%d" expected new_value
+let encode_value enc = function
+  | Add v ->
+    Uldma_util.Enc.char enc 'a';
+    Uldma_util.Enc.int enc v
+  | Fetch_store v ->
+    Uldma_util.Enc.char enc 'f';
+    Uldma_util.Enc.int enc v
+  | Cas { expected; new_value } ->
+    Uldma_util.Enc.char enc 'c';
+    Uldma_util.Enc.int enc expected;
+    Uldma_util.Enc.int enc new_value
 
-let encode_pending buf = function
-  | P_none -> Buffer.add_char buf 'n'
-  | P_cas_expected e -> Printf.bprintf buf "e%d" e
+let encode_pending enc = function
+  | P_none -> Uldma_util.Enc.char enc 'n'
+  | P_cas_expected e ->
+    Uldma_util.Enc.char enc 'e';
+    Uldma_util.Enc.int enc e
   | P_ready op ->
-    Buffer.add_char buf 'r';
-    encode_value buf op
+    Uldma_util.Enc.char enc 'r';
+    encode_value enc op
 
 let pp ppf = function
   | Add v -> Format.fprintf ppf "atomic_add(%d)" v

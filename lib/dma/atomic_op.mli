@@ -34,10 +34,10 @@ val accumulate : pending -> int -> pending
 val execute : t -> read:(int -> int) -> write:(int -> int -> unit) -> target:int -> int
 (** Perform the operation on memory; returns the old value. *)
 
-val encode_value : Buffer.t -> t -> unit
-(** Append a canonical textual encoding of the operation, for state
+val encode_value : Uldma_util.Enc.t -> t -> unit
+(** Feed a canonical encoding of the operation, for state
     fingerprinting. Injective per constructor. *)
 
-val encode_pending : Buffer.t -> pending -> unit
+val encode_pending : Uldma_util.Enc.t -> pending -> unit
 
 val pp : Format.formatter -> t -> unit

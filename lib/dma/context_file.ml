@@ -76,15 +76,12 @@ let clear_args c =
 (* Canonical textual encoding for state fingerprinting. [last_transfer]
    is deliberately skipped: the engine encodes transfer observables
    (including per-context status-at-now) itself, with clock access. *)
-let encode buf t =
-  let i v =
-    Buffer.add_string buf (string_of_int v);
-    Buffer.add_char buf ','
-  in
+let encode enc t =
+  let i v = Uldma_util.Enc.int enc v in
   let opt = function None -> min_int | Some v -> v in
   Array.iter
     (fun c ->
-      Buffer.add_char buf 'c';
+      Uldma_util.Enc.char enc 'c';
       i c.index;
       i c.key;
       i (opt c.owner_pid);
@@ -95,7 +92,7 @@ let encode buf t =
       i c.status;
       i (opt c.atomic_target);
       i (opt c.mailbox);
-      Atomic_op.encode_pending buf c.atomic_pending)
+      Atomic_op.encode_pending enc c.atomic_pending)
     t
 
 let reset c =

@@ -59,8 +59,8 @@ val reset : context -> unit
 (** Full reset including status and pending atomics (context switch of
     ownership). *)
 
-val encode : Buffer.t -> t -> unit
-(** Append a canonical textual encoding of every context's registers
+val encode : Uldma_util.Enc.t -> t -> unit
+(** Feed a canonical encoding of every context's registers
     (key, owner, args, status, pending atomic, mailbox), for state
     fingerprinting. [last_transfer] is excluded — the engine encodes
     transfer observables itself. *)

@@ -648,21 +648,19 @@ let handle t (txn : Txn.t) =
    states in the same bucket can diverge observably one tick later —
    quantisation belongs in the backend's duration_ps, where it shrinks
    the set of deadlines without ever merging distinct ones. *)
-let encode buf t =
-  let i v =
-    Buffer.add_string buf (string_of_int v);
-    Buffer.add_char buf ','
-  in
+let encode enc t =
+  let i v = Uldma_util.Enc.int enc v in
+  let ch c = Uldma_util.Enc.char enc c in
   let opt = function None -> min_int | Some v -> v in
-  Buffer.add_string buf "E:";
-  Seq_matcher.encode buf t.matcher;
-  Context_file.encode buf t.contexts;
+  Uldma_util.Enc.string enc "E:";
+  Seq_matcher.encode enc t.matcher;
+  Context_file.encode enc t.contexts;
   (* per-context status as loads would see it right now *)
-  Buffer.add_char buf 's';
+  ch 's';
   for c = 0 to Context_file.length t.contexts - 1 do
     i (context_status t c)
   done;
-  Buffer.add_char buf 'p';
+  ch 'p';
   (match t.pending with
   | None -> ()
   | Some { p_dest; p_size; p_pid; p_ctx } ->
@@ -670,22 +668,22 @@ let encode buf t =
     i p_size;
     i p_pid;
     i p_ctx);
-  Buffer.add_char buf 'k';
+  ch 'k';
   i t.current_pid;
   i t.k_src;
   i t.k_dst;
   i t.k_status;
   i t.k_atomic_target;
-  Atomic_op.encode_pending buf t.k_atomic_pending;
-  Buffer.add_char buf 'g';
+  Atomic_op.encode_pending enc t.k_atomic_pending;
+  ch 'g';
   i (opt t.g_atomic_target);
-  Atomic_op.encode_pending buf t.g_atomic_pending;
-  Buffer.add_char buf 'l';
+  Atomic_op.encode_pending enc t.g_atomic_pending;
+  ch 'l';
   i t.last_status;
   i (match t.last_transfer with None -> min_int | Some tr -> Transfer.remaining tr ~now:(now t));
   List.iter
     (fun (tr : Transfer.t) ->
-      Buffer.add_char buf 't';
+      ch 't';
       i tr.Transfer.src;
       i tr.Transfer.dst;
       i tr.Transfer.size;
@@ -694,21 +692,35 @@ let encode buf t =
       i (Transfer.remaining_ps tr ~now:(now t));
       i tr.Transfer.duration)
     t.transfers;
-  (match t.map_out_staged with None -> () | Some p -> Printf.bprintf buf "M%d;" p);
+  (match t.map_out_staged with
+  | None -> ()
+  | Some p ->
+    ch 'M';
+    i p;
+    ch ';');
   if Hashtbl.length t.mapped_out > 0 then begin
     let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.mapped_out [] in
     List.iter
-      (fun (k, v) -> Printf.bprintf buf "o%d,%d;" k v)
+      (fun (k, v) ->
+        ch 'o';
+        i k;
+        i v;
+        ch ';')
       (List.sort compare bindings)
   end;
   List.iter
     (fun p ->
-      Printf.bprintf buf "w%d,%s," p.remote_addr (Bytes.to_string p.payload |> String.escaped);
+      ch 'w';
+      i p.remote_addr;
+      Uldma_util.Enc.string enc (Bytes.to_string p.payload |> String.escaped);
+      ch ',';
       match p.kind with
-      | Remote_write -> Buffer.add_char buf ';'
+      | Remote_write -> ch ';'
       | Remote_atomic { op; reply_paddr } ->
-        Atomic_op.encode_value buf op;
-        Printf.bprintf buf "@%d;" reply_paddr)
+        Atomic_op.encode_value enc op;
+        ch '@';
+        i reply_paddr;
+        ch ';')
     t.outbound
 
 (* Earliest future completion among in-flight transfers, if any. Under

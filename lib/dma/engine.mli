@@ -136,8 +136,8 @@ val take_outbound : t -> outbound_packet list
 val counters : t -> counters
 val context_status : t -> int -> int
 
-val encode : Buffer.t -> t -> unit
-(** Append a canonical textual encoding of the engine's observable
+val encode : Uldma_util.Enc.t -> t -> unit
+(** Feed a canonical encoding of the engine's observable
     state (matcher, contexts, pending deposits, atomic slots, transfer
     observables, mapped-out table, outbound queue), for the explorer's
     state fingerprint. In-flight transfers are encoded by their

@@ -62,18 +62,15 @@ let position t = t.index
 
 (* Canonical textual encoding of the matcher's mutable registers, for
    state fingerprinting. [steps] is a pure function of [variant]. *)
-let encode buf t =
-  let i v =
-    Buffer.add_string buf (string_of_int v);
-    Buffer.add_char buf ','
-  in
-  Buffer.add_char buf 'm';
+let encode enc t =
+  let i v = Uldma_util.Enc.int enc v in
+  Uldma_util.Enc.char enc 'm';
   i (match t.variant with Three -> 3 | Four -> 4 | Five -> 5);
   i t.index;
   i t.dest;
   i t.src;
   i t.size;
-  Buffer.add_char buf ';' 
+  Uldma_util.Enc.char enc ';'
 
 (* Try to accept [op/paddr/value] as step [t.index]. *)
 let accept t op paddr value =

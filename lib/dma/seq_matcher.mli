@@ -45,8 +45,8 @@ val position : t -> int
 (** How many accesses of the current candidate sequence have been
     accepted (0 = idle). *)
 
-val encode : Buffer.t -> t -> unit
-(** Append a canonical textual encoding of the matcher's mutable
+val encode : Uldma_util.Enc.t -> t -> unit
+(** Feed a canonical encoding of the matcher's mutable
     registers (variant, position, bound dest/src/size), for state
     fingerprinting: two matchers with equal encodings behave
     identically on every future access stream. *)

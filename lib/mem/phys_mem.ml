@@ -26,6 +26,16 @@ type t = {
          state hashing only needs to visit [touched] — O(dirtied), not
          O(RAM). Persistent set: sharing it with a copy is safe because
          each side grows its own version. *)
+  dg_lo : int array; (* cached per-page content digests (two Fp128 lanes) *)
+  dg_hi : int array;
+  dg_ok : bool array;
+      (* dg_ok.(i): dg_lo/hi.(i) hold the digest of pages.(i)'s current
+         content. Under COW a shared page is immutable, so the cache
+         survives [copy] on both sides and is invalidated only when
+         [page_rw] hands out a writable view. *)
+  mutable digest_fills : int;
+      (* number of times a page was actually hashed to (re)fill the
+         cache — the zero-page shortcut and cache hits don't count. *)
 }
 
 exception Fault of int
@@ -41,7 +51,16 @@ let create ~size =
   if size > Layout.max_ram_size then
     invalid_arg "Phys_mem.create: size exceeds Layout.max_ram_size";
   let n = size lsr Layout.page_shift in
-  { size; pages = Array.make n zero_page; owned = Array.make n false; touched = Iset.empty }
+  {
+    size;
+    pages = Array.make n zero_page;
+    owned = Array.make n false;
+    touched = Iset.empty;
+    dg_lo = Array.make n 0;
+    dg_hi = Array.make n 0;
+    dg_ok = Array.make n false;
+    digest_fills = 0;
+  }
 
 let size t = t.size
 
@@ -52,6 +71,12 @@ let copy t =
     pages = Array.copy t.pages;
     owned = Array.make (Array.length t.pages) false;
     touched = t.touched;
+    (* Shared pages are immutable, so their cached digests stay valid on
+       both sides of the copy. *)
+    dg_lo = Array.copy t.dg_lo;
+    dg_hi = Array.copy t.dg_hi;
+    dg_ok = Array.copy t.dg_ok;
+    digest_fills = 0;
   }
 
 let page_count t = Array.length t.pages
@@ -62,11 +87,14 @@ let owned_pages t =
   !n
 
 (* A writable view of page [i]: fault in a private copy first if the
-   page is (possibly) shared. *)
+   page is (possibly) shared. Owned implies touched ([owned.(i)] is only
+   ever set below, right after the [Iset.add]), so an already-owned page
+   skips the persistent-set insertion entirely. *)
 let page_rw t i =
-  t.touched <- Iset.add i t.touched;
+  t.dg_ok.(i) <- false;
   if t.owned.(i) then t.pages.(i)
   else begin
+    t.touched <- Iset.add i t.touched;
     let fresh = Bytes.copy t.pages.(i) in
     t.pages.(i) <- fresh;
     t.owned.(i) <- true;
@@ -141,6 +169,7 @@ let fill t ~addr ~len ~byte =
            cheap under copy-on-write). *)
         t.pages.(i) <- zero_page;
         t.owned.(i) <- false;
+        t.dg_ok.(i) <- false;
         t.touched <- Iset.add i t.touched
       end
       else Bytes.fill (page_rw t i) off span c)
@@ -155,6 +184,27 @@ let checksum t ~addr ~len =
         acc := ((!acc * 131) + b) land max_int
       done);
   !acc
+
+(* Digest of the canonical zero page, computed at most once per run. *)
+let zero_digest = lazy (Uldma_util.Fp128.digest zero_page)
+
+let page_digest t i =
+  if t.dg_ok.(i) then (t.dg_lo.(i), t.dg_hi.(i))
+  else begin
+    let ((lo, hi) as d) =
+      if t.pages.(i) == zero_page then Lazy.force zero_digest
+      else begin
+        t.digest_fills <- t.digest_fills + 1;
+        Uldma_util.Fp128.digest t.pages.(i)
+      end
+    in
+    t.dg_lo.(i) <- lo;
+    t.dg_hi.(i) <- hi;
+    t.dg_ok.(i) <- true;
+    d
+  end
+
+let digest_fills t = t.digest_fills
 
 let touched_count t = Iset.cardinal t.touched
 

@@ -29,6 +29,20 @@ val owned_pages : t -> int
     private (unshared, writable-in-place) copy of. A fresh or
     just-snapshotted RAM owns none. *)
 
+val page_digest : t -> int -> int * int
+(** [page_digest t i] is the {!Uldma_util.Fp128.digest} of page [i]'s
+    current content, served from a per-slot cache when valid. Under
+    copy-on-write a shared page is immutable, so cached digests survive
+    [copy] on both sides and are invalidated only when a writable view
+    of the page is handed out. Never-written pages hit a shared
+    zero-page digest without hashing anything. *)
+
+val digest_fills : t -> int
+(** Number of times [page_digest] actually hashed a page on this
+    instance (cache hits and the zero-page shortcut excluded) — for
+    bytes-hashed accounting and cache tests. Reset to 0 by [copy] on
+    the new instance. *)
+
 val touched_count : t -> int
 (** Number of pages ever written since [create] (inherited across
     [copy]). A fresh RAM has touched none. *)

@@ -738,21 +738,17 @@ let write_user t p vaddr value = Phys_mem.store_word t.ram (user_paddr t p vaddr
    with the root are byte-identical in every fork, so skipping them is
    exact and keeps encodings proportional to the work done since the
    root rather than to setup-time writes. *)
-let state_encoding ?relative_to t =
-  let buf = Buffer.create 1024 in
-  let i v =
-    Buffer.add_string buf (string_of_int v);
-    Buffer.add_char buf ','
-  in
-  Buffer.add_char buf 'K';
+let encode_state enc ?relative_to t =
+  let module E = Uldma_util.Enc in
+  let i v = E.int enc v in
+  let ch c = E.char enc c in
+  ch 'K';
   i (match t.running with None -> min_int | Some pid -> pid);
-  if t.force_switch then Buffer.add_char buf 'F';
-  List.iter
-    (fun h -> Buffer.add_char buf (match h with Shrimp_invalidate -> 'S' | Flash_inform -> 'I'))
-    t.hooks;
+  if t.force_switch then ch 'F';
+  List.iter (fun h -> ch (match h with Shrimp_invalidate -> 'S' | Flash_inform -> 'I')) t.hooks;
   List.iter
     (fun (p : Process.t) ->
-      Buffer.add_char buf 'P';
+      ch 'P';
       i p.Process.pid;
       i
         (match p.Process.state with
@@ -769,30 +765,67 @@ let state_encoding ?relative_to t =
       i (Bus.pid_access_count t.bus p.Process.pid);
       List.iter i (Regfile.to_list p.Process.ctx.Cpu.regs))
     t.procs;
-  Buffer.add_char buf 'W';
+  ch 'W';
   List.iter
     (fun (paddr, value) ->
       i paddr;
       i value)
     (Write_buffer.pending t.write_buffer);
-  Buffer.add_char buf 'o';
+  ch 'o';
   List.iter
     (fun (pid, value) ->
       i pid;
       i value)
     t.console;
-  Buffer.add_char buf 'f';
+  ch 'f';
   List.iter i t.contexts_free;
-  Engine.encode buf t.engine;
-  Buffer.add_char buf 'R';
-  let add_page idx page =
-    i idx;
-    Buffer.add_bytes buf page
+  Engine.encode enc t.engine;
+  ch 'R';
+  (* Text mode embeds the raw page bytes (the key *is* the state);
+     fingerprint mode feeds the cached per-page content digest instead
+     — equal bytes give equal digests, so both modes observe the same
+     page partition. *)
+  let add_page =
+    match enc with
+    | E.Buf _ ->
+      fun idx page ->
+        i idx;
+        E.bytes enc page
+    | E.Fp _ ->
+      fun idx _page ->
+        let lo, hi = Phys_mem.page_digest t.ram idx in
+        i idx;
+        i lo;
+        i hi
   in
-  (match relative_to with
+  match relative_to with
   | Some root -> Phys_mem.iter_diverged t.ram ~baseline:root.ram add_page
-  | None -> Phys_mem.iter_touched t.ram add_page);
+  | None -> Phys_mem.iter_touched t.ram add_page
+
+let state_encoding ?relative_to t =
+  let buf = Buffer.create 1024 in
+  encode_state (Uldma_util.Enc.Buf buf) ?relative_to t;
   Buffer.contents buf
+
+(* Memo key for the explorer. Fingerprint mode streams the same token
+   walk into a two-lane 126-bit hash and returns its 16-byte packed key
+   — nothing is materialised, page content is folded in via cached
+   digests — and reports how many bytes were actually hashed (streamed
+   tokens plus any page-digest cache fills). Paranoid mode returns the
+   full textual encoding, under which key equality is exactly state
+   equality. *)
+let state_key ?relative_to ~paranoid t =
+  if paranoid then begin
+    let s = state_encoding ?relative_to t in
+    (s, String.length s)
+  end
+  else begin
+    let fills0 = Phys_mem.digest_fills t.ram in
+    let fp = Uldma_util.Fp128.create () in
+    encode_state (Uldma_util.Enc.Fp fp) ?relative_to t;
+    let filled = Phys_mem.digest_fills t.ram - fills0 in
+    (Uldma_util.Fp128.key fp, Uldma_util.Fp128.fed fp + (filled * Layout.page_size))
+  end
 
 (* FNV-1a over the canonical encoding. The 64-bit hash is for shard
    selection and reporting; dedup itself keys on the full encoding, so

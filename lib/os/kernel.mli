@@ -120,9 +120,24 @@ val state_encoding : ?relative_to:t -> t -> string
     from it — exact, and O(work since the root) instead of O(all
     setup-time writes). *)
 
+val state_key : ?relative_to:t -> paranoid:bool -> t -> string * int
+(** Memo key for the explorer, plus the number of bytes hashed to
+    produce it. With [~paranoid:false] (the default exploration mode)
+    the same token walk as [state_encoding] is streamed into a two-lane
+    126-bit fingerprint ({!Uldma_util.Fp128}) and the 16-byte packed
+    key is returned — no encoding string is materialised, and RAM pages
+    are folded in via cached per-page digests ({!Phys_mem.page_digest})
+    so an unchanged page costs two ints instead of a page-size hash.
+    Two states with equal encodings always get equal keys; distinct
+    states collide only if both 63-bit lanes collide (~2^-126 —
+    [tools/diff_explore] checks fingerprint runs against paranoid runs
+    differentially). With [~paranoid:true] the key is the full
+    [state_encoding] string, under which key equality is exactly
+    encoding equality. *)
+
 val fingerprint : ?relative_to:t -> t -> int64
-(** FNV-1a hash of [state_encoding] — for shard selection and
-    reporting. Dedup never trusts the hash alone. *)
+(** FNV-1a hash of [state_encoding] — for the persisted-memo root
+    guard and reporting. Dedup never trusts this hash alone. *)
 
 val counter_snapshot : t -> Uldma_obs.Counters.t
 (** The machine's accounting as a uniform named-counter registry:

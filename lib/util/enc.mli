@@ -1,0 +1,15 @@
+(** Encoding sink: one canonical state walk, two consumers.
+
+    [Buf] appends the textual encoding to a buffer (the pre-v5 format:
+    ints are decimal with a trailing [','], tags and raw bytes verbatim).
+    [Fp] streams the same tokens into a {!Fp128} fingerprint without
+    materialising anything.  Encoders (kernel, DMA engine, matchers)
+    take an [Enc.t] so both modes are guaranteed to observe exactly the
+    same state components. *)
+
+type t = Buf of Buffer.t | Fp of Fp128.t
+
+val int : t -> int -> unit
+val char : t -> char -> unit
+val string : t -> string -> unit
+val bytes : t -> bytes -> unit

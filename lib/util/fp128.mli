@@ -1,0 +1,45 @@
+(** Streaming two-lane 126-bit fingerprint.
+
+    Allocation-free on the hot path: both lanes are native 63-bit ints
+    mixed word-at-a-time.  Used by [Kernel.state_key] to fingerprint
+    canonical state walks without materialising the encoding string, and
+    by [Phys_mem] to digest immutable COW pages (bytes are packed into
+    48-bit words so no bit is dropped by int conversion). *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val add_int : t -> int -> unit
+(** Feed one integer word. *)
+
+val add_tag : t -> char -> unit
+(** Feed a section-tag character, domain-separated from [add_int] values
+    (the sign bit is set), so a tag can never alias a small value. *)
+
+val add_string : t -> string -> unit
+(** Feed a variable-length string, length-prefixed for injectivity. *)
+
+val add_bytes : t -> bytes -> unit
+(** Feed a variable-length byte run, length-prefixed for injectivity. *)
+
+val fed : t -> int
+(** Bytes accounted so far (ints count as 8, tags as 1, strings as
+    8 + length).  Used for [bytes_hashed] statistics. *)
+
+val lanes : t -> int * int
+(** Finalised (avalanched) lane values.  Does not mutate [t]; more input
+    may be fed afterwards. *)
+
+val key : t -> string
+(** 16-byte packed key of the finalised lanes — suitable as a compact
+    hashtable key. *)
+
+val key_of_lanes : int -> int -> string
+(** Pack two already-finalised lanes into a 16-byte key. *)
+
+val digest : bytes -> int * int
+(** One-shot digest of a byte block (e.g. a physical page).  Equal
+    contents give equal digests; the result feeds back into a stream via
+    {!add_int} on both lanes. *)

@@ -14,6 +14,8 @@ type 'v result = {
   lease_splits : int;
   memo_merges : int;
   cutoff : int;
+  snapshots : int;
+  bytes_hashed : int;
   counters : Uldma_obs.Counters.t;
 }
 
@@ -56,12 +58,16 @@ let advance_leg kernel leg ~max_instructions =
 (* ------------------------------------------------------------------ *)
 (* State-deduplicated, optionally multi-domain search.
 
-   The memo table maps a state's canonical encoding
-   ([Kernel.state_encoding] — the engine-visible state; the live-pid
+   The memo table maps a state's key ([Kernel.state_key] over the
+   canonical encoding walk — the engine-visible state; the live-pid
    set, which is the only schedule-relevant remainder, is part of it)
-   to the *summary* of its fully-explored subtree. Because the key is
-   the full encoding string, a hash collision can only cost a shard
-   imbalance, never a false merge. A summary stores violation
+   to the *summary* of its fully-explored subtree. The default key is
+   a streaming 16-byte/126-bit fingerprint (no encoding string is ever
+   built; page content enters via cached digests), under which a false
+   merge requires both 63-bit lanes to collide — ~2^-126, checked
+   differentially by tools/diff_explore against [paranoid_memo] runs,
+   whose keys are the full encoding strings and can never falsely
+   merge. A summary stores violation
    schedules as suffixes relative to its state, each tagged with the
    index of its terminal within the subtree's DFS enumeration; a memo
    hit re-emits them under the current prefix, in their original
@@ -122,6 +128,7 @@ type 'v shared = {
   max_instructions : int;
   max_paths : int;
   dedup : bool;
+  paranoid : bool; (* memo keys are full encoding strings, not fingerprints *)
   check : Kernel.t -> 'v option;
   machine : int;
   visited : int Atomic.t;
@@ -157,6 +164,8 @@ type wstats = {
   mutable st_pubs : int;
   mutable st_splits : int;
   mutable st_merges : int;
+  mutable st_snapshots : int; (* Kernel.snapshot calls (elided last legs don't count) *)
+  mutable st_hash_bytes : int; (* bytes fed to the memo key (stream + digest fills) *)
 }
 
 (* Per-worker context: the private memo generation (jobs > 1 only; the
@@ -312,6 +321,7 @@ let publish_siblings sh sp w x sink kernel schedule_rev depth rest =
   List.iter
     (fun pid ->
       let fork = Kernel.snapshot kernel in
+      w.w_stats.st_snapshots <- w.w_stats.st_snapshots + 1;
       note sh sink fork depth `Fork;
       match advance_leg fork pid ~max_instructions:sh.max_instructions with
       | `Progress | `Exited ->
@@ -348,7 +358,12 @@ let rec explore_state sh split w x sink kernel schedule_rev depth =
   else begin
     bump_depth_max sh depth;
     let encoding =
-      if sh.dedup then Some (Kernel.state_encoding ~relative_to:sh.root kernel) else None
+      if sh.dedup then begin
+        let key, bytes = Kernel.state_key ~relative_to:sh.root ~paranoid:sh.paranoid kernel in
+        w.w_stats.st_hash_bytes <- w.w_stats.st_hash_bytes + bytes;
+        Some key
+      end
+      else None
     in
     let hit = match encoding with Some e -> memo_find sh w e | None -> None in
     match hit with
@@ -407,33 +422,44 @@ let rec explore_state sh split w x sink kernel schedule_rev depth =
         let to_expand = if published then [ first ] else legs in
         let acc_paths = ref 0 and acc_viol = ref [] and acc_stuck = ref 0 in
         let clean = ref (not published) in
-        List.iter
-          (fun pid ->
-            if x.x_used >= x.x_lease then begin
-              cap sh x sink kernel depth;
-              clean := false
-            end
-            else begin
-              let fork = Kernel.snapshot kernel in
-              note sh sink fork depth `Fork;
-              match advance_leg fork pid ~max_instructions:sh.max_instructions with
-              | `Progress | `Exited ->
-                let s, c = explore_state sh split w x sink fork (pid :: schedule_rev) (depth + 1) in
-                List.iter
-                  (fun (v, sfx, i) -> acc_viol := (v, pid :: sfx, !acc_paths + i) :: !acc_viol)
-                  s.s_violations;
-                acc_paths := !acc_paths + s.s_paths;
-                acc_stuck := !acc_stuck + s.s_stuck;
-                if not c then clean := false
-              | `Stuck ->
-                (* prune just this leg: the pid spun past the
-                   instruction budget without an NI access — its
-                   siblings' interleavings are still explored *)
-                x.x_ps <- x.x_ps + 1;
-                incr acc_stuck;
-                note sh sink fork depth (`Prune "stuck leg")
-            end)
-          to_expand;
+        let rec expand = function
+          | [] -> ()
+          | pid :: tail ->
+            (if x.x_used >= x.x_lease then begin
+               cap sh x sink kernel depth;
+               clean := false
+             end
+             else begin
+               (* Last-leg snapshot elision: after this loop the parent
+                  kernel is dead (its memo key was captured above;
+                  published siblings forked their own snapshots before
+                  the first leg ran), so the final leg advances the
+                  parent in place — a node of width w pays w-1 copies,
+                  and a chain of width-1 nodes pays none. *)
+               let last = tail = [] in
+               let fork = if last then kernel else Kernel.snapshot kernel in
+               if not last then w.w_stats.st_snapshots <- w.w_stats.st_snapshots + 1;
+               note sh sink fork depth `Fork;
+               match advance_leg fork pid ~max_instructions:sh.max_instructions with
+               | `Progress | `Exited ->
+                 let s, c = explore_state sh split w x sink fork (pid :: schedule_rev) (depth + 1) in
+                 List.iter
+                   (fun (v, sfx, i) -> acc_viol := (v, pid :: sfx, !acc_paths + i) :: !acc_viol)
+                   s.s_violations;
+                 acc_paths := !acc_paths + s.s_paths;
+                 acc_stuck := !acc_stuck + s.s_stuck;
+                 if not c then clean := false
+               | `Stuck ->
+                 (* prune just this leg: the pid spun past the
+                    instruction budget without an NI access — its
+                    siblings' interleavings are still explored *)
+                 x.x_ps <- x.x_ps + 1;
+                 incr acc_stuck;
+                 note sh sink fork depth (`Prune "stuck leg")
+             end);
+            expand tail
+        in
+        expand to_expand;
         if published then begin
           (* splice the published subtrees where they sit in leg order:
              everything found so far (the first leg's subtree) is
@@ -672,13 +698,18 @@ let run_parallel sh root_sink root root_log ~jobs stats =
 let default_memo_cap = 1 lsl 18
 
 let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
-    ?(dedup = true) ?(jobs = 1) ?(memo_cap = default_memo_cap) ?memo_file
+    ?(dedup = true) ?(paranoid_memo = false) ?(jobs = 1) ?(memo_cap = default_memo_cap) ?memo_file
     ?(memo_key = "default") ?(memo_net = "null") ~check () =
   let jobs = max 1 jobs in
   let root_fp = Kernel.fingerprint root in
+  (* The persistent cache stores fingerprint keys (Persist schema 3);
+     paranoid string keys live in a different key space, so a paranoid
+     run neither loads nor saves it. *)
+  let persist_on = dedup && not paranoid_memo in
   let persist_base =
     match memo_file with
-    | Some file when dedup -> Memo.Persist.load ~file ~scenario:memo_key ~net:memo_net ~root:root_fp
+    | Some file when persist_on ->
+      Memo.Persist.load ~file ~scenario:memo_key ~net:memo_net ~root:root_fp
     | Some _ | None -> None
   in
   let memo = Memo.create ~shards:(if jobs = 1 then 1 else 64) ~cap:memo_cap ~locked:(jobs > 1) in
@@ -689,6 +720,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
       max_instructions = max_instructions_per_leg;
       max_paths;
       dedup;
+      paranoid = paranoid_memo;
       check;
       machine = Kernel.machine_id root;
       visited = Atomic.make 0;
@@ -702,7 +734,15 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
   let sink = Kernel.trace root in
   let root_log = { rev_items = [] } in
   let stats =
-    Array.init jobs (fun _ -> { st_steals = 0; st_pubs = 0; st_splits = 0; st_merges = 0 })
+    Array.init jobs (fun _ ->
+        {
+          st_steals = 0;
+          st_pubs = 0;
+          st_splits = 0;
+          st_merges = 0;
+          st_snapshots = 0;
+          st_hash_bytes = 0;
+        })
   in
   if jobs = 1 then begin
     let w = { w_id = 0; w_local = None; w_pref = 0; w_stats = stats.(0) } in
@@ -715,7 +755,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
   else run_parallel sh sink root root_log ~jobs stats;
   let paths, stuck_legs, truncated, violations = settle ~max_paths root_log in
   (match memo_file with
-  | Some file when dedup ->
+  | Some file when persist_on ->
     (* persist only safe summaries: a warm cache can skip subtrees but
        never silence a violation *)
     let safe = ref [] in
@@ -747,5 +787,9 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
     lease_splits = total (fun s -> s.st_splits);
     memo_merges = total (fun s -> s.st_merges);
     cutoff = Atomic.get sh.cutoff;
+    (* +1 for the seed snapshot of [root], which is never advanced in
+       place because it is the dedup baseline *)
+    snapshots = total (fun s -> s.st_snapshots) + 1;
+    bytes_hashed = total (fun s -> s.st_hash_bytes);
     counters;
   }

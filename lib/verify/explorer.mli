@@ -140,6 +140,16 @@ type 'v result = {
   cutoff : int;
       (** final value of the adaptive publication threshold (the
           initial default when [jobs] = 1, where nothing adapts it) *)
+  snapshots : int;
+      (** [Kernel.snapshot] calls made (seed + per-leg forks). A node's
+          final leg advances its parent in place — the parent is dead
+          after the expansion loop — so a width-w node pays w-1 copies
+          and width-1 chains pay none. *)
+  bytes_hashed : int;
+      (** bytes fed into memo-key computation: streamed walk tokens
+          plus page-digest cache fills in fingerprint mode, full
+          encoding lengths in [paranoid_memo] mode. The per-node ratio
+          is the bench's [bytes_hashed_per_node]. *)
   counters : Uldma_obs.Counters.t;
       (** per-domain observability: [explorer.d<i>.steals],
           [.publications], [.lease_splits], [.memo_merges] for each
@@ -152,6 +162,7 @@ val explore :
   ?max_instructions_per_leg:int ->
   ?max_paths:int ->
   ?dedup:bool ->
+  ?paranoid_memo:bool ->
   ?jobs:int ->
   ?memo_cap:int ->
   ?memo_file:string ->
@@ -162,9 +173,15 @@ val explore :
   'v result
 (** [check] runs at each terminal state (all of [pids] exited or
     stuck, and nothing in flight). Defaults: 2000 instructions per
-    leg, 1_000_000 paths, [dedup] on, [jobs] 1, [memo_cap] 262144
-    summaries, no [memo_file], [memo_key] ["default"], [memo_net]
-    ["null"]. The root kernel is not mutated. With [jobs > 1], [check]
+    leg, 1_000_000 paths, [dedup] on, [paranoid_memo] off, [jobs] 1,
+    [memo_cap] 262144 summaries, no [memo_file], [memo_key]
+    ["default"], [memo_net] ["null"]. [paranoid_memo] keys the memo on
+    full encoding strings instead of streamed 126-bit fingerprints:
+    slower, but a key equality is then exactly a state equality — the
+    verification mode [tools/diff_explore] runs differentially against
+    the fingerprint default. A paranoid run neither reads nor writes
+    [memo_file] (the persistent cache stores fingerprint keys).
+    The root kernel is not mutated. With [jobs > 1], [check]
     runs on worker domains and must be pure. [memo_key] distinguishes
     scenarios sharing one [memo_file]; [memo_net] must name the
     kernel's net backend (e.g. [Uldma_net.Backend.cache_key]) whenever

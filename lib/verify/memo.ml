@@ -125,8 +125,15 @@ let merge_batch t ~domain tbl =
 
 let evictions t = Atomic.get t.evicted
 
+(* Distinct keys: a cold entry promoted back into hot (find_in_shard)
+   is alive in both generations and must not count twice. *)
 let length t =
-  Array.fold_left (fun n sh -> n + Hashtbl.length sh.hot + Hashtbl.length sh.cold) 0 t.shards
+  Array.fold_left
+    (fun n sh ->
+      let cold_only = ref 0 in
+      Hashtbl.iter (fun k _ -> if not (Hashtbl.mem sh.hot k) then incr cold_only) sh.cold;
+      n + Hashtbl.length sh.hot + !cold_only)
+    0 t.shards
 
 let iter t f =
   Array.iter
@@ -146,8 +153,15 @@ module Persist = struct
      (the root state has no transfers in flight, so the root
      fingerprint guard cannot tell the backends apart) — and its
      summaries were computed against the pre-deadline encoding anyway,
-     so v1 files are rejected wholesale by the schema check. *)
-  let schema = 2
+     so v1 files are rejected wholesale by the schema check.
+
+     v3: entries are keyed by the 16-byte Fp128 fingerprint key instead
+     of the full encoding string — files shrink by the sum of all
+     encoding strings and warm loads stop unmarshalling megabytes. A v2
+     file's string keys would never match a fingerprint lookup (silent
+     cold start at best, and mixing key spaces in one table is wrong),
+     so v2 files are rejected wholesale too. *)
+  let schema = 3
 
   let magic = "uldma-explorer-memo"
 
@@ -190,7 +204,12 @@ module Persist = struct
     in
     List.iter (fun (k, e) -> Hashtbl.replace tbl k e) entries;
     Hashtbl.replace body key (root, tbl);
-    let tmp = file ^ ".tmp" in
+    (* Unique tmp name: a fixed [file ^ ".tmp"] lets two concurrent
+       runs interleave their in-flight writes and rename a torn file
+       into place. The pid suffix keeps the write private until the
+       atomic rename; a stale tmp from a crashed run is just garbage
+       with that run's pid, never a corrupted [file]. *)
+    let tmp = Printf.sprintf "%s.%d.tmp" file (Unix.getpid ()) in
     match open_out_bin tmp with
     | exception Sys_error _ -> ()
     | oc -> (

@@ -62,8 +62,9 @@ val evictions : 'a t -> int
 (** Entries discarded by generation rotation so far. *)
 
 val length : 'a t -> int
-(** Entries currently resident (hot + cold, duplicates counted once per
-    table they sit in). Racy under concurrency. *)
+(** Distinct keys currently resident: a key alive in both generations
+    (promoted from cold back into hot) counts once. Racy under
+    concurrency. *)
 
 val iter : 'a t -> (string -> 'a -> unit) -> unit
 (** Iterate resident entries, hot before cold; a key present in both
@@ -81,7 +82,7 @@ val fnv1a64 : string -> int64
 (** {2 Persistent cross-scenario cache}
 
     A [Marshal]-ed file mapping (scenario, net backend) -> (root
-    fingerprint, encoding -> safe-subtree summary). Only {e safe}
+    fingerprint, state key -> safe-subtree summary). Only {e safe}
     summaries (no violations) are ever persisted, so a warm hit can
     skip a subtree without being able to suppress a violation. Three
     guards decide whether a load is usable, and any failure silently
@@ -99,8 +100,9 @@ module Persist : sig
   type entry = { p_paths : int; p_stuck : int }
 
   val schema : int
-  (** 2: sections keyed by (scenario, net) and encodings carrying
-      in-flight deadlines. v1 files are rejected wholesale. *)
+  (** 3: entries keyed by 16-byte Fp128 fingerprint keys. Earlier
+      schemas (full-encoding string keys) are rejected wholesale —
+      their keys can never match a fingerprint lookup. *)
 
   val load :
     file:string -> scenario:string -> net:string -> root:int64 -> (string, entry) Hashtbl.t option

@@ -286,6 +286,53 @@ let test_mem_cow_blit_fill_across_pages () =
   checki "zeroed" 0 (Phys_mem.load_byte snap dst);
   checki "parent still untouched" 0 (Phys_mem.load_byte m dst)
 
+(* --- per-page digest cache --- *)
+
+let test_mem_digest_cache () =
+  let m = mem () in
+  (* untouched pages share the zero-page digest without hashing *)
+  let z0 = Phys_mem.page_digest m 0 in
+  checkb "all zero pages digest equal" true (Phys_mem.page_digest m 1 = z0);
+  checki "zero-page shortcut hashes nothing" 0 (Phys_mem.digest_fills m);
+  (* a write invalidates: the next digest is recomputed and differs *)
+  Phys_mem.store_word m 0 0x1234;
+  let d1 = Phys_mem.page_digest m 0 in
+  checkb "digest changed by write" true (d1 <> z0);
+  checki "one real hash" 1 (Phys_mem.digest_fills m);
+  checkb "cache hit returns same digest" true (Phys_mem.page_digest m 0 = d1);
+  checki "cache hit costs no fill" 1 (Phys_mem.digest_fills m);
+  (* writing a page again invalidates its slot even when already owned *)
+  Phys_mem.store_word m 8 0x9abc;
+  let d1' = Phys_mem.page_digest m 0 in
+  checkb "second write changes the digest" true (d1' <> d1);
+  checki "and costs one more hash" 2 (Phys_mem.digest_fills m)
+
+let test_mem_digest_cache_survives_copy () =
+  let m = mem () in
+  Phys_mem.store_word m 0 0x1234;
+  let d1 = Phys_mem.page_digest m 0 in
+  (* a COW child reuses the shared page's cached digest for free *)
+  let child = Phys_mem.copy m in
+  checkb "child reuses parent's cached digest" true (Phys_mem.page_digest child 0 = d1);
+  checki "child hashed nothing" 0 (Phys_mem.digest_fills child);
+  (* writing the child invalidates only the child's slot *)
+  Phys_mem.store_word child 0 0x5678;
+  let d2 = Phys_mem.page_digest child 0 in
+  checkb "child digest diverged" true (d2 <> d1);
+  checki "child paid one hash" 1 (Phys_mem.digest_fills child);
+  checkb "parent digest untouched" true (Phys_mem.page_digest m 0 = d1);
+  checki "parent paid nothing extra" 1 (Phys_mem.digest_fills m);
+  (* digests are content digests: an independent instance with the same
+     bytes agrees *)
+  let other = mem () in
+  Phys_mem.store_word other 0 0x1234;
+  checkb "content-equal pages digest equal" true (Phys_mem.page_digest other 0 = d1);
+  (* a whole-page zero fill re-shares the zero page and its digest *)
+  let z0 = Phys_mem.page_digest other 1 in
+  Phys_mem.fill child ~addr:0 ~len:Layout.page_size ~byte:0;
+  checkb "zero-filled page back to the zero digest" true (Phys_mem.page_digest child 0 = z0);
+  checki "via the shortcut, not a hash" 1 (Phys_mem.digest_fills child)
+
 (* A random op script applied identically to a COW Phys_mem and to an
    eager Bytes oracle, with a snapshot taken mid-script: afterwards the
    parent must match the oracle state at the snapshot point and the
@@ -392,6 +439,9 @@ let () =
           Alcotest.test_case "cow sibling isolation" `Quick test_mem_cow_siblings;
           Alcotest.test_case "cow blit/fill across pages" `Quick
             test_mem_cow_blit_fill_across_pages;
+          Alcotest.test_case "digest cache invalidation" `Quick test_mem_digest_cache;
+          Alcotest.test_case "digest cache survives copy" `Quick
+            test_mem_digest_cache_survives_copy;
           Alcotest.test_case "touched-page tracking" `Quick test_mem_touched_tracking;
           Alcotest.test_case "iter_diverged" `Quick test_mem_iter_diverged;
           mem_cow_matches_eager_oracle;

@@ -242,6 +242,82 @@ let units_transfer_monotone =
       if a <= b then t a <= t b else t b <= t a)
 
 (* ------------------------------------------------------------------ *)
+(* Fp128 (streaming two-lane fingerprint) *)
+
+let test_fp128_deterministic () =
+  let feed t =
+    Fp128.add_tag t 'P';
+    Fp128.add_int t 42;
+    Fp128.add_string t "hello";
+    Fp128.add_bytes t (Bytes.of_string "\x00\x01\xff")
+  in
+  let a = Fp128.create () and b = Fp128.create () in
+  feed a;
+  feed b;
+  checks "same feeds, same key" (Fp128.key a) (Fp128.key b);
+  checki "key is 16 bytes" 16 (String.length (Fp128.key a));
+  checki "fed counts ints as 8, tags as 1, strings as 8+len" (1 + 8 + 13 + 11) (Fp128.fed a);
+  (* lanes is a read, not a finalisation: feeding more still works *)
+  let l1 = Fp128.lanes a in
+  Fp128.add_int a 7;
+  checkb "more input changes the lanes" true (Fp128.lanes a <> l1);
+  Fp128.reset a;
+  feed a;
+  checks "reset replays from scratch" (Fp128.key b) (Fp128.key a)
+
+let test_fp128_domain_separation () =
+  (* a tag must never alias the int with the same code: 'A' vs 65 *)
+  let a = Fp128.create () and b = Fp128.create () in
+  Fp128.add_tag a 'A';
+  Fp128.add_int b (Char.code 'A');
+  checkb "tag vs int differ" true (Fp128.key a <> Fp128.key b);
+  (* length prefixes keep concatenation unambiguous: "ab"+"c" vs "a"+"bc" *)
+  let c = Fp128.create () and d = Fp128.create () in
+  Fp128.add_string c "ab";
+  Fp128.add_string c "c";
+  Fp128.add_string d "a";
+  Fp128.add_string d "bc";
+  checkb "string boundaries matter" true (Fp128.key c <> Fp128.key d)
+
+let test_fp128_digest () =
+  let p1 = Bytes.make 8192 'x' and p2 = Bytes.make 8192 'x' in
+  checkb "equal content, equal digest" true (Fp128.digest p1 = Fp128.digest p2);
+  Bytes.set p2 8191 'y';
+  checkb "last byte matters" true (Fp128.digest p1 <> Fp128.digest p2);
+  Bytes.set p2 8191 'x';
+  Bytes.set p2 0 'y';
+  checkb "first byte matters" true (Fp128.digest p1 <> Fp128.digest p2)
+
+(* Collision-power meta-check. The real keys are 126-bit, so an
+   in-test collision can never be observed directly; instead truncate
+   one finalised lane to 12 bits and verify the birthday statistics
+   come out as hashing theory predicts — n = 4096 draws into m = 4096
+   buckets must leave roughly m(1 - e^-1) ~ 2589 distinct values. A
+   biased mixer (the failure this test has power against) would show
+   up as far fewer distinct truncated values; a broken test harness
+   (e.g. feeding equal inputs) as zero full-width distinctness. *)
+let test_fp128_truncated_collision_power () =
+  let rng = Rng.create ~seed:0x5eed in
+  let n = 4096 in
+  let full = Hashtbl.create n and trunc = Hashtbl.create n in
+  for _ = 1 to n do
+    let t = Fp128.create () in
+    (* a random-length walk of random words, like a small state encoding *)
+    for _ = 0 to 2 + Rng.int rng 6 do
+      Fp128.add_int t (Rng.dma_key rng)
+    done;
+    let lo, _ = Fp128.lanes t in
+    Hashtbl.replace full (Fp128.key t) ();
+    Hashtbl.replace trunc (lo land 0xfff) ()
+  done;
+  checki "no full-width collisions across 4096 draws" n (Hashtbl.length full);
+  let distinct = Hashtbl.length trunc in
+  checkb
+    (Printf.sprintf "12-bit truncation shows birthday collisions (distinct=%d)" distinct)
+    true
+    (distinct > 2200 && distinct < 2950)
+
+(* ------------------------------------------------------------------ *)
 (* Ws_deque (Chase–Lev work-stealing deque) *)
 
 let test_ws_deque_owner_lifo () =
@@ -411,6 +487,14 @@ let () =
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "dma_key width" `Quick test_rng_dma_key_width;
           Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+        ] );
+      ( "fp128",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fp128_deterministic;
+          Alcotest.test_case "domain separation" `Quick test_fp128_domain_separation;
+          Alcotest.test_case "page digest" `Quick test_fp128_digest;
+          Alcotest.test_case "truncated collision power" `Quick
+            test_fp128_truncated_collision_power;
         ] );
       ( "ws_deque",
         [

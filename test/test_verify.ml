@@ -159,10 +159,10 @@ let test_rep5_resists_fig5_schedule () =
 (* ------------------------------------------------------------------ *)
 (* Explorer *)
 
-let explore_with ?dedup ?jobs ?memo_cap ?memo_file ?memo_key ?max_paths scenario =
+let explore_with ?dedup ?paranoid_memo ?jobs ?memo_cap ?memo_file ?memo_key ?max_paths scenario =
   let s = scenario () in
-  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs
-    ?memo_cap ?memo_file ?memo_key ?max_paths ~check:(Scenario.oracle_check s) ()
+  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?paranoid_memo
+    ?jobs ?memo_cap ?memo_file ?memo_key ?max_paths ~check:(Scenario.oracle_check s) ()
 
 let explore scenario = explore_with scenario
 
@@ -508,6 +508,115 @@ let test_memo_shard_balance () =
   checkb "suffix changes the hash" false
     (Int64.equal (Memo.fnv1a64 (prefix ^ "a")) (Memo.fnv1a64 (prefix ^ "b")))
 
+(* Fingerprint-keyed dedup (the default) against paranoid full-string
+   keying: identical results, strictly fewer bytes hashed. The paranoid
+   leg materialises every encoding string, so its bytes_hashed is the
+   sum of all encoding lengths; the fingerprint leg streams walk tokens
+   and reuses cached page digests, so it must come in under that. *)
+let test_explorer_paranoid_equivalence () =
+  let fp = explore (fun () -> Scenario.rep5 ()) in
+  let par = explore_with ~paranoid_memo:true (fun () -> Scenario.rep5 ()) in
+  checki "paths equal" fp.Explorer.paths par.Explorer.paths;
+  checki "states equal" fp.Explorer.states_visited par.Explorer.states_visited;
+  checki "dedup hits equal" fp.Explorer.dedup_hits par.Explorer.dedup_hits;
+  checkb "violations identical, in order" true (canon_violations fp = canon_violations par);
+  checkb "both legs account hashing work" true
+    (fp.Explorer.bytes_hashed > 0 && par.Explorer.bytes_hashed > 0);
+  checkb "fingerprinting hashes fewer bytes than string keying" true
+    (fp.Explorer.bytes_hashed < par.Explorer.bytes_hashed);
+  (* last-leg elision: a node's final leg advances the parent in place,
+     so snapshots stay strictly below expanded states + seed *)
+  checkb "snapshots elided on final legs" true
+    (fp.Explorer.snapshots < fp.Explorer.states_visited + 1)
+
+(* Regression: [Memo.length] used to sum hot + cold sizes, double
+   counting a key alive in both generations after a cold-hit promotion. *)
+let test_memo_length_distinct () =
+  let module Memo = Uldma_verify.Memo in
+  let t = Memo.create ~shards:1 ~cap:4 ~locked:false in
+  List.iter (fun k -> Memo.add t k k) [ "a"; "b"; "c"; "d" ];
+  (* cap reached: the generations rotated, all four keys are now cold *)
+  checki "all four resident after rotation" 4 (Memo.length t);
+  (* a cold hit promotes the key back into hot: alive in BOTH tables *)
+  checkb "cold hit found" true (Memo.find t "a" = Some "a");
+  checki "promoted key counts once" 4 (Memo.length t);
+  (* iter must agree with length on the de-duplicated view *)
+  let seen = ref [] in
+  Memo.iter t (fun k _ -> seen := k :: !seen);
+  checki "iter visits each key once" 4 (List.length !seen);
+  Alcotest.(check (list string)) "the four keys" [ "a"; "b"; "c"; "d" ]
+    (List.sort compare !seen)
+
+(* The persistent cache's tmp file is pid-unique, so a stale tmp from a
+   crashed or concurrent run can never be renamed over [file] by this
+   run — and this run's save must succeed around any such garbage. *)
+let test_memo_persist_unique_tmp () =
+  let module Persist = Uldma_verify.Memo.Persist in
+  let file = Filename.temp_file "uldma_memo" ".bin" in
+  Sys.remove file;
+  let stale_fixed = file ^ ".tmp" in
+  let stale_pid = file ^ ".99999999.tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ file; stale_fixed; stale_pid ])
+    (fun () ->
+      (* plant garbage under both the legacy fixed tmp name and a
+         foreign pid-suffixed one *)
+      let plant f =
+        let oc = open_out_bin f in
+        output_string oc "not a memo file";
+        close_out oc
+      in
+      plant stale_fixed;
+      plant stale_pid;
+      Persist.save ~file ~scenario:"s" ~net:"null" ~root:7L
+        [ ("k", { Persist.p_paths = 3; p_stuck = 0 }) ];
+      checkb "file written" true (Sys.file_exists file);
+      checkb "this run's tmp renamed away" false
+        (Sys.file_exists (Printf.sprintf "%s.%d.tmp" file (Unix.getpid ())));
+      checkb "foreign tmps untouched" true
+        (Sys.file_exists stale_fixed && Sys.file_exists stale_pid);
+      match Persist.load ~file ~scenario:"s" ~net:"null" ~root:7L with
+      | None -> Alcotest.fail "saved section did not load back"
+      | Some tbl ->
+        checki "one entry" 1 (Hashtbl.length tbl);
+        checkb "entry intact" true
+          (Hashtbl.find_opt tbl "k" = Some { Persist.p_paths = 3; p_stuck = 0 }))
+
+(* Fingerprint keys and encoding strings must induce the same equality
+   relation on states. Randomized: two kernels built from the same
+   scenario, each mutated by a random word-store script, agree on their
+   encodings iff they agree on their fingerprint keys; and replaying
+   one script must reproduce its key exactly. A fingerprint collision
+   between distinct encodings would need both 63-bit lanes to collide
+   (~2^-126), far below what this test could ever draw. *)
+let explorer_fp_iff_encoding =
+  let build ops =
+    let s = Scenario.rep5 () in
+    let k = s.Scenario.kernel in
+    let ram = Kernel.ram k in
+    let nslots = Uldma_mem.Phys_mem.size ram / 8 in
+    List.iter
+      (fun (slot, v) -> Uldma_mem.Phys_mem.store_word ram (slot mod nslots * 8) v)
+      ops;
+    k
+  in
+  let key k = fst (Kernel.state_key ~paranoid:false k) in
+  let gen_ops =
+    QCheck2.Gen.(list_size (int_range 0 10) (pair nat (int_range 0 0xffff)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"explorer: fingerprint equality iff encoding equality" ~count:60
+       (QCheck2.Gen.pair gen_ops gen_ops)
+       (fun (ops_a, ops_b) ->
+         let a = build ops_a and b = build ops_b in
+         let same_enc = Kernel.state_encoding a = Kernel.state_encoding b in
+         let same_key = key a = key b in
+         (* determinism: replaying a script reproduces its key *)
+         key (build ops_a) = key a && same_enc = same_key))
+
 (* The fingerprint hashes only engine-visible state: two independently
    built copies of a scenario agree, and advancing one NI-access leg
    changes it while leaving the root's untouched. *)
@@ -775,6 +884,11 @@ let () =
           Alcotest.test_case "rep5 vs two colluders: victim safe" `Slow
             test_explorer_rep5_contested3_victim_safe;
           Alcotest.test_case "memo shard balance" `Quick test_memo_shard_balance;
+          Alcotest.test_case "paranoid vs fingerprint keying" `Slow
+            test_explorer_paranoid_equivalence;
+          Alcotest.test_case "memo length counts distinct keys" `Quick test_memo_length_distinct;
+          Alcotest.test_case "persist tmp file is pid-unique" `Quick test_memo_persist_unique_tmp;
+          explorer_fp_iff_encoding;
           Alcotest.test_case "kernel fingerprint stability" `Quick
             test_kernel_fingerprint_stability;
           Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;

@@ -49,12 +49,12 @@ let kind_name = function
 let canon (r : _ Explorer.result) =
   List.map (fun (v, schedule) -> (kind_name v, schedule)) r.Explorer.violations
 
-let explore ?dedup ?jobs ~max_paths build =
+let explore ?dedup ?paranoid_memo ?jobs ~max_paths build =
   let s = build () in
-  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?jobs ~max_paths
-    ~check:(Scenario.oracle_check s) ()
+  Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ?dedup ?paranoid_memo
+    ?jobs ~max_paths ~check:(Scenario.oracle_check s) ()
 
-let run_cell ~label ~max_paths ~jobs_list ~allow_truncated build =
+let run_cell ~label ~max_paths ~jobs_list ~paranoid_all ~allow_truncated build =
   let brute = explore ~dedup:false ~max_paths build in
   if brute.Explorer.truncated && not allow_truncated then
     complain "%s: brute-force run truncated at %d paths; raise --max-paths" label
@@ -75,9 +75,22 @@ let run_cell ~label ~max_paths ~jobs_list ~allow_truncated build =
   in
   let dedup = explore ~max_paths build in
   check "dedup" dedup;
+  (* paranoid leg: same dedup walk keyed on full encoding strings, under
+     which key equality is exactly state equality. Both it and the
+     fingerprint-keyed runs must match brute-force, so a fingerprint
+     collision that merged two distinct states would surface here as a
+     fingerprint-vs-brute (hence fingerprint-vs-paranoid) disagreement. *)
+  check "paranoid" (explore ~paranoid_memo:true ~max_paths build);
   List.iter
     (fun jobs -> check (Printf.sprintf "jobs=%d" jobs) (explore ~jobs ~max_paths build))
     jobs_list;
+  if paranoid_all then
+    List.iter
+      (fun jobs ->
+        check
+          (Printf.sprintf "paranoid jobs=%d" jobs)
+          (explore ~paranoid_memo:true ~jobs ~max_paths build))
+      jobs_list;
   (* paths-per-expanded-state: the tree-collapse factor; distinct from
      the bench's dedup_ratio (hits / node arrivals) *)
   let paths_per_state =
@@ -112,7 +125,7 @@ let usage () =
   prerr_endline
     "usage: diff_explore [--quick] [--scenario fig5|rep5|key-based|all] [--net \
      null|atm155|atm622|gigabit|hic|all] [--tick-ps N] [--jobs N,N,...] [--max-paths N] \
-     [--allow-truncated]";
+     [--allow-truncated] [--paranoid-vs-fingerprint]";
   exit 2
 
 let () =
@@ -123,6 +136,7 @@ let () =
   let jobs_list = ref [ 2; 4 ] in
   let max_paths = ref 2_000_000 in
   let allow_truncated = ref false in
+  let paranoid_all = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -130,6 +144,12 @@ let () =
       parse rest
     | "--allow-truncated" :: rest ->
       allow_truncated := true;
+      parse rest
+    | "--paranoid-vs-fingerprint" :: rest ->
+      (* run the paranoid string-keyed explorer at every jobs value too,
+         not just sequentially — the CI leg proving fingerprint-keyed
+         and paranoid runs identical across the whole matrix *)
+      paranoid_all := true;
       parse rest
     | "--scenario" :: v :: rest ->
       scenario_filter := v;
@@ -178,7 +198,8 @@ let () =
         (fun (bname, net) ->
           run_cell
             ~label:(Printf.sprintf "%s --net %s" sname bname)
-            ~max_paths:!max_paths ~jobs_list ~allow_truncated:!allow_truncated
+            ~max_paths:!max_paths ~jobs_list ~paranoid_all:!paranoid_all
+            ~allow_truncated:!allow_truncated
             (fun () -> build net))
         backends)
     scenarios;
