@@ -168,7 +168,29 @@ let print_bench_results results =
    must be identical to the fingerprint run (the in-bench version of
    tools/diff_explore's paranoid-vs-fingerprint check). The
    encode_ns_per_node number is CI-gated against this committed file.
-   All v5 keys are preserved. *)
+   All v5 keys are preserved.
+
+   Schema v7 adds the "campaign" object: the bounded adversary family
+   of every exact-length-5 accomplice program on the rep5 scenario
+   (512 canonical candidates — the family with maximal cross-candidate
+   sharing, since memo hits across candidates need matching bus access
+   counts) explored two ways. The cold baseline runs each candidate
+   through its own private Explorer.explore, sequentially — exactly
+   what a pre-campaign caller had to do. The shared legs run the same
+   candidate array through Campaign.run at jobs 1, 2 and 4: one
+   cross-candidate memo (generation-tagged, residual-program keyed)
+   with outer-level candidate fan-out. Recorded per leg: wall seconds,
+   aggregate candidates/sec, and results_identical_to_cold — the
+   per-candidate (paths, truncated, violation kind + schedule) facts
+   must match the cold run exactly (the soundness bit CI gates).
+   "state_ratio" is cold/shared expanded states — the sharing itself,
+   independent of core count; "speedup_vs_cold" is cold seconds over
+   the best shared leg's seconds, so on a single-core runner it shows
+   the jobs=1 sharing-only speedup and on multi-core runners the
+   sharing multiplies with the outer fan-out. Campaign legs are single
+   timed runs (each is tens of seconds, so noise amortizes within the
+   leg; min-of-reps would triple an already long bench). All v6 keys
+   are preserved. *)
 let time_explore ?dedup ?jobs ~reps () =
   (* same-warmth discipline: one untimed warmup in this exact
      configuration, then min-of-reps *)
@@ -222,6 +244,90 @@ let encode_ns_per_node ~paranoid =
   let dt = Float.min (run ()) (run ()) in
   dt *. 1e9 /. float_of_int iters
 
+(* The schema-v7 campaign experiment (see the schema comment above):
+   cold-and-sequential per-candidate exploration vs the campaign
+   engine's shared memo at jobs 1/2/4, on the exact-length-5 rep5
+   accomplice family. Appends the "campaign" object to [buf]. *)
+let bench_campaign buf =
+  let module Scenario = Uldma_workload.Scenario in
+  let module Synth = Uldma_workload.Synth in
+  let module Campaign = Uldma_verify.Campaign in
+  let module Explorer = Uldma_verify.Explorer in
+  let slots = 5 and max_paths = 1_000_000 in
+  let base = Synth.make_base Uldma_dma.Seq_matcher.Five in
+  let ops = Synth.enumerate ~exact:true ~slots () in
+  (* sequential on purpose; see Synth.candidate *)
+  let candidates = Array.map (Synth.candidate base) ops in
+  let scenario = Synth.base_scenario base in
+  let pids = Scenario.explore_pids scenario in
+  let check = Scenario.oracle_check scenario in
+  (* the warmth- and jobs-independent projection of a result: the facts
+     every leg must agree on byte for byte *)
+  let canon (r : _ Explorer.result) =
+    ( r.Explorer.paths,
+      r.Explorer.truncated,
+      List.map (fun (v, sched) -> (Synth.kind_name v, sched)) r.Explorer.violations )
+  in
+  let n = Array.length candidates in
+  Printf.printf "campaign: cold baseline over %d candidates...\n%!" n;
+  let t0 = Unix.gettimeofday () in
+  let cold_states = ref 0 in
+  let cold =
+    Array.map
+      (fun (c : _ Campaign.candidate) ->
+        let r = Explorer.explore ~root:c.Campaign.c_root ~pids ~max_paths ~check () in
+        cold_states := !cold_states + r.Explorer.states_visited;
+        canon r)
+      candidates
+  in
+  let cold_secs = Unix.gettimeofday () -. t0 in
+  let shared jobs =
+    Printf.printf "campaign: shared memo, jobs=%d...\n%!" jobs;
+    let t0 = Unix.gettimeofday () in
+    let results, stats =
+      Campaign.run ~candidates ~pids ~baseline:scenario.Scenario.kernel ~jobs ~max_paths
+        ~check ()
+    in
+    (results, stats, Unix.gettimeofday () -. t0)
+  in
+  let legs = List.map (fun jobs -> (jobs, shared jobs)) [ 1; 2; 4 ] in
+  let _, stats1, _ = List.assoc 1 legs in
+  let shared1_states = stats1.Campaign.g_states in
+  let best = List.fold_left (fun b (_, (_, _, s)) -> Float.min b s) infinity legs in
+  Printf.bprintf buf "  \"campaign\": {\n";
+  Printf.bprintf buf "    \"family\": \"rep5 exact-length-%d accomplice programs\",\n" slots;
+  Printf.bprintf buf "    \"candidates\": %d,\n" n;
+  Printf.bprintf buf "    \"max_paths\": %d,\n" max_paths;
+  Printf.bprintf buf "    \"cold\": {\n";
+  Printf.bprintf buf "      \"seconds\": %.6f,\n" cold_secs;
+  Printf.bprintf buf "      \"candidates_per_sec\": %.2f,\n" (float_of_int n /. cold_secs);
+  Printf.bprintf buf "      \"states_visited\": %d\n" !cold_states;
+  Printf.bprintf buf "    },\n";
+  List.iter
+    (fun (jobs, (results, stats, secs)) ->
+      let identical = ref true in
+      Array.iteri (fun i r -> if canon r <> cold.(i) then identical := false) results;
+      Printf.bprintf buf "    \"jobs%d\": {\n" jobs;
+      Printf.bprintf buf "      \"seconds\": %.6f,\n" secs;
+      Printf.bprintf buf "      \"candidates_per_sec\": %.2f,\n" (float_of_int n /. secs);
+      Printf.bprintf buf "      \"states_visited\": %d,\n" stats.Campaign.g_states;
+      Printf.bprintf buf "      \"memo_hits\": %d,\n" stats.Campaign.g_hits;
+      Printf.bprintf buf "      \"outer_domains\": %d,\n" stats.Campaign.g_outer;
+      Printf.bprintf buf "      \"inner_domains\": %d,\n" stats.Campaign.g_inner;
+      Printf.bprintf buf "      \"results_identical_to_cold\": %b\n" !identical;
+      Printf.bprintf buf "    },\n")
+    legs;
+  Printf.bprintf buf "    \"state_ratio\": %.3f,\n"
+    (float_of_int !cold_states /. float_of_int (max 1 shared1_states));
+  Printf.bprintf buf "    \"speedup_vs_cold\": %.3f\n" (cold_secs /. best);
+  Printf.bprintf buf "  },\n";
+  Printf.printf
+    "campaign: %d candidates, cold %.1fs (%d states), best shared %.1fs (state ratio %.2fx, \
+     speedup %.2fx)\n%!"
+    n cold_secs !cold_states best
+    (float_of_int !cold_states /. float_of_int (max 1 shared1_states))
+    (cold_secs /. best)
+
 let write_bench_explorer_json () =
   (try Unix.mkdir results_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   (* settle the heap after bechamel so its garbage doesn't tax this
@@ -244,7 +350,7 @@ let write_bench_explorer_json () =
     float_of_int res.Uldma_verify.Explorer.paths /. s
   in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"schema_version\": 6,\n";
+  Buffer.add_string buf "{\n  \"schema_version\": 7,\n";
   Printf.bprintf buf "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   Buffer.add_string buf "  \"timing\": \"min of repetitions after one untimed same-config warmup; no persistent memo cache\",\n";
   Buffer.add_string buf "  \"explorer\": {\n";
@@ -461,7 +567,9 @@ let write_bench_explorer_json () =
       Printf.bprintf buf "    }%s\n" (if i = List.length timed_backends - 1 then "" else ",")
     )
     timed_backends;
-  Buffer.add_string buf "  },\n  \"initiation_us\": {\n";
+  Buffer.add_string buf "  },\n";
+  bench_campaign buf;
+  Buffer.add_string buf "  \"initiation_us\": {\n";
   List.iteri
     (fun i (name, us) ->
       Printf.bprintf buf "    \"%s\": %.3f%s\n" name us
@@ -498,6 +606,52 @@ let write_bench_explorer_json () =
     secs
     (float_of_int r.Uldma_verify.Explorer.paths /. secs)
     path
+
+(* ------------------------------------------------------------------ *)
+(* Cutoff / merge-batch ablation *)
+
+(* The two work-stealing knobs `uldma_cli explore/campaign` expose
+   (--cutoff: the initial adaptive publication depth, --merge-batch:
+   how many private memo entries buffer before a locked-table merge),
+   swept over the ext-shadow-3 contested tree at jobs=2 — the same
+   scenario and core count the CI speedup gate watches. One row per
+   (cutoff, merge_batch) cell: warmup + min-of-2 seconds, throughput,
+   and the steal/publication/merge counts that explain it. On a
+   single-core box the wall-clock column is flat and only the counter
+   columns are informative; the CSV still records both. *)
+let write_ablate_cutoff_csv () =
+  let module Scenario = Uldma_workload.Scenario in
+  let explore ~cutoff ~merge_batch =
+    let s = Scenario.ext_shadow_contested3 () in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Uldma_verify.Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+        ~max_paths:1_000_000 ~jobs:2 ~cutoff ~merge_batch ~check:(Scenario.oracle_check s) ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "cutoff,merge_batch,seconds,paths_per_sec,steals,publications,memo_merges\n";
+  List.iter
+    (fun cutoff ->
+      List.iter
+        (fun merge_batch ->
+          ignore (explore ~cutoff ~merge_batch : _ * float);
+          let ra, ta = explore ~cutoff ~merge_batch in
+          let _, tb = explore ~cutoff ~merge_batch in
+          let secs = Float.min ta tb in
+          Printf.bprintf buf "%d,%d,%.6f,%.1f,%d,%d,%d\n" cutoff merge_batch secs
+            (float_of_int ra.Uldma_verify.Explorer.paths /. secs)
+            ra.Uldma_verify.Explorer.steals ra.Uldma_verify.Explorer.publications
+            ra.Uldma_verify.Explorer.memo_merges)
+        [ 32; 256 ])
+    [ 1; 4; 8; 32; 128 ];
+  let path = Filename.concat results_dir "ablate_cutoff.csv" in
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "cutoff ablation (ext-shadow-3, jobs=2) -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Cluster-service trajectory *)
@@ -561,5 +715,6 @@ let () =
   let results = benchmark () in
   print_bench_results results;
   write_bench_explorer_json ();
+  write_ablate_cutoff_csv ();
   write_bench_cluster_json ();
   print_endline "done."

@@ -341,8 +341,28 @@ let explore_cmd =
              (default 1000000 = 1us). Coarser ticks merge more states; durations are never \
              rounded down to zero.")
   in
-  let run which jobs no_dedup paranoid_memo max_paths memo_cap memo_file net tick_ps trace_file
-      trace_format =
+  let cutoff =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "cutoff" ] ~docv:"N"
+          ~doc:
+            "Initial adaptive publication cutoff: a tree node is offered to thieves only when \
+             its estimated subtree size clears $(docv) (default 8; clamped to [1, 2^20]). Higher \
+             values keep more subtrees sequential. Pure performance knob — results are \
+             identical at any setting.")
+  in
+  let merge_batch =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "merge-batch" ] ~docv:"N"
+          ~doc:
+            "Force a domain-local memo generation into the shared table once it holds $(docv) \
+             entries (default 256); boundary merges scale down with it. Pure performance knob.")
+  in
+  let run which jobs no_dedup paranoid_memo max_paths memo_cap memo_file net tick_ps cutoff
+      merge_batch trace_file trace_format =
     with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let module Explorer = Uldma_verify.Explorer in
@@ -396,7 +416,7 @@ let explore_cmd =
     let r =
       Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s) ~max_paths
         ~dedup:(not no_dedup) ~paranoid_memo ~jobs ~memo_cap ?memo_file ~memo_key ~memo_net
-        ~check:(Scenario.oracle_check s) ()
+        ~cutoff ~merge_batch ~check:(Scenario.oracle_check s) ()
     in
     let secs = Unix.gettimeofday () -. t0 in
     let tbl =
@@ -447,7 +467,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ which $ jobs $ no_dedup $ paranoid_memo $ max_paths $ memo_cap $ memo_file $ net
-      $ tick_ps $ trace_file_arg $ trace_format_arg)
+      $ tick_ps $ cutoff $ merge_batch $ trace_file_arg $ trace_format_arg)
 
 let cluster_cmd =
   let module Kv = Uldma_workload.Kv_load in
@@ -703,6 +723,165 @@ let stub_cmd =
   in
   Cmd.v (Cmd.info "stub" ~doc) Term.(const run $ mech_arg)
 
+let campaign_cmd =
+  let module Synth = Uldma_workload.Synth in
+  let module Explorer = Uldma_verify.Explorer in
+  let module Backend = Uldma_net.Backend in
+  let doc =
+    "Bounded adversary synthesis: enumerate every accomplice program up to --slots ops from the \
+     S/L shadow-page grammar, explore each candidate exhaustively through the campaign engine \
+     (one cross-candidate shared memo, outer-level parallel fan-out), and write the collusion \
+     catalogue — which mechanism/backend cells admit collusion, with minimal witness programs."
+  in
+  let slots =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "slots" ] ~docv:"N"
+          ~doc:
+            "Accomplice instruction slots: enumerate all canonical programs of 1..$(docv) ops \
+             (4^n/2 per length n: 10 candidates at 2, 42 at 3, 682 at 5).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Split outer-first: up to $(docv) domains each run whole candidates \
+             sequentially off a shared queue; intra-tree work-stealing only kicks in when \
+             candidates are scarcer than domains.")
+  in
+  let max_paths =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:"Per-candidate schedule budget (default 1M).")
+  in
+  let mechs =
+    Arg.(
+      value
+      & opt (list (enum [ ("rep3", Uldma_dma.Seq_matcher.Three); ("rep4", Uldma_dma.Seq_matcher.Four); ("rep5", Uldma_dma.Seq_matcher.Five) ]))
+          [ Uldma_dma.Seq_matcher.Five ]
+      & info [ "mechs" ] ~docv:"M,.."
+          ~doc:"Repeated-arguments variants to grid over: rep3, rep4, rep5 (default rep5).")
+  in
+  let nets =
+    Arg.(
+      value
+      & opt (list string) [ "null" ]
+      & info [ "nets" ] ~docv:"B,.."
+          ~doc:
+            "Net backends to grid over: null, atm155, atm622, gigabit, hic (default null).")
+  in
+  let tick_ps =
+    Arg.(
+      value
+      & opt int Backend.default_tick_ps
+      & info [ "tick-ps" ] ~docv:"PS" ~doc:"Timed-backend duration quantum (default 1us).")
+  in
+  let cutoff =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cutoff" ] ~docv:"N"
+          ~doc:
+            "Initial adaptive publication cutoff for intra-tree stealing (default: the \
+             campaign policy — high when candidates are plentiful).")
+  in
+  let merge_batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "merge-batch" ] ~docv:"N"
+          ~doc:"Forced domain-local memo merge threshold (default 256).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "_results/collusion_catalogue.csv"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the collusion catalogue CSV to $(docv).")
+  in
+  let run slots jobs max_paths mechs nets tick_ps cutoff merge_batch out =
+    let nets =
+      List.map
+        (fun name ->
+          match Backend.of_string ~tick_ps name with
+          | Ok Backend.Null -> None
+          | Ok b -> Some b
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        nets
+    in
+    let tbl =
+      Uldma_util.Tbl.create ~title:"adversary-synthesis campaign"
+        ~columns:
+          [
+            ("mech", Uldma_util.Tbl.Left);
+            ("net", Uldma_util.Tbl.Left);
+            ("candidates", Uldma_util.Tbl.Right);
+            ("violating", Uldma_util.Tbl.Right);
+            ("paths", Uldma_util.Tbl.Right);
+            ("states", Uldma_util.Tbl.Right);
+            ("hits", Uldma_util.Tbl.Right);
+            ("seconds", Uldma_util.Tbl.Right);
+            ("witness", Uldma_util.Tbl.Left);
+          ]
+    in
+    (* one shared table across the whole grid; each cell bumps the key
+       generation so cells can never alias each other's entries *)
+    let shared = Explorer.create_shared ~cap:(1 lsl 20) () in
+    let cells =
+      List.concat_map
+        (fun variant ->
+          List.map
+            (fun net ->
+              let t0 = Unix.gettimeofday () in
+              let cr =
+                Synth.run_cell ?net ~slots ~jobs ~max_paths ~shared ?cutoff ?merge_batch
+                  variant
+              in
+              let c = cr.Synth.cr_cell in
+              Uldma_util.Tbl.add_row tbl
+                [
+                  c.Synth.cell_mech;
+                  c.Synth.cell_net;
+                  string_of_int c.Synth.cell_candidates;
+                  string_of_int c.Synth.cell_violating;
+                  string_of_int c.Synth.cell_paths;
+                  string_of_int c.Synth.cell_states;
+                  string_of_int c.Synth.cell_hits;
+                  Printf.sprintf "%.2f" (Unix.gettimeofday () -. t0);
+                  c.Synth.cell_witness;
+                ];
+              c)
+            nets)
+        mechs
+    in
+    Uldma_util.Tbl.print tbl;
+    (try Unix.mkdir (Filename.dirname out) 0o755 with Unix.Unix_error _ -> ());
+    Synth.write_catalogue out cells;
+    Printf.printf "catalogue -> %s\n" out;
+    List.iter
+      (fun c ->
+        if c.Synth.cell_violating > 0 then
+          Printf.printf "collusion: %s/%s admits %d violating candidate(s); minimal witness %s (%s)\n"
+            c.Synth.cell_mech c.Synth.cell_net c.Synth.cell_violating c.Synth.cell_witness
+            c.Synth.cell_witness_kinds)
+      cells;
+    if List.exists (fun c -> c.Synth.cell_truncated > 0) cells then begin
+      Printf.printf "WARNING: some candidates truncated by --max-paths; catalogue is incomplete\n";
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ slots $ jobs $ max_paths $ mechs $ nets $ tick_ps $ cutoff $ merge_batch $ out)
+
 let () =
   let doc = "User-level DMA without OS kernel modification - reproduction toolkit" in
   let info = Cmd.info "uldma_cli" ~version:"1.0.0" ~doc in
@@ -717,6 +896,7 @@ let () =
             sweep_cmd;
             timeline_cmd;
             explore_cmd;
+            campaign_cmd;
             cluster_cmd;
             stub_cmd;
           ]))

@@ -123,7 +123,7 @@ type 'v item =
 and 'v tlog = { mutable rev_items : 'v item list }
 
 type 'v shared = {
-  root : Kernel.t; (* encoding baseline: pages still shared with it are skipped *)
+  baseline : Kernel.t; (* encoding baseline: pages still shared with it are skipped *)
   pids : int list;
   max_instructions : int;
   max_paths : int;
@@ -137,6 +137,10 @@ type 'v shared = {
   depth_max : int Atomic.t; (* deepest node seen so far, feeds the size estimate *)
   memo : 'v summary Memo.t;
   persist : (string, Memo.Persist.entry) Hashtbl.t option;
+  key_prefix : string; (* campaign generation tag; "" outside a campaign *)
+  key_tag : (Kernel.t -> string) option; (* per-state candidate-residual tag *)
+  merge_forced : int; (* merge mid-task when the local generation grows past this *)
+  merge_min : int; (* skip trivial merges at task/steal/publish boundaries *)
 }
 
 (* A subtree-root task: everything a domain needs to continue the DFS
@@ -236,8 +240,11 @@ let bump_depth_max sh depth =
    on a summary another domain holds un-merged merely re-expands that
    subtree; the racy duplicate computes the identical summary. *)
 
-let local_merge_forced = 256 (* merge mid-task when the generation grows past this *)
-let local_merge_min = 32 (* skip trivial merges at task/steal/publish boundaries *)
+(* Defaults for the batch-merge thresholds; a run can override the
+   forced threshold via [?merge_batch] (the boundary minimum scales
+   down with it so a tiny batch setting still merges at boundaries). *)
+let local_merge_forced = 256
+let local_merge_min = 32
 
 let merge_local sh w =
   match w.w_local with
@@ -295,7 +302,7 @@ let memo_store sh w e s =
   | Some local ->
     if not (Memo.try_add sh.memo e s) then begin
       Hashtbl.replace local e s;
-      if Hashtbl.length local >= local_merge_forced then merge_local sh w
+      if Hashtbl.length local >= sh.merge_forced then merge_local sh w
     end
 
 (* ------------------------------------------------------------------ *)
@@ -310,7 +317,7 @@ let memo_store sh w e s =
    before the published subtree. Settlement clips any optimism away. *)
 let merge_at_boundary sh w =
   match w.w_local with
-  | Some l when Hashtbl.length l >= local_merge_min -> merge_local sh w
+  | Some l when Hashtbl.length l >= sh.merge_min -> merge_local sh w
   | _ -> ()
 
 let publish_siblings sh sp w x sink kernel schedule_rev depth rest =
@@ -359,9 +366,42 @@ let rec explore_state sh split w x sink kernel schedule_rev depth =
     bump_depth_max sh depth;
     let encoding =
       if sh.dedup then begin
-        let key, bytes = Kernel.state_key ~relative_to:sh.root ~paranoid:sh.paranoid kernel in
+        let key, bytes = Kernel.state_key ~relative_to:sh.baseline ~paranoid:sh.paranoid kernel in
         w.w_stats.st_hash_bytes <- w.w_stats.st_hash_bytes + bytes;
-        Some key
+        (* Campaign decoration: a fixed-width generation prefix keeps
+           key spaces of different campaign cells (different baselines /
+           backends) disjoint inside one shared table, and the
+           candidate tag folds in the part of the future the engine
+           state cannot see — the accomplice's residual program text
+           (programs live in Cpu.ctx, not RAM, so two candidates in the
+           same machine state are distinguished only by this tag).
+           Both decorations are fixed-length, so prefix ^ tag ^ key is
+           unambiguous even under variable-length paranoid keys. *)
+        Some
+          (match sh.key_tag with
+          | None -> if sh.key_prefix = "" then key else sh.key_prefix ^ key
+          | Some tag ->
+            if sh.paranoid then
+              (* exact concatenation: all three parts fixed-width or
+                 final, so the decorated string stays injective *)
+              if sh.key_prefix = "" then tag kernel ^ key
+              else String.concat "" [ sh.key_prefix; tag kernel; key ]
+            else begin
+              (* fingerprint mode: fold the decorations into a fresh
+                 16-byte key instead of concatenating — campaign memo
+                 entries then cost the same as undecorated ones (the
+                 40-byte concat measurably hurts cache residency on
+                 10^5-entry shared tables), at the same 126-bit
+                 collision odds the base key already accepts. The
+                 paranoid leg keeps exact strings, so the existing
+                 paranoid-vs-fingerprint differentials cover this
+                 hashing too. *)
+              let fp = Uldma_util.Fp128.create () in
+              Uldma_util.Fp128.add_string fp sh.key_prefix;
+              Uldma_util.Fp128.add_string fp (tag kernel);
+              Uldma_util.Fp128.add_string fp key;
+              Uldma_util.Fp128.key fp
+            end)
       end
       else None
     in
@@ -697,25 +737,61 @@ let run_parallel sh root_sink root root_log ~jobs stats =
 
 let default_memo_cap = 1 lsl 18
 
-let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
+(* ------------------------------------------------------------------ *)
+(* Cross-exploration shared memo (campaign mode). One table outlives
+   many [explore] calls in one process, so candidate N's exploration
+   warm-starts from the union of what candidates 1..N-1 memoized —
+   in memory, without a disk round-trip. Soundness needs two
+   decorations on every key (see the key-composition comment in
+   [explore_state]): a per-cell generation prefix and a per-candidate
+   residual tag. The generation is bumped by the campaign driver
+   whenever the baseline or backend changes, making stale keys
+   unreachable without clearing the table. *)
+
+type 'v shared_memo = { sm_memo : 'v summary Memo.t; mutable sm_generation : int }
+
+let create_shared ?(cap = default_memo_cap) ?(locked = true) () =
+  { sm_memo = Memo.create ~shards:64 ~cap ~locked; sm_generation = 0 }
+
+let bump_generation sm = sm.sm_generation <- sm.sm_generation + 1
+let shared_generation sm = sm.sm_generation
+let shared_length sm = Memo.length sm.sm_memo
+let shared_evictions sm = Memo.evictions sm.sm_memo
+
+let generation_prefix gen =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int gen);
+  Bytes.unsafe_to_string b
+
+let explore ~root ~pids ?baseline ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_000)
     ?(dedup = true) ?(paranoid_memo = false) ?(jobs = 1) ?(memo_cap = default_memo_cap) ?memo_file
-    ?(memo_key = "default") ?(memo_net = "null") ~check () =
+    ?(memo_key = "default") ?(memo_net = "null") ?shared ?key_tag ?(cutoff = default_cutoff)
+    ?(merge_batch = local_merge_forced) ~check () =
   let jobs = max 1 jobs in
   let root_fp = Kernel.fingerprint root in
-  (* The persistent cache stores fingerprint keys (Persist schema 3);
-     paranoid string keys live in a different key space, so a paranoid
-     run neither loads nor saves it. *)
-  let persist_on = dedup && not paranoid_memo in
+  (* The persistent cache stores undecorated fingerprint keys (Persist
+     schema 3); paranoid string keys live in a different key space, and
+     a campaign's decorated keys are only meaningful inside its own
+     shared table — so neither loads nor saves the disk cache. *)
+  let persist_on = dedup && (not paranoid_memo) && Option.is_none shared in
   let persist_base =
     match memo_file with
     | Some file when persist_on ->
       Memo.Persist.load ~file ~scenario:memo_key ~net:memo_net ~root:root_fp
     | Some _ | None -> None
   in
-  let memo = Memo.create ~shards:(if jobs = 1 then 1 else 64) ~cap:memo_cap ~locked:(jobs > 1) in
+  let memo =
+    match shared with
+    | Some sm -> sm.sm_memo
+    | None -> Memo.create ~shards:(if jobs = 1 then 1 else 64) ~cap:memo_cap ~locked:(jobs > 1)
+  in
+  (* a pre-warmed shared table carries eviction history from earlier
+     candidates; report only this run's evictions *)
+  let evictions0 = Memo.evictions memo in
+  let merge_forced = max 1 merge_batch in
   let sh =
     {
-      root;
+      baseline = (match baseline with Some b -> b | None -> root);
       pids;
       max_instructions = max_instructions_per_leg;
       max_paths;
@@ -725,10 +801,15 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
       machine = Kernel.machine_id root;
       visited = Atomic.make 0;
       hits = Atomic.make 0;
-      cutoff = Atomic.make default_cutoff;
+      cutoff = Atomic.make (max cutoff_min (min cutoff_max cutoff));
       depth_max = Atomic.make 0;
       memo;
       persist = persist_base;
+      key_prefix =
+        (match shared with Some sm -> generation_prefix sm.sm_generation | None -> "");
+      key_tag;
+      merge_forced;
+      merge_min = min local_merge_min merge_forced;
     }
   in
   let sink = Kernel.trace root in
@@ -745,12 +826,25 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
         })
   in
   if jobs = 1 then begin
-    let w = { w_id = 0; w_local = None; w_pref = 0; w_stats = stats.(0) } in
+    (* Against a locked shared (campaign) table the sequential path
+       still batches its writes through a private generation: the table
+       may be contended by other candidates' outer workers, and
+       [Memo.try_add]'s non-blocking write-through plus boundary merges
+       is exactly the discipline the parallel path already uses. An
+       unlocked shared table means no other worker exists, so write
+       through directly and skip the double lookup. *)
+    let w_local =
+      match shared with
+      | Some sm when Memo.locked sm.sm_memo -> Some (Hashtbl.create 512)
+      | Some _ | None -> None
+    in
+    let w = { w_id = 0; w_local; w_pref = 0; w_stats = stats.(0) } in
     let x =
       { x_lease = max_paths; x_used = 0; x_pp = 0; x_ps = 0; x_capped = false; x_log = root_log }
     in
     ignore (explore_state sh None w x sink (Kernel.snapshot root) [] 0 : _ summary * bool);
-    flush_pending x
+    flush_pending x;
+    merge_local sh w
   end
   else run_parallel sh sink root root_log ~jobs stats;
   let paths, stuck_legs, truncated, violations = settle ~max_paths root_log in
@@ -781,7 +875,7 @@ let explore ~root ~pids ?(max_instructions_per_leg = 2000) ?(max_paths = 1_000_0
     states_visited = Atomic.get sh.visited;
     dedup_hits = Atomic.get sh.hits;
     stuck_legs;
-    evictions = Memo.evictions memo;
+    evictions = Memo.evictions memo - evictions0;
     steals = total (fun s -> s.st_steals);
     publications = total (fun s -> s.st_pubs);
     lease_splits = total (fun s -> s.st_splits);

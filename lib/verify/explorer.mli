@@ -156,9 +156,58 @@ type 'v result = {
           worker domain [i]. Filled after all domains join. *)
 }
 
+(** {2 Cross-exploration shared memo (campaign mode)}
+
+    A ['v shared_memo] is one bounded memo table that outlives many
+    [explore] calls in one process, so exploration N warm-starts from
+    the in-memory union of what explorations 1..N-1 memoized — this is
+    what makes a campaign of thousands of near-identical candidate
+    programs cost far less than that many cold runs (see {!Campaign}).
+
+    Sharing across candidates is sound only with two key decorations,
+    both applied automatically when [?shared] is passed to [explore]:
+
+    - a fixed 8-byte {e generation} prefix. The campaign driver bumps
+      it ({!bump_generation}) whenever the root baseline or net
+      backend changes, so keys minted against one baseline can never
+      alias keys minted against another — root-relative encodings are
+      only comparable under one baseline. Bumping makes the old
+      generation's entries unreachable (they age out of the bounded
+      table) without a stop-the-world clear.
+    - a per-candidate [?key_tag]. Program text is deliberately absent
+      from [Kernel.state_encoding] (programs live in [Cpu.ctx], not
+      RAM), so two candidates that differ only in one process's
+      program can reach identical engine-visible states with different
+      futures. The tag must determine that process's residual
+      behaviour — for straight-line candidate programs, a fingerprint
+      of the instruction suffix from the current pc (equal once two
+      candidates' remaining code is equal, and constant after exit,
+      which is where most cross-candidate sharing comes from). The tag
+      must be fixed-width so key concatenation stays unambiguous. *)
+
+type 'v shared_memo
+
+val create_shared : ?cap:int -> ?locked:bool -> unit -> 'v shared_memo
+(** A fresh shared table (64 shards, [cap] defaulting to the explore
+    default, [locked] defaulting to [true] — pass [false] only when a
+    single domain will ever touch it). *)
+
+val bump_generation : 'v shared_memo -> unit
+(** Start a new key generation: every key minted afterwards is
+    disjoint from every key minted before. Call between campaign cells
+    (baseline or backend change); never concurrently with [explore]. *)
+
+val shared_generation : 'v shared_memo -> int
+val shared_length : 'v shared_memo -> int
+(** Resident summaries (all generations); racy under concurrency. *)
+
+val shared_evictions : 'v shared_memo -> int
+(** Cumulative evictions over the table's whole life. *)
+
 val explore :
   root:Uldma_os.Kernel.t ->
   pids:int list ->
+  ?baseline:Uldma_os.Kernel.t ->
   ?max_instructions_per_leg:int ->
   ?max_paths:int ->
   ?dedup:bool ->
@@ -168,6 +217,10 @@ val explore :
   ?memo_file:string ->
   ?memo_key:string ->
   ?memo_net:string ->
+  ?shared:'v shared_memo ->
+  ?key_tag:(Uldma_os.Kernel.t -> string) ->
+  ?cutoff:int ->
+  ?merge_batch:int ->
   check:(Uldma_os.Kernel.t -> 'v option) ->
   unit ->
   'v result
@@ -189,7 +242,28 @@ val explore :
     (scenario, net) because the root fingerprint alone cannot tell
     backends apart (nothing is in flight at the root). Reusing a key
     across different scenarios is safe (the root fingerprint guard
-    rejects the stale section) but forfeits the warm start. *)
+    rejects the stale section) but forfeits the warm start.
+
+    [baseline] overrides the encoding baseline (default: [root]). A
+    campaign passes the common base kernel all candidate roots were
+    snapshotted from, so every candidate's keys live in one comparable
+    space; the baseline must not be mutated (or snapshotted from
+    another domain) while any exploration that uses it runs.
+
+    [shared] routes all memo traffic through a cross-exploration table
+    instead of a private one (see above); [memo_file] is then ignored
+    — decorated keys are meaningless outside their own table. Pass
+    [key_tag] (fixed-width, residual-behaviour-determining) whenever
+    candidates sharing the table differ in program text.
+
+    [cutoff] sets the {e initial} adaptive publication threshold
+    (default 8; clamped to [1, 2^20]). Raising it biases against
+    intra-tree splitting — a campaign with plentiful candidates sets
+    it high so small trees stay sequential and parallelism comes from
+    the outer candidate queue. [merge_batch] sets the forced
+    domain-local generation merge threshold (default 256; the boundary
+    merge minimum scales down with it). Both are pure performance
+    knobs: results are identical at any setting. *)
 
 val wait_leg : int
 (** The pseudo-pid ([-2]) recorded in a schedule when the leg idled the

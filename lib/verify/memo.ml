@@ -124,6 +124,7 @@ let merge_batch t ~domain tbl =
   !n
 
 let evictions t = Atomic.get t.evicted
+let locked t = t.locked
 
 (* Distinct keys: a cold entry promoted back into hot (find_in_shard)
    is alive in both generations and must not count twice. *)
@@ -194,7 +195,35 @@ module Persist = struct
       | Some (stored_root, tbl) when Int64.equal stored_root root -> Some tbl
       | Some _ | None -> None)
 
+  (* Serialise the read-merge-write against other savers (threads,
+     domains or processes). Without it, two concurrent saves both read
+     the same pre-existing body and the loser of the rename race
+     silently clobbers the winner's freshly written section — exactly
+     the campaign workload, where many (scenario, net) cells share one
+     cache file. Cross-process: an exclusive advisory lock on a
+     sidecar ([file] itself is replaced by rename, which would orphan
+     a lock taken on the old inode). Same-process domains: POSIX
+     record locks are per-process (a second lockf in the same process
+     succeeds immediately), so a process-local mutex does that half. *)
+  let save_mutex = Mutex.create ()
+
+  let with_file_lock file f =
+    Mutex.protect save_mutex @@ fun () ->
+    match Unix.openfile (file ^ ".lock") Unix.[ O_CREAT; O_RDWR; O_CLOEXEC ] 0o644 with
+    | exception Unix.Unix_error _ -> f () (* degrade to unlocked rather than lose the save *)
+    | fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          f ())
+
   let save ~file ~scenario ~net ~root entries =
+    with_file_lock file @@ fun () ->
+    (* re-read under the lock: merge-on-save — sections written by
+       other scenarios since our last load survive this save *)
     let body = match read_file file with Some b -> b | None -> Hashtbl.create 4 in
     let key = section ~scenario ~net in
     let tbl =

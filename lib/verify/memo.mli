@@ -61,6 +61,11 @@ val shard_owner : 'a t -> int -> int
 val evictions : 'a t -> int
 (** Entries discarded by generation rotation so far. *)
 
+val locked : 'a t -> bool
+(** Whether the table was created with per-shard mutexes. A caller
+    holding an unlocked table has no concurrency to defend against and
+    can write through directly instead of buffering locally. *)
+
 val length : 'a t -> int
 (** Distinct keys currently resident: a key alive in both generations
     (promoted from cold back into hot) counts once. Racy under
@@ -116,6 +121,10 @@ module Persist : sig
   (** Merge [entries] into the file's section for [(scenario, net)]
       (replacing it wholesale if the stored root fingerprint differs)
       and rewrite the file atomically (temp file + rename). Other
-      sections are preserved. Write errors are silently ignored: the
+      sections are preserved — the on-disk body is re-read under an
+      exclusive lock ([file ^ ".lock"] sidecar for cross-process
+      savers, a process-wide mutex for same-process domains) so
+      concurrent saves serialise instead of clobbering each other's
+      freshly written sections. Write errors are silently ignored: the
       cache is an accelerator, never a dependency. *)
 end

@@ -163,3 +163,36 @@ val access_timeline : t -> (Uldma_util.Units.ps * string * string) list
 val label_of_paddr : t -> int -> string
 (** Symbolic name for a physical address ("A+0x40", "shadow(C)"), used
     by [access_timeline]. *)
+
+(** {2 Scenario building blocks}
+
+    The pieces the hand-built scenarios above are assembled from,
+    exposed so program synthesis ({!Synth}) can build whole families
+    of scenarios that differ only in one process's program. *)
+
+val transfer_size : int
+(** Bytes per DMA in every scenario (one cache-line-ish unit). *)
+
+val make_kernel : ?net:Uldma_net.Backend.t -> Uldma_dma.Engine.mechanism -> Uldma_os.Kernel.t
+(** A 64-page machine with round-robin scheduling, bus tracing on and
+    the given protection mechanism / net backend. *)
+
+val make_victim :
+  ?repeat:int ->
+  Uldma_os.Kernel.t ->
+  Uldma.Mech.t ->
+  emit_override:(Uldma_cpu.Asm.t -> unit) option ->
+  Uldma_os.Process.t * int * int * int * Uldma_verify.Oracle.intent
+(** Spawn the standard victim ([repeat] DMAs A -> B, reporting into a
+    result page): [(victim, a_va, b_va, result_va, intent)]. *)
+
+val fig5_attacker : Uldma_os.Kernel.t -> Uldma_os.Process.t * (int * string) list
+(** Spawn the Fig. 5 attacker (S(foo) L(foo) L(C) L(C) over its own
+    shadow-mapped pages): [(attacker, page labels)]. *)
+
+val shadow : int -> int -> Uldma_cpu.Asm.t -> unit
+(** [shadow rd rs asm]: emit [rs := rd + shadow_va_offset], turning a
+    data va in [rd] into its DMA-window shadow alias in [rs]. *)
+
+val page_label : Uldma_os.Kernel.t -> Uldma_os.Process.t -> int -> string -> int * string
+(** [(physical page base of va, name)] for the [labels] field. *)

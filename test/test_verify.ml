@@ -826,6 +826,119 @@ let test_campaign_ext_shadow_two_users () =
     !finished;
   checki "60 transfers" 60 (List.length (Engine.transfers (Kernel.engine kernel)))
 
+(* ------------------------------------------------------------------ *)
+(* Campaign engine: cross-candidate shared memoization *)
+
+module Synth = Uldma_workload.Synth
+module Campaign = Uldma_verify.Campaign
+
+let canon_result (r : _ Explorer.result) =
+  (r.Explorer.paths, r.Explorer.truncated, canon_violations r)
+
+(* Shared-memo exploration must be warmth-independent: explore a
+   randomly mutated accomplice program against a memo pre-warmed by its
+   sibling candidates and cold in a private table — identical path
+   counts and violation lists. Programs are drawn from the raw (not
+   canonicalised) grammar, so the memo also sees symmetric duplicates. *)
+let campaign_shared_vs_cold =
+  let gen_ops =
+    QCheck2.Gen.(
+      list_size (int_range 1 3)
+        (map2
+           (fun store page -> if store then Synth.S page else Synth.L page)
+           bool (int_range 0 1)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"campaign: shared-memo vs cold equivalence" ~count:12
+       ~print:(fun (a, b) -> Synth.mnemonic a ^ " / " ^ Synth.mnemonic b)
+       (QCheck2.Gen.pair gen_ops gen_ops)
+       (fun (warm_ops, ops) ->
+         let base = Synth.make_base Seq_matcher.Five in
+         let s = Synth.base_scenario base in
+         let pids = Scenario.explore_pids s in
+         let check = Scenario.oracle_check s in
+         let baseline = s.Scenario.kernel in
+         (* candidates snapshot the base: build them sequentially *)
+         let warm = Synth.candidate base warm_ops in
+         let cand = Synth.candidate base ops in
+         let cold =
+           Explorer.explore ~root:cand.Campaign.c_root ~pids ~check ()
+         in
+         let sm = Explorer.create_shared ~locked:false () in
+         Explorer.bump_generation sm;
+         ignore
+           (Explorer.explore ~root:warm.Campaign.c_root ~pids ~baseline ~shared:sm
+              ?key_tag:warm.Campaign.c_key_tag ~check ()
+             : _ Explorer.result);
+         let shared =
+           Explorer.explore ~root:cand.Campaign.c_root ~pids ~baseline ~shared:sm
+             ?key_tag:cand.Campaign.c_key_tag ~check ()
+         in
+         canon_result shared = canon_result cold))
+
+(* Campaign.run is deterministic in --jobs: the per-candidate results
+   of the slots=2 family agree at jobs 1, 2 and 4, and warm-starting
+   shows up as cross-candidate hits. *)
+let test_campaign_jobs_determinism () =
+  let run jobs =
+    let cr = Synth.run_cell ~slots:2 ~jobs Seq_matcher.Five in
+    (Array.map canon_result cr.Synth.cr_results, cr.Synth.cr_stats, cr.Synth.cr_cell)
+  in
+  let r1, stats1, cell1 = run 1 in
+  let r2, _, cell2 = run 2 in
+  let r4, _, cell4 = run 4 in
+  checki "family size" 10 (Array.length r1);
+  checkb "jobs=2 identical to jobs=1" true (r1 = r2);
+  checkb "jobs=4 identical to jobs=1" true (r1 = r4);
+  Alcotest.(check string) "catalogue row identical at jobs 2" (Synth.catalogue_row cell1)
+    (Synth.catalogue_row cell2);
+  Alcotest.(check string) "catalogue row identical at jobs 4" (Synth.catalogue_row cell1)
+    (Synth.catalogue_row cell4);
+  checkb "cross-candidate memo hits recorded" true (stats1.Campaign.g_hits > 0);
+  checkb "outer-level split engaged" true
+    (let outer, inner = Campaign.split_jobs ~jobs:4 ~candidates:10 in
+     outer = 4 && inner = 1)
+
+(* Satellite: Memo.Persist.save must merge, not clobber. Two sections
+   written through separate save calls both survive, and two domains
+   saving different sections concurrently (the campaign shape: several
+   scenarios finishing at once) lose neither. *)
+let test_memo_persist_concurrent_save () =
+  let module Persist = Uldma_verify.Memo.Persist in
+  let file = Filename.temp_file "uldma_memo" ".bin" in
+  Sys.remove file;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ file; file ^ ".lock" ])
+    (fun () ->
+      let entry n = [ (Printf.sprintf "k%d" n, { Persist.p_paths = n; p_stuck = 0 }) ] in
+      (* sequential merge-on-save: section "b" must not clobber "a" *)
+      Persist.save ~file ~scenario:"a" ~net:"null" ~root:1L (entry 1);
+      Persist.save ~file ~scenario:"b" ~net:"null" ~root:2L (entry 2);
+      checkb "first section survives a later save" true
+        (Persist.load ~file ~scenario:"a" ~net:"null" ~root:1L <> None);
+      checkb "second section present" true
+        (Persist.load ~file ~scenario:"b" ~net:"null" ~root:2L <> None);
+      (* concurrent saves of distinct sections: both must survive *)
+      let domains =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                let scenario = Printf.sprintf "conc%d" i in
+                Persist.save ~file ~scenario ~net:"null" ~root:(Int64.of_int (10 + i))
+                  (entry (10 + i))))
+      in
+      List.iter Domain.join domains;
+      List.iteri
+        (fun i () ->
+          let scenario = Printf.sprintf "conc%d" i in
+          match Persist.load ~file ~scenario ~net:"null" ~root:(Int64.of_int (10 + i)) with
+          | None -> Alcotest.failf "concurrent section %s lost" scenario
+          | Some tbl -> checki (scenario ^ " intact") 1 (Hashtbl.length tbl))
+        [ (); (); (); () ];
+      checkb "earlier sections still alive after the race" true
+        (Persist.load ~file ~scenario:"a" ~net:"null" ~root:1L <> None
+        && Persist.load ~file ~scenario:"b" ~net:"null" ~root:2L <> None))
+
 let () =
   Alcotest.run "verify"
     [
@@ -893,6 +1006,14 @@ let () =
             test_kernel_fingerprint_stability;
           Alcotest.test_case "advance_one_leg" `Quick test_advance_one_leg;
           Alcotest.test_case "kernel snapshot isolation" `Quick test_kernel_snapshot_isolation;
+        ] );
+      ( "campaign-engine",
+        [
+          campaign_shared_vs_cold;
+          Alcotest.test_case "jobs determinism + catalogue stability" `Slow
+            test_campaign_jobs_determinism;
+          Alcotest.test_case "persist concurrent save merges" `Quick
+            test_memo_persist_concurrent_save;
         ] );
       ( "campaigns",
         [

@@ -1,0 +1,173 @@
+(* Campaign differential checker (CI: @campaign-smoke).
+
+   Proves on a small candidate family that the campaign engine is pure
+   acceleration:
+
+   1. shared-vs-cold soundness — every candidate's (paths, truncated,
+      violations as kind + schedule) from a shared-memo campaign run
+      equals a cold sequential Explorer.explore of the same candidate;
+   2. jobs determinism — campaign runs at --jobs 1 and --jobs 2 (twice)
+      produce identical per-candidate results and identical catalogue
+      rows (including the results fingerprint);
+   3. sharing actually shares — the shared run expands no more states
+      than the cold runs did in aggregate, and strictly fewer when the
+      family has more than a handful of candidates.
+
+   Exit 0 on success, 1 on any mismatch. *)
+
+module Explorer = Uldma_verify.Explorer
+module Synth = Uldma_workload.Synth
+module Scenario = Uldma_workload.Scenario
+
+let slots = ref 2
+let exact = ref false
+let repeat = ref 1
+let jobs2 = ref 2
+let max_paths = ref 1_000_000
+let verbose = ref false
+
+let usage () =
+  prerr_endline
+    "usage: check_campaign [--slots N] [--exact] [--repeat N] [--jobs N] [--max-paths N] \
+     [--verbose]";
+  exit 2
+
+let rec parse = function
+  | [] -> ()
+  | "--slots" :: v :: rest ->
+    slots := int_of_string v;
+    parse rest
+  | "--exact" :: rest ->
+    exact := true;
+    parse rest
+  | "--repeat" :: v :: rest ->
+    repeat := int_of_string v;
+    parse rest
+  | "--jobs" :: v :: rest ->
+    jobs2 := int_of_string v;
+    parse rest
+  | "--max-paths" :: v :: rest ->
+    max_paths := int_of_string v;
+    parse rest
+  | "--verbose" :: rest ->
+    verbose := true;
+    parse rest
+  | _ -> usage ()
+
+(* the warmth- and jobs-independent projection of a result *)
+let canon (r : _ Explorer.result) =
+  ( r.Explorer.paths,
+    r.Explorer.truncated,
+    List.map (fun (v, sched) -> (Synth.kind_name v, sched)) r.Explorer.violations )
+
+let fail = ref false
+
+let check_eq what i a b =
+  if a <> b then begin
+    fail := true;
+    Printf.eprintf "MISMATCH: candidate %d: %s differs\n%!" i what
+  end
+
+let () =
+  parse (List.tl (Array.to_list Sys.argv));
+  let variant = Uldma_dma.Seq_matcher.Five in
+  (* cold baseline: every candidate explored sequentially with its own
+     private memo, no baseline/tag decoration *)
+  let base = Synth.make_base ~repeat:!repeat variant in
+  let ops = Synth.enumerate ~exact:!exact ~slots:!slots () in
+  let candidates = Array.map (Synth.candidate base) ops in
+  let scenario = Synth.base_scenario base in
+  let pids = Scenario.explore_pids scenario in
+  let check = Scenario.oracle_check scenario in
+  let cold_states = ref 0 in
+  let cold_hits = ref 0 in
+  let cold_bytes = ref 0 in
+  let cold_snaps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let cold =
+    Array.map
+      (fun (c : _ Uldma_verify.Campaign.candidate) ->
+        let r =
+          Explorer.explore ~root:c.Uldma_verify.Campaign.c_root ~pids
+            ~max_paths:!max_paths ~check ()
+        in
+        cold_states := !cold_states + r.Explorer.states_visited;
+        cold_hits := !cold_hits + r.Explorer.dedup_hits;
+        cold_bytes := !cold_bytes + r.Explorer.bytes_hashed;
+        cold_snaps := !cold_snaps + r.Explorer.snapshots;
+        canon r)
+      candidates
+  in
+  let cold_secs = Unix.gettimeofday () -. t0 in
+  let run_campaign jobs =
+    let t0 = Unix.gettimeofday () in
+    let cr =
+      Synth.run_cell ~repeat:!repeat ~slots:!slots ~exact:!exact ~jobs ~max_paths:!max_paths
+        variant
+    in
+    (cr, Unix.gettimeofday () -. t0)
+  in
+  let shared1, shared1_secs = run_campaign 1 in
+  let shared2, _ = run_campaign !jobs2 in
+  let shared2', _ = run_campaign !jobs2 in
+  let n = Array.length candidates in
+  for i = 0 to n - 1 do
+    let c1 = canon shared1.Synth.cr_results.(i) in
+    check_eq "shared(jobs=1) vs cold" i c1 cold.(i);
+    check_eq "shared(jobs=2) vs shared(jobs=1)" i (canon shared2.Synth.cr_results.(i)) c1;
+    check_eq "shared(jobs=2) repeat" i
+      (canon shared2'.Synth.cr_results.(i))
+      (canon shared2.Synth.cr_results.(i))
+  done;
+  let row r = Synth.catalogue_row r.Synth.cr_cell in
+  if row shared1 <> row shared2 then begin
+    fail := true;
+    Printf.eprintf "MISMATCH: catalogue row jobs=1 vs jobs=%d\n  %s\n  %s\n%!" !jobs2
+      (row shared1) (row shared2)
+  end;
+  if row shared2 <> row shared2' then begin
+    fail := true;
+    Printf.eprintf "MISMATCH: catalogue row not reproducible at jobs=%d\n%!" !jobs2
+  end;
+  let shared_states = shared1.Synth.cr_stats.Uldma_verify.Campaign.g_states in
+  if shared_states > !cold_states then begin
+    fail := true;
+    Printf.eprintf "REGRESSION: shared memo expanded more states (%d) than cold (%d)\n%!"
+      shared_states !cold_states
+  end;
+  if n > 8 && shared_states >= !cold_states then begin
+    fail := true;
+    Printf.eprintf "REGRESSION: no cross-candidate sharing (%d shared vs %d cold states)\n%!"
+      shared_states !cold_states
+  end;
+  if !verbose || !fail then
+    Printf.printf
+      "check_campaign: %d candidates, cold %d states %.2fs, shared %d states %.2fs (%.2fx states, \
+       %.2fx time), witness %s\n%!"
+      n !cold_states cold_secs shared_states shared1_secs
+      (float_of_int !cold_states /. float_of_int (max 1 shared_states))
+      (cold_secs /. Float.max 1e-9 shared1_secs)
+      shared1.Synth.cr_cell.Synth.cell_witness;
+  if !verbose then begin
+    Printf.printf
+      "check_campaign: arrivals cold %d (%d hits) vs shared %d (%d hits), %.2fx\n%!"
+      (!cold_states + !cold_hits) !cold_hits
+      (shared_states + shared1.Synth.cr_stats.Uldma_verify.Campaign.g_hits)
+      shared1.Synth.cr_stats.Uldma_verify.Campaign.g_hits
+      (float_of_int (!cold_states + !cold_hits)
+      /. float_of_int (max 1 (shared_states + shared1.Synth.cr_stats.Uldma_verify.Campaign.g_hits)));
+    let shared_bytes, shared_snaps =
+      Array.fold_left
+        (fun (b, s) (r : _ Explorer.result) ->
+          (b + r.Explorer.bytes_hashed, s + r.Explorer.snapshots))
+        (0, 0) shared1.Synth.cr_results
+    in
+    Printf.printf
+      "check_campaign: hashed cold %d B, shared %d B; snapshots cold %d, shared %d\n%!"
+      !cold_bytes shared_bytes !cold_snaps shared_snaps
+  end;
+  if !fail then exit 1;
+  Printf.printf "campaign differential OK: %d candidates, state ratio %.2fx, catalogue stable at jobs 1/%d\n%!"
+    n
+    (float_of_int !cold_states /. float_of_int (max 1 shared_states))
+    !jobs2
