@@ -254,7 +254,7 @@ let bench_campaign buf =
   let module Campaign = Uldma_verify.Campaign in
   let module Explorer = Uldma_verify.Explorer in
   let slots = 5 and max_paths = 1_000_000 in
-  let base = Synth.make_base Uldma_dma.Seq_matcher.Five in
+  let base = Synth.make_base (Synth.Rep Uldma_dma.Seq_matcher.Five) in
   let ops = Synth.enumerate ~exact:true ~slots () in
   (* sequential on purpose; see Synth.candidate *)
   let candidates = Array.map (Synth.candidate base) ops in

@@ -137,7 +137,9 @@ let mechanisms_cmd =
             | Some Uldma_dma.Engine.Key_based -> "key-contexts"
             | Some Uldma_dma.Engine.Ext_shadow -> "ext-shadow"
             | Some Uldma_dma.Engine.Ext_shadow_stateless -> "ext-shadow (no contexts)"
-            | Some (Uldma_dma.Engine.Rep_args _) -> "sequence-recogniser");
+            | Some (Uldma_dma.Engine.Rep_args _) -> "sequence-recogniser"
+            | Some Uldma_dma.Engine.Iommu -> "iotlb-translator"
+            | Some Uldma_dma.Engine.Capio -> "capability-checker");
           ])
       Api.all;
     Uldma_util.Tbl.print tbl
@@ -265,6 +267,13 @@ let explore_cmd =
                   ("key-3", `Key3);
                   ("ext-shadow-3", `Ext_shadow3);
                   ("rep5-3", `Rep5_3);
+                  ("iommu", `Iommu);
+                  ("capio", `Capio);
+                  ("iommu-fig5", `Iommu_fig5);
+                  ("capio-fig5", `Capio_fig5);
+                  ("capio-launder", `Capio_launder);
+                  ("iommu-3", `Iommu3);
+                  ("capio-3", `Capio3);
                 ]))
           None
       & info [] ~docv:"SCENARIO")
@@ -327,9 +336,9 @@ let explore_cmd =
           ~doc:
             "DMA wire-time model: $(b,null) (transfers complete instantly, the default), or a \
              latency-modelling link — $(b,atm155), $(b,atm622), $(b,gigabit), $(b,hic). Timed \
-             backends are supported on the fig5, rep5 and key-based scenarios; with one, \
-             transfer completion becomes an explorable scheduling leg (pseudo-pid -2 in \
-             schedules).")
+             backends are supported on the fig5, rep5, key-based, iommu, capio, iommu-fig5, \
+             capio-fig5 and capio-launder scenarios; with one, transfer completion becomes an \
+             explorable scheduling leg (pseudo-pid -2 in schedules).")
   in
   let tick_ps =
     Arg.(
@@ -361,13 +370,32 @@ let explore_cmd =
             "Force a domain-local memo generation into the shared table once it holds $(docv) \
              entries (default 256); boundary merges scale down with it. Pure performance knob.")
   in
-  let run which jobs no_dedup paranoid_memo max_paths memo_cap memo_file net tick_ps cutoff
-      merge_batch trace_file trace_format =
+  let mech_override =
+    Arg.(
+      value
+      & opt (some (enum [ ("iommu", `Iommu); ("capio", `Capio) ])) None
+      & info [ "mech" ] ~docv:"MECH"
+          ~doc:
+            "Re-target the $(b,fig5) splicer at another victim mechanism: $(b,iommu) or \
+             $(b,capio) (equivalent to the iommu-fig5 / capio-fig5 scenarios). Only valid with \
+             the fig5 scenario.")
+  in
+  let run which mech_override jobs no_dedup paranoid_memo max_paths memo_cap memo_file net
+      tick_ps cutoff merge_batch trace_file trace_format =
     with_trace trace_file trace_format @@ fun () ->
     let module Scenario = Uldma_workload.Scenario in
     let module Explorer = Uldma_verify.Explorer in
     let module Oracle = Uldma_verify.Oracle in
     let module Backend = Uldma_net.Backend in
+    let which =
+      match (which, mech_override) with
+      | _, None -> which
+      | `Fig5, Some `Iommu -> `Iommu_fig5
+      | `Fig5, Some `Capio -> `Capio_fig5
+      | _, Some _ ->
+        prerr_endline "--mech only applies to the fig5 scenario";
+        exit 1
+    in
     let backend =
       match Backend.of_string ~tick_ps net with
       | Ok b -> b
@@ -402,6 +430,34 @@ let explore_cmd =
           `Untimed (fun () -> Scenario.ext_shadow_contested3 ()) )
       | `Rep5_3 ->
         ("rep-args-5 vs two attackers", "rep5-3", `Untimed (fun () -> Scenario.rep5_contested3 ()))
+      | `Iommu ->
+        ( "iommu, two tenants",
+          "iommu",
+          `Timed (fun ?net () -> Scenario.iommu_contested ?net ()) )
+      | `Capio ->
+        ( "capio, two tenants",
+          "capio",
+          `Timed (fun ?net () -> Scenario.capio_contested ?net ()) )
+      | `Iommu_fig5 ->
+        ( "iommu vs Fig. 5 splicer",
+          "iommu-fig5",
+          `Timed (fun ?net () -> Scenario.iommu_fig5 ?net ()) )
+      | `Capio_fig5 ->
+        ( "capio vs Fig. 5 splicer",
+          "capio-fig5",
+          `Timed (fun ?net () -> Scenario.capio_fig5 ?net ()) )
+      | `Capio_launder ->
+        ( "capio vs capability launderer",
+          "capio-launder",
+          `Timed (fun ?net () -> Scenario.capio_launder ?net ()) )
+      | `Iommu3 ->
+        ( "iommu, three contested processes",
+          "iommu-3",
+          `Untimed (fun () -> Scenario.iommu_contested3 ()) )
+      | `Capio3 ->
+        ( "capio, three contested processes",
+          "capio-3",
+          `Untimed (fun () -> Scenario.capio_contested3 ()) )
     in
     let s =
       match (scenario, backend) with
@@ -466,8 +522,8 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const run $ which $ jobs $ no_dedup $ paranoid_memo $ max_paths $ memo_cap $ memo_file $ net
-      $ tick_ps $ cutoff $ merge_batch $ trace_file_arg $ trace_format_arg)
+      const run $ which $ mech_override $ jobs $ no_dedup $ paranoid_memo $ max_paths $ memo_cap
+      $ memo_file $ net $ tick_ps $ cutoff $ merge_batch $ trace_file_arg $ trace_format_arg)
 
 let cluster_cmd =
   let module Kv = Uldma_workload.Kv_load in
@@ -762,10 +818,24 @@ let campaign_cmd =
   let mechs =
     Arg.(
       value
-      & opt (list (enum [ ("rep3", Uldma_dma.Seq_matcher.Three); ("rep4", Uldma_dma.Seq_matcher.Four); ("rep5", Uldma_dma.Seq_matcher.Five) ]))
-          [ Uldma_dma.Seq_matcher.Five ]
+      & opt
+          (list
+             (enum
+                [
+                  ("rep3", Synth.Rep Uldma_dma.Seq_matcher.Three);
+                  ("rep4", Synth.Rep Uldma_dma.Seq_matcher.Four);
+                  ("rep5", Synth.Rep Uldma_dma.Seq_matcher.Five);
+                  ("pal", Synth.Pal);
+                  ("key", Synth.Key);
+                  ("ext", Synth.Ext);
+                  ("iommu", Synth.Iommu);
+                  ("capio", Synth.Capio);
+                ]))
+          [ Synth.Rep Uldma_dma.Seq_matcher.Five ]
       & info [ "mechs" ] ~docv:"M,.."
-          ~doc:"Repeated-arguments variants to grid over: rep3, rep4, rep5 (default rep5).")
+          ~doc:
+            "Mechanisms to grid over: rep3, rep4, rep5, pal, key, ext, iommu, capio \
+             (default rep5).")
   in
   let nets =
     Arg.(
@@ -836,13 +906,13 @@ let campaign_cmd =
     let shared = Explorer.create_shared ~cap:(1 lsl 20) () in
     let cells =
       List.concat_map
-        (fun variant ->
+        (fun subject ->
           List.map
             (fun net ->
               let t0 = Unix.gettimeofday () in
               let cr =
                 Synth.run_cell ?net ~slots ~jobs ~max_paths ~shared ?cutoff ?merge_batch
-                  variant
+                  subject
               in
               let c = cr.Synth.cr_cell in
               Uldma_util.Tbl.add_row tbl

@@ -15,6 +15,7 @@ type t = {
   context_switch_cpu_cycles : int;
   pal_call_cpu_cycles : int;
   tlb_miss_cpu_cycles : int;
+  iotlb_walk_bus_cycles : int;
   dma_setup_ps : Units.ps;
 }
 
@@ -34,6 +35,9 @@ let alpha3000_300 =
     context_switch_cpu_cycles = 600;
     pal_call_cpu_cycles = 30;
     tlb_miss_cpu_cycles = 30;
+    (* IOMMU page-table walk: two dependent memory reads over the I/O
+       bus plus compare/merge — comparable to an uncached load pair *)
+    iotlb_walk_bus_cycles = 12;
     dma_setup_ps = Units.ns 400.0;
   }
 
@@ -78,3 +82,4 @@ let check_size_ps t = cpu t t.check_size_cpu_cycles
 let context_switch_ps t = cpu t t.context_switch_cpu_cycles
 let pal_call_ps t = cpu t t.pal_call_cpu_cycles
 let tlb_miss_ps t = cpu t t.tlb_miss_cpu_cycles
+let iotlb_walk_ps t = bus t t.iotlb_walk_bus_cycles

@@ -30,6 +30,8 @@ type t = {
   context_switch_cpu_cycles : int;
   pal_call_cpu_cycles : int; (** CALL_PAL dispatch + return *)
   tlb_miss_cpu_cycles : int;
+  iotlb_walk_bus_cycles : int;
+      (** IOMMU table walk serviced by the engine on an IOTLB miss *)
   dma_setup_ps : Uldma_util.Units.ps; (** engine latency before wire time *)
 }
 
@@ -61,3 +63,4 @@ val check_size_ps : t -> Uldma_util.Units.ps
 val context_switch_ps : t -> Uldma_util.Units.ps
 val pal_call_ps : t -> Uldma_util.Units.ps
 val tlb_miss_ps : t -> Uldma_util.Units.ps
+val iotlb_walk_ps : t -> Uldma_util.Units.ps

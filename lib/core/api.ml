@@ -13,9 +13,21 @@ let all =
     Rep_args.mech;
     Rep_args.mech_of_variant Uldma_dma.Seq_matcher.Three;
     Rep_args.mech_of_variant Uldma_dma.Seq_matcher.Four;
+    Iommu_dma.mech;
+    Capio_dma.mech;
   ]
 
 let table1 = [ Kernel_dma.mech; Ext_shadow.mech; Rep_args.mech; Key_dma.mech ]
+
+let matrix6 =
+  [
+    Pal_dma.mech;
+    Key_dma.mech;
+    Ext_shadow.mech;
+    Rep_args.mech;
+    Iommu_dma.mech;
+    Capio_dma.mech;
+  ]
 
 let no_kernel_modification =
   [ Pal_dma.mech; Key_dma.mech; Ext_shadow.mech; Rep_args.mech ]

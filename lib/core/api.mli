@@ -16,7 +16,7 @@ val all : Mech.t list
 (** Every mechanism, baselines included, in presentation order:
     kernel, shrimp-1, shrimp-2, flash, pal, key-based, ext-shadow
     (register-context and stateless engines), rep-args (plus the
-    deliberately vulnerable rep-args-3/-4). *)
+    deliberately vulnerable rep-args-3/-4), iommu, capio. *)
 
 val table1 : Mech.t list
 (** The four rows of the paper's Table 1, in its order: kernel-level,
@@ -25,6 +25,11 @@ val table1 : Mech.t list
 val no_kernel_modification : Mech.t list
 (** The paper's contributions: mechanisms needing no kernel change
     (pal, key-based, ext-shadow, rep-args). *)
+
+val matrix6 : Mech.t list
+(** The six-mechanism protection matrix: the paper's four user-level
+    mechanisms (pal, key-based, ext-shadow, rep-args) plus the two
+    kernel-modifying related-work designs (iommu, capio). *)
 
 val find : string -> Mech.t option
 val find_exn : string -> Mech.t

@@ -1,0 +1,50 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma_with ~cap_src ~cap_dst ~context_page_va asm =
+  let ctx_page = Mech.reg_scratch0
+  and src_cap = Mech.reg_scratch1
+  and dst_cap = Mech.reg_scratch2 in
+  Asm.li asm ctx_page context_page_va;
+  Asm.li asm src_cap cap_src;
+  Asm.li asm dst_cap cap_dst;
+  (* STORE source capability       TO REGISTER_CONTEXT.arg_src *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_arg_src src_cap;
+  (* STORE destination capability  TO REGISTER_CONTEXT.arg_dst *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_arg_dst dst_cap;
+  (* STORE size                    TO REGISTER_CONTEXT *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_size Mech.reg_size;
+  Asm.mb asm;
+  (* LOAD return_status FROM REGISTER_CONTEXT — checks + initiates *)
+  Asm.load asm Mech.reg_status ~base:ctx_page ~off:Uldma_dma.Regmap.c_size
+
+let prepare kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  let context_page_va =
+    match process.Process.dma_context with
+    | Some _ -> Vm.context_page_va
+    | None -> (
+      match Kernel.alloc_dma_context kernel process with
+      | Some (_, _, va) -> va
+      | None -> failwith "Capio_dma.prepare: no free register context")
+  in
+  let grant region ~rights what =
+    match
+      Kernel.grant_dma_cap kernel process ~vaddr:region.Mech.vaddr
+        ~len:(Mech.region_bytes region) ~rights
+    with
+    | Some value -> value
+    | None -> failwith (Printf.sprintf "Capio_dma.prepare: cannot grant %s capability" what)
+  in
+  let cap_src = grant src ~rights:Uldma_mem.Perms.read_only "source" in
+  let cap_dst = grant dst ~rights:Uldma_mem.Perms.write_only "destination" in
+  { Mech.emit_dma = emit_dma_with ~cap_src ~cap_dst ~context_page_va }
+
+let mech =
+  {
+    Mech.name = "capio";
+    engine_mechanism = Some Uldma_dma.Engine.Capio;
+    requires_kernel_modification = true;
+    ni_accesses = 4;
+    prepare;
+  }

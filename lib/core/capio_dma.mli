@@ -1,0 +1,25 @@
+(** CAPIO-style capability-checked DMA — the related-work contrast row.
+
+    A [Sysno.sys_grant_dma_cap] syscall (one per buffer, setup time)
+    mints an unforgeable 64-bit capability encoding a physical range,
+    rights and the owning register context. Initiation then names the
+    two capabilities instead of addresses:
+
+    {v
+    STORE source capability       TO REGISTER_CONTEXT.arg_src
+    STORE destination capability  TO REGISTER_CONTEXT.arg_dst
+    STORE size                    TO REGISTER_CONTEXT
+    LOAD  return_status           FROM REGISTER_CONTEXT
+    v}
+
+    Four NI accesses. The engine rejects an unknown, foreign or
+    under-privileged value with [Bad_capability], and a once-valid
+    value used after revocation (owner exit, unmap, key rotation) with
+    [Revoked_capability]. The kernel mints, installs and revokes —
+    [requires_kernel_modification = true]: this is the syscall-per-
+    buffer design the paper's user-level mechanisms avoid. *)
+
+val mech : Mech.t
+
+val emit_dma_with :
+  cap_src:int -> cap_dst:int -> context_page_va:int -> Uldma_cpu.Asm.t -> unit

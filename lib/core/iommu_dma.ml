@@ -1,0 +1,40 @@
+open Uldma_cpu
+open Uldma_os
+
+let emit_dma_with ~context_page_va asm =
+  let ctx_page = Mech.reg_scratch0 in
+  Asm.li asm ctx_page context_page_va;
+  (* STORE vsource      TO REGISTER_CONTEXT.arg_src  — virtual! *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_arg_src Mech.reg_vsrc;
+  (* STORE vdestination TO REGISTER_CONTEXT.arg_dst *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_arg_dst Mech.reg_vdst;
+  (* STORE size         TO REGISTER_CONTEXT *)
+  Asm.store asm ~base:ctx_page ~off:Uldma_dma.Regmap.c_size Mech.reg_size;
+  Asm.mb asm;
+  (* LOAD return_status FROM REGISTER_CONTEXT — translates + initiates *)
+  Asm.load asm Mech.reg_status ~base:ctx_page ~off:Uldma_dma.Regmap.c_size
+
+let prepare kernel process ~src ~dst =
+  Mech.check_prepared src dst;
+  let context_page_va =
+    match process.Process.dma_context with
+    | Some _ -> Vm.context_page_va
+    | None -> (
+      match Kernel.alloc_dma_context kernel process with
+      | Some (_, _, va) -> va
+      | None -> failwith "Iommu_dma.prepare: no free register context")
+  in
+  (* no shadow aliases, no per-buffer setup at all: the engine
+     translates the virtual addresses itself through the IOTLB *)
+  ignore (src : Mech.region);
+  ignore (dst : Mech.region);
+  { Mech.emit_dma = emit_dma_with ~context_page_va }
+
+let mech =
+  {
+    Mech.name = "iommu";
+    engine_mechanism = Some Uldma_dma.Engine.Iommu;
+    requires_kernel_modification = true;
+    ni_accesses = 4;
+    prepare;
+  }

@@ -1,0 +1,24 @@
+(** IOMMU virtual-address DMA — the related-work contrast row.
+
+    The process passes {e virtual} source and destination straight to
+    its register context; the engine translates them itself through a
+    bounded IOTLB backed by the process's page table:
+
+    {v
+    STORE vsource        TO REGISTER_CONTEXT.arg_src
+    STORE vdestination   TO REGISTER_CONTEXT.arg_dst
+    STORE size           TO REGISTER_CONTEXT
+    LOAD  return_status  FROM REGISTER_CONTEXT
+    v}
+
+    Four NI accesses and {e zero} per-buffer setup (no shadow aliases
+    to mmap), but the mechanism is exactly what the paper's title
+    rules out: the kernel must bind page tables to the engine, flush
+    the untagged IOTLB on every context switch and shoot down entries
+    on unmap — [requires_kernel_modification = true]. An IOTLB miss
+    costs a charged table walk ([Timing.iotlb_walk_ps]); an unmapped
+    or under-privileged page is a [Not_present] reject. *)
+
+val mech : Mech.t
+
+val emit_dma_with : context_page_va:int -> Uldma_cpu.Asm.t -> unit

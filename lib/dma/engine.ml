@@ -2,6 +2,9 @@ open Uldma_util
 open Uldma_mem
 open Uldma_bus
 module Shadow = Uldma_mmu.Shadow
+module Iotlb = Uldma_mmu.Iotlb
+module Page_table = Uldma_mmu.Page_table
+module Pte = Uldma_mmu.Pte
 
 type mechanism =
   | Shrimp_mapped
@@ -11,6 +14,8 @@ type mechanism =
   | Ext_shadow
   | Ext_shadow_stateless
   | Rep_args of Seq_matcher.variant
+  | Iommu
+  | Capio
 
 type reject_reason =
   | Bad_key
@@ -22,6 +27,9 @@ type reject_reason =
   | Not_mapped_out
   | Wrong_pid
   | Unsupported
+  | Not_present
+  | Bad_capability
+  | Revoked_capability
 
 type event =
   | Started of Transfer.t
@@ -81,6 +89,13 @@ type t = {
   mutable k_atomic_pending : Atomic_op.pending;
   mutable g_atomic_target : int option; (* shared atomic slot (PAL use) *)
   mutable g_atomic_pending : Atomic_op.pending;
+  iotlb : Iotlb.t; (* Iommu: device-side translation cache *)
+  iotlb_walk_ps : int; (* cost of one table walk on a miss *)
+  mutable iommu_tables : (int * Page_table.t) list; (* context -> bound table *)
+  caps : Capability.t; (* Capio: the engine's capability table *)
+  mutable cap_stage_value : int; (* staged grant (committed by k_cap_commit) *)
+  mutable cap_stage_base : int;
+  mutable cap_stage_len : int;
   mutable last_transfer : Transfer.t option; (* for two-step status loads *)
   mutable last_status : int;
   mutable transfers : Transfer.t list; (* newest first *)
@@ -91,7 +106,7 @@ type t = {
   mutable machine : int;
 }
 
-let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
+let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) ?(iotlb_walk_ps = 0) () =
   {
     clock;
     backend;
@@ -103,6 +118,13 @@ let create ~clock ~backend ~ram_size ~mechanism ?(n_contexts = 4) () =
     mapped_out = Hashtbl.create 16;
     map_out_staged = None;
     pending = None;
+    iotlb = Iotlb.create ();
+    iotlb_walk_ps;
+    iommu_tables = [];
+    caps = Capability.create ();
+    cap_stage_value = 0;
+    cap_stage_base = 0;
+    cap_stage_len = 0;
     current_pid = -1;
     k_src = 0;
     k_dst = 0;
@@ -146,6 +168,12 @@ let copy t ~clock ~backend =
     matcher = Seq_matcher.copy t.matcher;
     mapped_out =
       (if Hashtbl.length t.mapped_out = 0 then Hashtbl.create 8 else Hashtbl.copy t.mapped_out);
+    iotlb = Iotlb.copy t.iotlb;
+    (* the bindings still point at the parent's page tables here; the
+       kernel fork re-binds each live context to its copied table
+       immediately after copying the processes *)
+    iommu_tables = t.iommu_tables;
+    caps = Capability.copy t.caps;
     counters = { t.counters with started = t.counters.started };
   }
 
@@ -153,7 +181,10 @@ let now t = Clock.now t.clock
 
 let push_event t e = t.events <- e :: t.events
 
-let reject_name = function
+(* exhaustive by construction: a new [reject_reason] variant must be
+   named here, it cannot fall through a wildcard *)
+let reject_name r =
+  match[@warning "+8"] r with
   | Bad_key -> "bad_key"
   | No_context -> "no_context"
   | Wrong_context -> "wrong_context"
@@ -163,6 +194,9 @@ let reject_name = function
   | Not_mapped_out -> "not_mapped_out"
   | Wrong_pid -> "wrong_pid"
   | Unsupported -> "unsupported"
+  | Not_present -> "not_present"
+  | Bad_capability -> "bad_capability"
+  | Revoked_capability -> "revoked_capability"
 
 let reject t ~reason ~pid =
   t.counters.rejected <- t.counters.rejected + 1;
@@ -254,6 +288,136 @@ let two_step_status t =
     | None -> t.last_status
 
 (* ------------------------------------------------------------------ *)
+(* IOMMU: device-side translation of virtual DMA arguments *)
+
+let iommu_bind t ~context ~table =
+  t.iommu_tables <- (context, table) :: List.remove_assoc context t.iommu_tables
+
+let iommu_unbind t ~context = t.iommu_tables <- List.remove_assoc context t.iommu_tables
+
+let iotlb_invalidate t ~vpage = Iotlb.invalidate t.iotlb ~vpage
+
+let iotlb_flush t = Iotlb.flush t.iotlb
+
+let iotlb_stats t = Iotlb.stats t.iotlb
+
+(* One page lookup through the IOTLB. A miss walks the bound table and
+   is charged [iotlb_walk_ps] on the machine clock whether or not the
+   walk finds a mapping (the engine has to look either way). *)
+let iotlb_lookup t ~table ~vpage ~pid =
+  match Iotlb.translate t.iotlb table ~vpage with
+  | `Hit pte -> Some pte
+  | `Miss pte ->
+    Clock.advance t.clock t.iotlb_walk_ps;
+    if tracing t then begin
+      trace t ~at:(now t) ~pid (Uldma_obs.Trace.Iotlb_miss { vpage });
+      trace t ~at:(now t) ~pid (Uldma_obs.Trace.Iotlb_fill { vpage })
+    end;
+    Some pte
+  | `Fault ->
+    Clock.advance t.clock t.iotlb_walk_ps;
+    if tracing t then trace t ~at:(now t) ~pid (Uldma_obs.Trace.Iotlb_miss { vpage });
+    None
+
+(* Resolve a virtual range to one physical base: every page must be
+   present with the required right ([Not_present] otherwise), and the
+   physical image must be contiguous — the copy unit takes a single
+   base+length ([Bad_range] otherwise). *)
+let iommu_resolve t ~table ~vaddr ~size ~access ~pid =
+  if size <= 0 || vaddr < 0 then Error Bad_range
+  else begin
+    let first = Layout.page_of vaddr and last = Layout.page_of (vaddr + size - 1) in
+    let permitted (pte : Pte.t) =
+      match access with
+      | `Read -> Perms.allows_read pte.Pte.perms
+      | `Write -> Perms.allows_write pte.Pte.perms
+    in
+    let rec walk page expected base =
+      if page > last then Ok base
+      else
+        match iotlb_lookup t ~table ~vpage:page ~pid with
+        | None -> Error Not_present
+        | Some pte ->
+          if not (permitted pte) then Error Not_present
+          else begin
+            let page_base = pte.Pte.frame lsl Layout.page_shift in
+            match expected with
+            | Some e when page_base <> e -> Error Bad_range
+            | _ ->
+              let base =
+                if page = first then page_base lor Layout.page_offset vaddr else base
+              in
+              walk (page + 1) (Some (page_base + Layout.page_size)) base
+          end
+    in
+    walk first None 0
+  end
+
+let fire_iommu t ~context ~vsrc ~vdst ~size ~pid =
+  match List.assoc_opt context t.iommu_tables with
+  | None -> reject t ~reason:Not_present ~pid
+  | Some table -> (
+    match iommu_resolve t ~table ~vaddr:vsrc ~size ~access:`Read ~pid with
+    | Error reason -> reject t ~reason ~pid
+    | Ok src -> (
+      match iommu_resolve t ~table ~vaddr:vdst ~size ~access:`Write ~pid with
+      | Error reason -> reject t ~reason ~pid
+      | Ok dst -> start_transfer t ~src ~dst ~size ~context:(Some context) ~pid))
+
+(* ------------------------------------------------------------------ *)
+(* CAPIO: capability-checked initiation *)
+
+let cap_check t ~value ~context ~size ~access ~pid =
+  let verdict ok = if tracing t then trace t ~at:(now t) ~pid (Uldma_obs.Trace.Cap_check { cap = value; ok }) in
+  match Capability.find t.caps ~value with
+  | None ->
+    verdict false;
+    Error Bad_capability
+  | Some cap ->
+    if cap.Capability.revoked then begin
+      verdict false;
+      Error Revoked_capability
+    end
+    else if cap.Capability.ctx <> context then begin
+      (* a capability laundered into a context it was not granted to
+         (e.g. an accomplice replaying a victim's value) is as bad as a
+         forged one *)
+      verdict false;
+      Error Bad_capability
+    end
+    else if
+      not
+        (match access with
+        | `Read -> Perms.allows_read cap.Capability.rights
+        | `Write -> Perms.allows_write cap.Capability.rights)
+    then begin
+      verdict false;
+      Error Bad_capability
+    end
+    else if size <= 0 || size > cap.Capability.len then begin
+      verdict false;
+      Error Bad_range
+    end
+    else begin
+      verdict true;
+      Ok cap.Capability.base
+    end
+
+let fire_capio t ~context ~cap_src ~cap_dst ~size ~pid =
+  match cap_check t ~value:cap_src ~context ~size ~access:`Read ~pid with
+  | Error reason -> reject t ~reason ~pid
+  | Ok src -> (
+    match cap_check t ~value:cap_dst ~context ~size ~access:`Write ~pid with
+    | Error reason -> reject t ~reason ~pid
+    | Ok dst -> start_transfer t ~src ~dst ~size ~context:(Some context) ~pid)
+
+let revoke_cap t ~value = Capability.revoke_value t.caps ~value
+let revoke_caps_ctx t ~context = Capability.revoke_ctx t.caps ~ctx:context
+let revoke_caps_pid t ~pid = Capability.revoke_pid t.caps ~pid
+let revoke_caps_range t ~base ~len = Capability.revoke_range t.caps ~base ~len
+let capabilities t = t.caps
+
+(* ------------------------------------------------------------------ *)
 (* Atomic unit *)
 
 let run_atomic t ~op ~target ~context ~pid =
@@ -337,6 +501,37 @@ let kernel_store t offset value ~pid =
   else if offset = Regmap.k_atomic_target then t.k_atomic_target <- value
   else if offset = Regmap.k_atomic_op then
     t.k_atomic_pending <- Atomic_op.accumulate t.k_atomic_pending value
+  else if offset = Regmap.k_cap_value then t.cap_stage_value <- value
+  else if offset = Regmap.k_cap_base then t.cap_stage_base <- value
+  else if offset = Regmap.k_cap_len then t.cap_stage_len <- value
+  else if offset = Regmap.k_cap_commit then begin
+    let ctx = value land 0xff in
+    let rights =
+      {
+        Perms.read = value land 0x100 <> 0;
+        write = value land 0x200 <> 0;
+      }
+    in
+    let owner = value asr 16 in
+    if t.cap_stage_value <> 0 then
+      Capability.install t.caps
+        {
+          Capability.value = t.cap_stage_value;
+          ctx;
+          pid = owner;
+          base = t.cap_stage_base;
+          len = t.cap_stage_len;
+          rights;
+          revoked = false;
+        };
+    t.cap_stage_value <- 0;
+    t.cap_stage_base <- 0;
+    t.cap_stage_len <- 0
+  end
+  else if offset = Regmap.k_cap_revoke then Capability.revoke_value t.caps ~value
+  else if offset = Regmap.k_iotlb_invalidate then begin
+    if value < 0 then Iotlb.flush t.iotlb else Iotlb.invalidate t.iotlb ~vpage:value
+  end
   else if
     offset >= Regmap.k_mailbox_base
     && offset < Regmap.k_mailbox_base + (8 * Context_file.length t.contexts)
@@ -352,7 +547,10 @@ let kernel_store t offset value ~pid =
        fire a transfer with the old owner's physical addresses *)
     let context = (offset - Regmap.k_key_base) / 8 in
     Context_file.reset (Context_file.get t.contexts context);
-    Context_file.set_key t.contexts ~context ~key:value
+    Context_file.set_key t.contexts ~context ~key:value;
+    (* and for the same reason, capabilities granted to the previous
+       owner of the context die with the ownership change *)
+    Capability.revoke_ctx t.caps ~ctx:context
   end
 
 let kernel_load t offset ~pid =
@@ -375,11 +573,18 @@ let kernel_load t offset ~pid =
 (* ------------------------------------------------------------------ *)
 (* Register context pages *)
 
+(* Only the Iommu and Capio protocols decode the explicit argument
+   registers; under the paper's mechanisms every non-atomic store keeps
+   its historical any-offset-goes-to-size semantics. *)
+let decodes_arg_regs t = match t.mechanism with Iommu | Capio -> true | _ -> false
+
 let context_page_store t context offset value ~pid =
   match Context_file.get_opt t.contexts context with
   | None -> ignore (reject t ~reason:No_context ~pid : int)
   | Some c ->
     if offset = Regmap.c_atomic then context_atomic_store c None value
+    else if decodes_arg_regs t && offset = Regmap.c_arg_src then c.Context_file.src <- Some value
+    else if decodes_arg_regs t && offset = Regmap.c_arg_dst then c.Context_file.dest <- Some value
     else c.Context_file.size <- Some value
 
 let context_page_load t context offset ~pid =
@@ -390,7 +595,14 @@ let context_page_load t context offset ~pid =
     else begin
       match Context_file.args_ready c with
       | Some (src, dest, size) ->
-        let status = start_transfer t ~src ~dst:dest ~size ~context:(Some context) ~pid in
+        let status =
+          match t.mechanism with
+          | Iommu -> fire_iommu t ~context ~vsrc:src ~vdst:dest ~size ~pid
+          | Capio -> fire_capio t ~context ~cap_src:src ~cap_dst:dest ~size ~pid
+          | Shrimp_mapped | Shrimp_two_step | Flash | Key_based | Ext_shadow
+          | Ext_shadow_stateless | Rep_args _ ->
+            start_transfer t ~src ~dst:dest ~size ~context:(Some context) ~pid
+        in
         Context_file.clear_args c;
         c.Context_file.status <- status;
         status
@@ -445,8 +657,8 @@ let shadow_atomic t (d : Shadow.decoded) (op : Txn.op) value ~pid =
     | Some target, Atomic_op.P_ready op when target = d.Shadow.paddr ->
       run_atomic t ~op ~target ~context:None ~pid
     | _, _ -> reject t ~reason:Incomplete_arguments ~pid)
-  | (Shrimp_mapped | Rep_args _), Txn.Load -> reject t ~reason:Unsupported ~pid
-  | (Shrimp_mapped | Rep_args _), Txn.Store ->
+  | (Shrimp_mapped | Rep_args _ | Iommu | Capio), Txn.Load -> reject t ~reason:Unsupported ~pid
+  | (Shrimp_mapped | Rep_args _ | Iommu | Capio), Txn.Store ->
     ignore (reject t ~reason:Unsupported ~pid : int);
     0
 
@@ -497,6 +709,10 @@ let shadow_store t (d : Shadow.decoded) value ~pid =
     | Seq_matcher.Fired { src; dst; size } ->
       (* cannot happen: all patterns end on a load; fire anyway *)
       t.last_status <- start_transfer t ~src ~dst ~size ~context:None ~pid)
+  | Iommu | Capio ->
+    (* arguments travel through the register context page only; the
+       shadow window is not decoded by these mechanisms *)
+    discard (reject t ~reason:Unsupported ~pid)
 
 let shadow_load t (d : Shadow.decoded) ~pid =
   match t.mechanism with
@@ -579,6 +795,7 @@ let shadow_load t (d : Shadow.decoded) ~pid =
       let status = start_transfer t ~src ~dst ~size ~context:None ~pid in
       t.last_status <- status;
       status)
+  | Iommu | Capio -> reject t ~reason:Unsupported ~pid
 
 (* ------------------------------------------------------------------ *)
 
@@ -681,6 +898,17 @@ let encode enc t =
   ch 'l';
   i t.last_status;
   i (match t.last_transfer with None -> min_int | Some tr -> Transfer.remaining tr ~now:(now t));
+  (* IOTLB contents + victim cursors and the capability table are
+     engine-visible state: they decide future hit/miss charges and
+     grant/reject outcomes. Under the paper's mechanisms both are
+     empty/constant and the encoding partitions states as before. *)
+  ch 'I';
+  Iotlb.encode enc t.iotlb;
+  ch 'C';
+  Capability.encode enc t.caps;
+  i t.cap_stage_value;
+  i t.cap_stage_base;
+  i t.cap_stage_len;
   List.iter
     (fun (tr : Transfer.t) ->
       ch 't';
@@ -769,7 +997,7 @@ let counters t = t.counters
 
 let pp_reject_reason ppf r =
   Format.pp_print_string ppf
-    (match r with
+    (match[@warning "+8"] r with
     | Bad_key -> "bad key"
     | No_context -> "no such register context"
     | Wrong_context -> "wrong register context"
@@ -778,7 +1006,10 @@ let pp_reject_reason ppf r =
     | Bad_range -> "address range outside RAM"
     | Not_mapped_out -> "page has no mapped-out twin"
     | Wrong_pid -> "pending arguments belong to another process"
-    | Unsupported -> "operation unsupported by this mechanism")
+    | Unsupported -> "operation unsupported by this mechanism"
+    | Not_present -> "IOMMU translation fault (page not present or wrong rights)"
+    | Bad_capability -> "unknown, foreign or under-privileged capability"
+    | Revoked_capability -> "capability has been revoked")
 
 let pp_event ppf = function
   | Started tr -> Format.fprintf ppf "started: %a" Transfer.pp tr

@@ -25,6 +25,19 @@ type mechanism =
           of the two physical addresses. If they are different, the DMA
           operation is not started and an error code is returned." *)
   | Rep_args of Seq_matcher.variant (** §3.3, Fig. 7 *)
+  | Iommu
+      (** IOMMU virtual-address DMA (related work): initiation passes
+          *virtual* source/destination through the context page's
+          argument registers; the engine translates them itself via a
+          bounded IOTLB backed by the owning process's page table. No
+          shadow-address setup, but misses cost a charged table walk
+          and an unmapped page is a [Not_present] reject. *)
+  | Capio
+      (** CAPIO-style capability-checked initiation (related work):
+          requests name 64-bit unforgeable capabilities minted by
+          [Os.grant_dma_cap]; the engine checks context, rights, range
+          and revocation before firing from the capability's physical
+          base. *)
 
 type reject_reason =
   | Bad_key
@@ -36,6 +49,9 @@ type reject_reason =
   | Not_mapped_out
   | Wrong_pid (** FLASH: pending args belong to a switched-out process *)
   | Unsupported
+  | Not_present (** IOMMU: translation fault (no mapping / wrong rights) *)
+  | Bad_capability (** CAPIO: unknown, foreign or under-privileged value *)
+  | Revoked_capability (** CAPIO: once-valid value used after revocation *)
 
 type event =
   | Started of Transfer.t
@@ -79,9 +95,12 @@ val create :
   ram_size:int ->
   mechanism:mechanism ->
   ?n_contexts:int ->
+  ?iotlb_walk_ps:int ->
   unit ->
   t
-(** [n_contexts] defaults to 4 ("say 4 to 8", §3.1). *)
+(** [n_contexts] defaults to 4 ("say 4 to 8", §3.1). [iotlb_walk_ps]
+    (default 0) is charged on the machine clock for every IOTLB miss
+    under the [Iommu] mechanism. *)
 
 val mechanism : t -> mechanism
 val contexts : t -> Context_file.t
@@ -117,6 +136,33 @@ val map_out : t -> src_page:int -> dst_page:int -> unit
 (** SHRIMP-1: install a mapped-out entry (physical page bases). *)
 
 val mapped_out_dst : t -> src_page:int -> int option
+
+val iommu_bind : t -> context:int -> table:Uldma_mmu.Page_table.t -> unit
+(** Iommu: bind a register context to the owning process's page table
+    (the structure the engine walks on an IOTLB miss). The kernel
+    re-binds after every fork so the engine never walks a stale
+    snapshot's table. *)
+
+val iommu_unbind : t -> context:int -> unit
+
+val iotlb_invalidate : t -> vpage:int -> unit
+(** Unmap shootdown (also reachable as a charged kernel-page store to
+    [Regmap.k_iotlb_invalidate]). *)
+
+val iotlb_flush : t -> unit
+val iotlb_stats : t -> Uldma_mmu.Iotlb.stats
+
+val revoke_cap : t -> value:int -> unit
+val revoke_caps_ctx : t -> context:int -> unit
+val revoke_caps_pid : t -> pid:int -> unit
+(** Capio revocation on exit: every capability the process was granted
+    dies with it. *)
+
+val revoke_caps_range : t -> base:int -> len:int -> unit
+(** Capio revocation on unmap: kill capabilities overlapping the
+    physical range. *)
+
+val capabilities : t -> Capability.t
 
 (** {1 Observation} *)
 

@@ -8,6 +8,17 @@ let k_map_out_src = 0x30
 let k_map_out_dst = 0x38
 let k_atomic_target = 0x40
 let k_atomic_op = 0x48
+
+(* CAPIO capability install (value/base/len staged, meta commits) and
+   revocation-by-value; IOMMU IOTLB shootdown. Kernel-only, like the
+   rest of the control page. *)
+let k_cap_value = 0x50
+let k_cap_base = 0x58
+let k_cap_len = 0x60
+let k_cap_commit = 0x68
+let k_cap_revoke = 0x70
+let k_iotlb_invalidate = 0x78
+
 let k_key_base = 0x80
 
 let key_offset ~context = k_key_base + (8 * context)
@@ -18,3 +29,5 @@ let mailbox_offset ~context = k_mailbox_base + (8 * context)
 
 let c_size = 0x00
 let c_atomic = 0x08
+let c_arg_src = 0x10
+let c_arg_dst = 0x18

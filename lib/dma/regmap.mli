@@ -34,6 +34,23 @@ val k_atomic_op : int
 (** Kernel-level atomic operations (§3.5 baseline): store the physical
     target, store the encoded op, load to execute and read the result. *)
 
+val k_cap_value : int
+val k_cap_base : int
+val k_cap_len : int
+
+val k_cap_commit : int
+(** CAPIO grant: stage value/base/len, then store the metadata word
+    (context in bits 0-7, read right bit 8, write right bit 9, granting
+    pid from bit 16) here to install the capability atomically. *)
+
+val k_cap_revoke : int
+(** Store a capability value to revoke it (the entry is retained and
+    flagged, so later use is distinguishable from a forged value). *)
+
+val k_iotlb_invalidate : int
+(** IOMMU shootdown: store a virtual page number to invalidate its
+    IOTLB entry, or -1 to flush the whole cache (context switch). *)
+
 val k_key_base : int
 (** [k_key_base + 8*i] holds register context [i]'s key (write-only,
     "in memory locations unreadable by user processes", §3.1). *)
@@ -58,3 +75,11 @@ val c_size : int
 
 val c_atomic : int
 (** The atomic-operation argument/result register (§3.5 extension). *)
+
+val c_arg_src : int
+val c_arg_dst : int
+(** Explicit argument registers, decoded only under the [Iommu] and
+    [Capio] mechanisms (virtual source/destination addresses for the
+    former, capability values for the latter). Under the paper's
+    mechanisms stores at these offsets keep their historical
+    store-goes-to-size semantics. *)

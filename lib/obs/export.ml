@@ -31,6 +31,8 @@ let args_body (kind : Trace.kind) =
   | Engine_decode { paddr } -> Printf.sprintf {|"paddr":%d|} paddr
   | Engine_match { step } -> Printf.sprintf {|"step":%d|} step
   | Engine_reject { reason } -> Printf.sprintf {|"reason":"%s"|} (json_escape reason)
+  | Iotlb_miss { vpage } | Iotlb_fill { vpage } -> Printf.sprintf {|"vpage":%d|} vpage
+  | Cap_check { cap; ok } -> Printf.sprintf {|"cap":%d,"ok":%b|} cap ok
   | Transfer_start { src; dst; size; duration } ->
     Printf.sprintf {|"src":%d,"dst":%d,"size":%d,"duration_ps":%d|} src dst size duration
   | Transfer_complete { src; dst; size } ->

@@ -13,6 +13,9 @@ type kind =
   | Engine_decode of { paddr : int }
   | Engine_match of { step : int }
   | Engine_reject of { reason : string }
+  | Iotlb_miss of { vpage : int }
+  | Iotlb_fill of { vpage : int }
+  | Cap_check of { cap : int; ok : bool }
   | Transfer_start of { src : int; dst : int; size : int; duration : int }
   | Transfer_complete of { src : int; dst : int; size : int }
   | Packet_tx of { dst_paddr : int; bytes : int }
@@ -115,7 +118,8 @@ let layer_of_kind = function
   | Uncached_access _ | Wbuf_collapse _ | Wbuf_flush _ -> Bus
   | Instr_retired _ | Pal_enter _ | Pal_exit _ -> Cpu
   | Syscall_enter _ | Syscall_exit _ | Ctx_switch _ -> Os
-  | Engine_decode _ | Engine_match _ | Engine_reject _ | Transfer_start _ | Transfer_complete _ ->
+  | Engine_decode _ | Engine_match _ | Engine_reject _ | Iotlb_miss _ | Iotlb_fill _
+  | Cap_check _ | Transfer_start _ | Transfer_complete _ ->
     Dma
   | Packet_tx _ | Packet_rx _ -> Net
   | Oracle_violation _ | Explorer_fork _ | Explorer_prune _ | Explorer_steal _ | Explorer_dedup _
@@ -143,6 +147,9 @@ let kind_name = function
   | Engine_decode _ -> "engine_decode"
   | Engine_match _ -> "engine_match"
   | Engine_reject _ -> "engine_reject"
+  | Iotlb_miss _ -> "iotlb_miss"
+  | Iotlb_fill _ -> "iotlb_fill"
+  | Cap_check _ -> "cap_check"
   | Transfer_start _ -> "transfer_start"
   | Transfer_complete _ -> "transfer_complete"
   | Packet_tx _ -> "packet_tx"
@@ -165,6 +172,8 @@ let pp_args ppf = function
   | Engine_decode { paddr } -> Fmt.pf ppf "paddr=%#x" paddr
   | Engine_match { step } -> Fmt.pf ppf "step=%d" step
   | Engine_reject { reason } -> Fmt.pf ppf "reason=%s" reason
+  | Iotlb_miss { vpage } | Iotlb_fill { vpage } -> Fmt.pf ppf "vpage=%#x" vpage
+  | Cap_check { cap; ok } -> Fmt.pf ppf "cap=%#x %s" cap (if ok then "ok" else "denied")
   | Transfer_start { src; dst; size; duration } ->
     Fmt.pf ppf "%#x -> %#x (%d B, %d ps)" src dst size duration
   | Transfer_complete { src; dst; size } -> Fmt.pf ppf "%#x -> %#x (%d B)" src dst size

@@ -28,6 +28,9 @@ type kind =
   | Engine_decode of { paddr : int }
   | Engine_match of { step : int }
   | Engine_reject of { reason : string }
+  | Iotlb_miss of { vpage : int }
+  | Iotlb_fill of { vpage : int }
+  | Cap_check of { cap : int; ok : bool }
   | Transfer_start of { src : int; dst : int; size : int; duration : int }
   | Transfer_complete of { src : int; dst : int; size : int }
   | Packet_tx of { dst_paddr : int; bytes : int }

@@ -110,7 +110,8 @@ let create config =
   let backend = build_backend config.backend ram in
   let engine =
     Engine.create ~clock ~backend ~ram_size:config.ram_size ~mechanism:config.mechanism
-      ~n_contexts:config.n_contexts ()
+      ~n_contexts:config.n_contexts
+      ~iotlb_walk_ps:(Timing.iotlb_walk_ps config.timing) ()
   in
   Bus.register_device bus (Engine.device engine);
   let rec range i n = if i >= n then [] else i :: range (i + 1) n in
@@ -178,6 +179,20 @@ let copy t =
      engine already carry them); the write-buffer observer must capture
      the fork, not the parent *)
   install_wbuf_observer fork;
+  (* the engine was copied before the processes, so its IOMMU bindings
+     still point at the parent's page tables — re-bind each context to
+     the freshly copied process's table *)
+  (match t.config.mechanism with
+  | Engine.Iommu ->
+    List.iter
+      (fun (p : Process.t) ->
+        match p.Process.dma_context with
+        | Some context ->
+          Engine.iommu_bind fork.engine ~context
+            ~table:(Addr_space.page_table p.Process.addr_space)
+        | None -> ())
+      fork.procs
+  | _ -> ());
   fork
 
 let snapshot = copy
@@ -307,6 +322,10 @@ let alloc_dma_context t (p : Process.t) =
     Addr_space.map_page p.Process.addr_space
       ~vpage:(Layout.page_of Vm.context_page_va)
       (Pte.make ~cacheable:false ~frame ~perms:Perms.read_write ());
+    (match t.config.mechanism with
+    | Engine.Iommu ->
+      Engine.iommu_bind t.engine ~context ~table:(Addr_space.page_table p.Process.addr_space)
+    | _ -> ());
     p.Process.dma_context <- Some context;
     p.Process.dma_key <- Some key;
     Some (context, key, Vm.context_page_va)
@@ -332,12 +351,79 @@ let free_dma_context t (p : Process.t) =
   | Some context ->
     t.contexts_free <- context :: t.contexts_free;
     (* rotate the key immediately: the engine wipes the context's
-       argument state and any copy of the old key becomes worthless *)
+       argument state and any copy of the old key becomes worthless
+       (under CAPIO the rotation also revokes the context's
+       capabilities engine-side) *)
     kstore t (Layout.kernel_control_page + Regmap.key_offset ~context) (Rng.dma_key t.rng);
+    (match t.config.mechanism with
+    | Engine.Iommu ->
+      Engine.iommu_unbind t.engine ~context;
+      kstore t (Layout.kernel_control_page + Regmap.k_iotlb_invalidate) (-1)
+    | _ -> ());
     Engine.set_context_owner t.engine ~context ~pid:None;
     Addr_space.unmap_page p.Process.addr_space ~vpage:(Layout.page_of Vm.context_page_va);
     p.Process.dma_context <- None;
     p.Process.dma_key <- None
+
+(* CAPIO: mint an unforgeable capability over [len] bytes at [vaddr]
+   and install it in the engine through the control page (value, base,
+   length, then a commit word carrying context | rights | owning pid).
+   The engine fires from one physical base, so the region must be
+   physically contiguous page by page — discontiguous ranges are
+   refused rather than silently covering the wrong frames. *)
+let grant_dma_cap t (p : Process.t) ~vaddr ~len ~rights =
+  match p.Process.dma_context with
+  | None -> None
+  | Some context ->
+    if len <= 0 then None
+    else if not (Addr_space.check_range p.Process.addr_space ~vaddr ~len ~perms:rights) then None
+    else (
+      match Addr_space.peek_paddr p.Process.addr_space vaddr with
+      | None -> None
+      | Some base ->
+        let contiguous = ref true in
+        let first_page = Layout.page_of vaddr and last_page = Layout.page_of (vaddr + len - 1) in
+        for vpage = first_page + 1 to last_page do
+          let va = vpage lsl Layout.page_shift in
+          match Addr_space.peek_paddr p.Process.addr_space va with
+          | Some paddr when paddr = base + (va - vaddr) -> ()
+          | Some _ | None -> contiguous := false
+        done;
+        if not !contiguous then None
+        else begin
+          let value = Rng.dma_key t.rng in
+          kstore t (Layout.kernel_control_page + Regmap.k_cap_value) value;
+          kstore t (Layout.kernel_control_page + Regmap.k_cap_base) base;
+          kstore t (Layout.kernel_control_page + Regmap.k_cap_len) len;
+          let meta =
+            context
+            lor (if rights.Perms.read then 0x100 else 0)
+            lor (if rights.Perms.write then 0x200 else 0)
+            lor (p.Process.pid lsl 16)
+          in
+          kstore t (Layout.kernel_control_page + Regmap.k_cap_commit) meta;
+          Some value
+        end)
+
+(* Tear down [n] pages of a process mapping with the DMA-protection
+   shootdowns each mechanism needs: IOMMU translations die in the IOTLB
+   (a charged control-page store per page), CAPIO capabilities over the
+   freed frames are revoked, and only then does the PTE go away. *)
+let unmap_pages t (p : Process.t) ~vaddr ~n =
+  for i = 0 to n - 1 do
+    let va = vaddr + (i * Layout.page_size) in
+    let vpage = Layout.page_of va in
+    (match t.config.mechanism with
+    | Engine.Iommu -> kstore t (Layout.kernel_control_page + Regmap.k_iotlb_invalidate) vpage
+    | Engine.Capio -> (
+      match Addr_space.find_page p.Process.addr_space ~vpage with
+      | Some pte ->
+        Engine.revoke_caps_range t.engine ~base:(pte.Pte.frame lsl Layout.page_shift)
+          ~len:Layout.page_size
+      | None -> ())
+    | _ -> ());
+    Addr_space.unmap_page p.Process.addr_space ~vpage
+  done
 
 let install_pal t ~index body = Pal.install t.pal ~index body
 
@@ -371,6 +457,11 @@ let context_switch t (next : Process.t) =
       | Flash_inform ->
         kstore t (Layout.kernel_control_page + Regmap.k_current_pid) next.Process.pid)
     t.hooks;
+  (* the IOTLB is untagged, so a switch must flush it — part of the
+     IOMMU mechanism's (kernel-modifying) context-switch cost *)
+  (match t.config.mechanism with
+  | Engine.Iommu -> kstore t (Layout.kernel_control_page + Regmap.k_iotlb_invalidate) (-1)
+  | _ -> ());
   Sched.note_switch t.sched;
   t.context_switches <- t.context_switches + 1;
   t.running <- Some next.Process.pid;
@@ -462,6 +553,16 @@ let sys_atomic_impl t (p : Process.t) =
 
 let block_until t (p : Process.t) at = p.Process.state <- Process.Blocked_until (max at (now_ps t))
 
+(* Centralised teardown for every exit path (sys_exit, halt, fault, bad
+   syscall, missing PAL function): under CAPIO each capability minted
+   for the process dies with it, so a dead victim's capabilities cannot
+   be replayed by an accomplice. *)
+let kill_process t (p : Process.t) reason =
+  (match t.config.mechanism with
+  | Engine.Capio -> Engine.revoke_caps_pid t.engine ~pid:p.Process.pid
+  | _ -> ());
+  Process.kill p reason
+
 let sys_dma_wait_impl t (p : Process.t) =
   let completion =
     match p.Process.dma_context with
@@ -522,8 +623,22 @@ let rec handle_syscall t (p : Process.t) =
   dispatch_syscall t p number;
   emit t (Uldma_obs.Trace.Syscall_exit { sysno = number })
 
+and sys_grant_dma_cap_impl t (p : Process.t) =
+  let tm = timing t in
+  let vaddr = reg p 1 and len = reg p 2 and bits = reg p 3 in
+  charge t (Timing.translate_ps tm);
+  charge t (Timing.check_size_ps tm);
+  let rights =
+    { Perms.read = bits land Sysno.cap_read <> 0; write = bits land Sysno.cap_write <> 0 }
+  in
+  if (not rights.Perms.read) && not rights.Perms.write then set_reg p 0 Status.failure
+  else
+    match grant_dma_cap t p ~vaddr ~len ~rights with
+    | Some value -> set_reg p 0 value
+    | None -> set_reg p 0 Status.failure
+
 and dispatch_syscall t (p : Process.t) number =
-  if number = Sysno.sys_exit then Process.kill p Process.Normal
+  if number = Sysno.sys_exit then kill_process t p Process.Normal
   else if number = Sysno.sys_yield then t.force_switch <- true
   else if number = Sysno.sys_dma then sys_dma_impl t p
   else if number = Sysno.sys_atomic then sys_atomic_impl t p
@@ -535,13 +650,14 @@ and dispatch_syscall t (p : Process.t) number =
   else if number = Sysno.sys_sleep then
     block_until t p (now_ps t + (reg p 1 * Units.ps_per_ns))
   else if number = Sysno.sys_dma_wait then sys_dma_wait_impl t p
+  else if number = Sysno.sys_grant_dma_cap then sys_grant_dma_cap_impl t p
   else if number = Sysno.sys_sbrk then begin
     let n = reg p 1 in
     match alloc_pages t p ~n ~perms:Perms.read_write with
     | va -> set_reg p 0 va
     | exception (Failure _ | Invalid_argument _) -> set_reg p 0 (-1)
   end
-  else Process.kill p (Process.Killed (Printf.sprintf "bad syscall %d" number))
+  else kill_process t p (Process.Killed (Printf.sprintf "bad syscall %d" number))
 
 let handle_pal t (p : Process.t) index =
   charge t (Timing.pal_call_ps (timing t));
@@ -551,11 +667,11 @@ let handle_pal t (p : Process.t) index =
       ~now:(fun () -> now_ps t)
       ~run:(fun body -> Cpu.run_subprogram (regs p) body (host_for t p))
   with
-  | None -> Process.kill p (Process.Killed (Printf.sprintf "PAL function %d not installed" index))
+  | None -> kill_process t p (Process.Killed (Printf.sprintf "PAL function %d not installed" index))
   | Some Cpu.Halted -> ()
   | Some (Cpu.Fault f) ->
     flush_write_buffer t p.Process.pid;
-    Process.kill p (Process.Killed_fault f)
+    kill_process t p (Process.Killed_fault f)
   | Some (Cpu.Continue | Cpu.Syscall_trap | Cpu.Pal_trap _) -> assert false
 
 let mnemonic : Isa.instr -> string = function
@@ -601,10 +717,10 @@ let exec_one t (p : Process.t) =
   | Cpu.Continue -> ()
   | Cpu.Halted ->
     flush_write_buffer t p.Process.pid;
-    Process.kill p Process.Normal
+    kill_process t p Process.Normal
   | Cpu.Fault f ->
     flush_write_buffer t p.Process.pid;
-    Process.kill p (Process.Killed_fault f)
+    kill_process t p (Process.Killed_fault f)
   | Cpu.Syscall_trap -> handle_syscall t p
   | Cpu.Pal_trap index -> handle_pal t p index);
   p.Process.cpu_time_ps <- p.Process.cpu_time_ps + (now_ps t - t0)

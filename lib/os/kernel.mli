@@ -194,6 +194,20 @@ val set_atomic_mailbox : t -> Process.t -> vaddr:int -> unit
 
 val free_dma_context : t -> Process.t -> unit
 
+val grant_dma_cap :
+  t -> Process.t -> vaddr:int -> len:int -> rights:Uldma_mem.Perms.t -> int option
+(** CAPIO: mint an unforgeable 64-bit capability over the process's
+    [vaddr, vaddr+len) (which must be owned with [rights] and be
+    physically contiguous) and install it in the engine through the
+    control page. Requires an allocated DMA context — the capability is
+    bound to it. Also reachable from user code as
+    [Sysno.sys_grant_dma_cap]. [None] on any check failure. *)
+
+val unmap_pages : t -> Process.t -> vaddr:int -> n:int -> unit
+(** Tear down [n] page mappings with the mechanism's DMA-protection
+    shootdowns: per-page IOTLB invalidation under [Iommu], revocation
+    of capabilities over the freed frames under [Capio]. *)
+
 val install_pal : t -> index:int -> Uldma_cpu.Isa.instr array -> (unit, string) result
 (** Privileged: install a PAL function (§2.7). *)
 

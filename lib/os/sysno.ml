@@ -9,6 +9,10 @@ let sys_sleep = 7
 let sys_dma_wait = 8
 let sys_disk_read = 9
 let sys_disk_write = 10
+let sys_grant_dma_cap = 11
+
+let cap_read = 1
+let cap_write = 2
 
 let atomic_add = 1
 let atomic_fetch_store = 2

@@ -46,3 +46,15 @@ val sys_disk_read : int
 
 val sys_disk_write : int
 (** r1 = block number, r2 = source virtual address (one block). *)
+
+val sys_grant_dma_cap : int
+(** CAPIO mechanism only: r1 = virtual base, r2 = length, r3 = rights
+    bits ([cap_read] lor [cap_write]). The kernel checks the process
+    owns the range with those permissions, mints an unforgeable 64-bit
+    capability bound to the process's register context, installs it in
+    the engine through the control page and returns it in r0 (-1 on any
+    failure, including no DMA context or a physically discontiguous
+    range). *)
+
+val cap_read : int
+val cap_write : int

@@ -61,6 +61,87 @@ let table1 ?(iterations = 1000) () =
   tbl
 
 (* ------------------------------------------------------------------ *)
+(* Six-mechanism matrix: cost, protection, atomicity *)
+
+let matrix6 () =
+  let module Synth = Uldma_workload.Synth in
+  let tbl =
+    Tbl.create
+      ~title:
+        "Six-mechanism matrix: initiation cost, exhaustive protection verdict, collusion \
+         surface (slots 2)"
+      ~columns:
+        [
+          ("mechanism", Tbl.Left);
+          ("initiation (us)", Tbl.Right);
+          ("NI accesses", Tbl.Right);
+          ("kernel modification", Tbl.Left);
+          ("exhaustive scenario", Tbl.Left);
+          ("schedules", Tbl.Right);
+          ("verdict", Tbl.Left);
+          ("collusion (viol/cand)", Tbl.Left);
+        ]
+  in
+  let subjects =
+    [
+      Synth.Pal;
+      Synth.Key;
+      Synth.Ext;
+      Synth.Rep Uldma_dma.Seq_matcher.Five;
+      Synth.Iommu;
+      Synth.Capio;
+    ]
+  in
+  List.iter
+    (fun subject ->
+      let m = Synth.subject_mech subject in
+      let r = Measure.initiation ~iterations:300 m in
+      if r.Measure.successes <> r.Measure.iterations then
+        failwith (Printf.sprintf "matrix6: %s had failures" m.Mech.name);
+      let scenario_name, s =
+        match subject with
+        | Synth.Pal -> ("pal contested", Scenario.pal_contested ())
+        | Synth.Key -> ("key contested", Scenario.key_contested ())
+        | Synth.Ext -> ("ext-shadow contested", Scenario.ext_shadow_contested ())
+        | Synth.Rep _ -> ("rep5 vs Fig. 5 splicer", Scenario.rep5 ())
+        | Synth.Iommu -> ("iommu contested", Scenario.iommu_contested ())
+        | Synth.Capio -> ("capio contested", Scenario.capio_contested ())
+      in
+      let er =
+        Explorer.explore ~root:s.Scenario.kernel ~pids:(Scenario.explore_pids s)
+          ~max_paths:1_000_000 ~check:(Scenario.oracle_check s) ()
+      in
+      if er.Explorer.truncated then
+        failwith (Printf.sprintf "matrix6: %s exploration truncated" m.Mech.name);
+      let verdict =
+        match er.Explorer.violations with
+        | [] -> "SAFE (exactly-once)"
+        | vs -> Printf.sprintf "VULNERABLE (%d)" (List.length vs)
+      in
+      let cr = Synth.run_cell ~slots:2 subject in
+      let cell = cr.Synth.cr_cell in
+      let collusion =
+        if cell.Synth.cell_violating = 0 then
+          Printf.sprintf "0/%d" cell.Synth.cell_candidates
+        else
+          Printf.sprintf "%d/%d (%s)" cell.Synth.cell_violating cell.Synth.cell_candidates
+            cell.Synth.cell_witness
+      in
+      Tbl.add_row tbl
+        [
+          m.Mech.name;
+          Printf.sprintf "%.2f" r.Measure.us_per_initiation;
+          string_of_int m.Mech.ni_accesses;
+          (if m.Mech.requires_kernel_modification then "required" else "none");
+          scenario_name;
+          string_of_int er.Explorer.paths;
+          verdict;
+          collusion;
+        ])
+    subjects;
+  tbl
+
+(* ------------------------------------------------------------------ *)
 (* Bus and OS sweeps *)
 
 let bus_presets = [ ("12.5 MHz", Timing.alpha3000_300); ("33 MHz", Timing.pci33); ("66 MHz", Timing.pci66) ]
@@ -1074,6 +1155,7 @@ let ablate_quantum () =
 let all =
   [
     { id = "table1"; title = "Table 1: initiation latency"; paper_ref = "sec. 3.4, Table 1"; run = (fun () -> table1 ()) };
+    { id = "matrix6"; title = "Six-mechanism cost/protection/atomicity matrix"; paper_ref = "sec. 3.4 + related work (IOMMU, CAPIO)"; run = matrix6 };
     { id = "bus_sweep"; title = "Bus frequency sweep"; paper_ref = "sec. 3.4"; run = bus_sweep };
     { id = "os_sweep"; title = "Syscall overhead sweep"; paper_ref = "sec. 2.2"; run = os_sweep };
     { id = "crossover"; title = "Initiation vs wire-time crossover"; paper_ref = "sec. 1-2.2"; run = crossover };

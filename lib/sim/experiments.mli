@@ -16,6 +16,13 @@ val table1 : ?iterations:int -> unit -> Uldma_util.Tbl.t
 (** The headline: DMA initiation latency per mechanism, with the
     paper's measured column alongside ours. *)
 
+val matrix6 : unit -> Uldma_util.Tbl.t
+(** The six-mechanism matrix (pal, key-based, ext-shadow, rep-args,
+    iommu, capio): measured initiation cost, NI access count and
+    kernel-modification requirement alongside an exhaustive-exploration
+    protection/atomicity verdict and the slots-2 collusion-campaign
+    cell (violating candidates / candidates, witness program). *)
+
 val bus_sweep : unit -> Uldma_util.Tbl.t
 (** §3.4's remark: Table 1 re-run at TurboChannel 12.5, PCI 33 and
     PCI 66 MHz. *)

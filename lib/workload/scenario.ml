@@ -77,9 +77,15 @@ let make_victim ?(repeat = 1) kernel (mech : Mech.t) ~emit_override =
 let shadow reg_data reg_shadow asm =
   Asm.add asm reg_shadow reg_data (Isa.Imm Vm.shadow_va_offset)
 
-(* The Fig. 5 attacker: S(foo) L(foo) L(C) L(C) over its own pages. *)
-let fig5_attacker kernel =
+(* The Fig. 5 attacker: S(foo) L(foo) L(C) L(C) over its own pages.
+   [with_context] allocates it a register context first — required
+   before shadow-mapping under the extended-shadow mechanism. *)
+let fig5_attacker ?(with_context = false) kernel =
   let attacker = Kernel.spawn kernel ~name:"attacker" ~program:[||] () in
+  if with_context then (
+    match Kernel.alloc_dma_context kernel attacker with
+    | Some _ -> ()
+    | None -> failwith "Scenario.fig5_attacker: no free register context");
   let foo = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
   let c = Kernel.alloc_pages kernel attacker ~n:1 ~perms:Perms.read_write in
   ignore (Kernel.map_shadow_alias kernel attacker ~vaddr:foo ~n:1 ~window:`Dma : int);
@@ -351,6 +357,77 @@ let key_contested ?net () = contested ?net Uldma.Key_dma.mech Engine.Key_based
 
 let pal_contested () = contested Uldma.Pal_dma.mech Engine.Shrimp_two_step
 
+let iommu_contested ?net () = contested ?net Uldma.Iommu_dma.mech Engine.Iommu
+
+let capio_contested ?net () = contested ?net Uldma.Capio_dma.mech Engine.Capio
+
+(* ------------------------------------------------------------------ *)
+(* The Fig. 5 splicer against a mechanism whose initiation never
+   touches the shadow window (IOMMU / CAPIO): every attacker shadow
+   access is rejected [Unsupported], so exploration must find every
+   schedule SAFE — there is no argument stream to splice into. *)
+
+let fig5_vs ?net (mech : Mech.t) mechanism =
+  let kernel = make_kernel ?net mechanism in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
+  let attacker, attacker_labels = fig5_attacker kernel in
+  {
+    kernel;
+    victim;
+    attacker;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    extras = [];
+    labels =
+      page_label kernel victim a "A" :: page_label kernel victim b "B" :: attacker_labels;
+  }
+
+let iommu_fig5 ?net () = fig5_vs ?net Uldma.Iommu_dma.mech Engine.Iommu
+
+let capio_fig5 ?net () = fig5_vs ?net Uldma.Capio_dma.mech Engine.Capio
+
+(* The rep5-style accomplice, retargeted at CAPIO: the accomplice has
+   somehow learned the victim's capability *values* (they are plain
+   words; secrecy is not the protection) and replays them through its
+   OWN register context. The engine's context binding must reject the
+   laundering attempt with [Bad_capability] under every schedule. *)
+let capio_launder ?net () =
+  let mech = Uldma.Capio_dma.mech in
+  let kernel = make_kernel ?net Engine.Capio in
+  let victim, a, b, result, intent = make_victim kernel mech ~emit_override:None in
+  let victim_caps = Capability.live (Engine.capabilities (Kernel.engine kernel)) in
+  let cap_with pred =
+    match List.find_opt pred victim_caps with
+    | Some c -> c.Capability.value
+    | None -> failwith "Scenario.capio_launder: victim capability missing"
+  in
+  let cap_src = cap_with (fun c -> c.Capability.rights.Perms.read) in
+  let cap_dst = cap_with (fun c -> c.Capability.rights.Perms.write) in
+  let accomplice = Kernel.spawn kernel ~name:"accomplice" ~program:[||] () in
+  let context_page_va =
+    match Kernel.alloc_dma_context kernel accomplice with
+    | Some (_, _, va) -> va
+    | None -> failwith "Scenario.capio_launder: no context for accomplice"
+  in
+  let asm = Asm.create () in
+  Asm.li asm Mech.reg_size transfer_size;
+  Uldma.Capio_dma.emit_dma_with ~cap_src ~cap_dst ~context_page_va asm;
+  Asm.halt asm;
+  Process.set_program accomplice (Asm.assemble asm);
+  {
+    kernel;
+    victim;
+    attacker = accomplice;
+    intents = [ intent ];
+    victim_result_va = result;
+    transfer_size;
+    attacker_result_va = None;
+    extras = [];
+    labels = [ page_label kernel victim a "A"; page_label kernel victim b "B" ];
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Three-process contested workloads. Two-process trees top out around
    10^2..10^3 schedules — too small for --jobs to matter. A third
@@ -413,6 +490,14 @@ let key_contested3 ?(victim_repeat = 1) ?(tenant_repeat = 1) () =
 
 let ext_shadow_contested3 ?victim_repeat ?tenant_repeat () =
   contested3 ?victim_repeat ?tenant_repeat Uldma.Ext_shadow.mech Engine.Ext_shadow
+
+(* IOMMU initiation is also 4 NI accesses; one initiation per process
+   keeps the tree in the same ~7.6e5-schedule band as key_contested3. *)
+let iommu_contested3 ?(victim_repeat = 1) ?(tenant_repeat = 1) () =
+  contested3 ~victim_repeat ~tenant_repeat Uldma.Iommu_dma.mech Engine.Iommu
+
+let capio_contested3 ?(victim_repeat = 1) ?(tenant_repeat = 1) () =
+  contested3 ~victim_repeat ~tenant_repeat Uldma.Capio_dma.mech Engine.Capio
 
 (* The five-access method against BOTH adversary shapes at once: the
    Fig. 5 splicer and the store-splice attacker race one rep5 victim.

@@ -92,6 +92,32 @@ val pal_contested : unit -> t
 (** Same, for the PAL method (§2.7): the two-access window is
     uninterruptible, so even the single pending slot cannot mix. *)
 
+val iommu_contested : ?net:Uldma_net.Backend.t -> unit -> t
+(** Same, for IOMMU virtual-address DMA: two tenants pass virtual
+    addresses through their own register contexts; the engine
+    translates through the IOTLB. *)
+
+val capio_contested : ?net:Uldma_net.Backend.t -> unit -> t
+(** Same, for CAPIO capability-checked DMA: each tenant fires with its
+    own kernel-minted capabilities. *)
+
+val iommu_fig5 : ?net:Uldma_net.Backend.t -> unit -> t
+(** The Fig. 5 splicer against an IOMMU victim. IOMMU initiation never
+    touches the shadow window, so every attacker access is rejected
+    [Unsupported] — exploration must find every schedule SAFE. *)
+
+val capio_fig5 : ?net:Uldma_net.Backend.t -> unit -> t
+(** Same splicer against a CAPIO victim; same expectation. *)
+
+val capio_launder : ?net:Uldma_net.Backend.t -> unit -> t
+(** The rep5-style accomplice retargeted at CAPIO: the accomplice has
+    learned the victim's capability values and replays them through
+    its {e own} register context. The laundering is rejected under
+    every schedule — [Bad_capability] (context binding) while the
+    victim is alive, [Revoked_capability] once the victim has exited
+    and its caps were revoked by pid — a capability is not a bearer
+    token here, it names its context and dies with its grantor. *)
+
 val key_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> t
 (** Three concurrent tenants of the key-based mechanism: one victim and
     two tenants, each initiating [victim_repeat] / [tenant_repeat]
@@ -107,6 +133,14 @@ val ext_shadow_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> 
     ~7.6e5-schedule tree). [~victim_repeat:1 ~tenant_repeat:1] gives a
     1680-schedule tree, small enough for unit tests that still
     exercise three-way interleaving. *)
+
+val iommu_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> t
+(** Three concurrent IOMMU tenants (defaults 1 and 1: 4-NI-access
+    initiation gives the same ~7.6e5-schedule band as
+    [key_contested3]). *)
+
+val capio_contested3 : ?victim_repeat:int -> ?tenant_repeat:int -> unit -> t
+(** Three concurrent CAPIO tenants, same sizing. *)
 
 val rep5_contested3 : unit -> t
 (** The five-access method against both adversary shapes at once: the
@@ -186,9 +220,12 @@ val make_victim :
 (** Spawn the standard victim ([repeat] DMAs A -> B, reporting into a
     result page): [(victim, a_va, b_va, result_va, intent)]. *)
 
-val fig5_attacker : Uldma_os.Kernel.t -> Uldma_os.Process.t * (int * string) list
+val fig5_attacker :
+  ?with_context:bool -> Uldma_os.Kernel.t -> Uldma_os.Process.t * (int * string) list
 (** Spawn the Fig. 5 attacker (S(foo) L(foo) L(C) L(C) over its own
-    shadow-mapped pages): [(attacker, page labels)]. *)
+    shadow-mapped pages): [(attacker, page labels)]. [with_context]
+    (default false) allocates it a register context first — required
+    before shadow-mapping under the extended-shadow mechanism. *)
 
 val shadow : int -> int -> Uldma_cpu.Asm.t -> unit
 (** [shadow rd rs asm]: emit [rs := rd + shadow_va_offset], turning a

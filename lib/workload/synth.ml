@@ -61,26 +61,80 @@ let variant_label = function
   | Seq_matcher.Four -> "rep4"
   | Seq_matcher.Five -> "rep5"
 
+(* The campaign's mechanism axis: the three repeated-passing variants
+   plus the other five matrix mechanisms, so one grammar of accomplice
+   programs probes the whole six-mechanism protection matrix. *)
+type subject =
+  | Rep of Seq_matcher.variant
+  | Pal
+  | Key
+  | Ext
+  | Iommu
+  | Capio
+
+let subject_label = function
+  | Rep v -> variant_label v
+  | Pal -> "pal"
+  | Key -> "key-based"
+  | Ext -> "ext-shadow"
+  | Iommu -> "iommu"
+  | Capio -> "capio"
+
+let subject_of_string = function
+  | "rep3" -> Some (Rep Seq_matcher.Three)
+  | "rep4" -> Some (Rep Seq_matcher.Four)
+  | "rep5" -> Some (Rep Seq_matcher.Five)
+  | "pal" -> Some Pal
+  | "key" | "key-based" -> Some Key
+  | "ext" | "ext-shadow" -> Some Ext
+  | "iommu" -> Some Iommu
+  | "capio" -> Some Capio
+  | _ -> None
+
+let subject_mech = function
+  | Rep v -> Uldma.Rep_args.mech_of_variant v
+  | Pal -> Uldma.Pal_dma.mech
+  | Key -> Uldma.Key_dma.mech
+  | Ext -> Uldma.Ext_shadow.mech
+  | Iommu -> Uldma.Iommu_dma.mech
+  | Capio -> Uldma.Capio_dma.mech
+
+let subject_engine_mechanism subject =
+  match (subject_mech subject).Uldma.Mech.engine_mechanism with
+  | Some m -> m
+  | None -> invalid_arg "Synth.subject_engine_mechanism: mechanism drives no engine"
+
 let net_label = function
   | None -> "null"
   | Some b -> Uldma_net.Backend.cache_key b
 
-(* The rep5-3-class base: the standard victim and the Fig. 5 attacker,
-   plus an accomplice slot — two fresh shadow-mapped pages and an empty
-   program for each candidate to fill in. Only the victim declares an
-   intent, so any adversary-attributable transfer is a violation. *)
-let make_base ?net ?repeat variant =
-  let mech = Uldma.Rep_args.mech_of_variant variant in
-  let kernel = Scenario.make_kernel ?net (Engine.Rep_args variant) in
+(* The matrix-cell base: the standard victim (through the subject's
+   mechanism) and the Fig. 5 attacker, plus an accomplice slot — two
+   fresh shadow-mapped pages and an empty program for each candidate to
+   fill in. Only the victim declares an intent, so any
+   adversary-attributable transfer is a violation. Under IOMMU/CAPIO
+   the shadow window itself is dead (every access rejects
+   [Unsupported]), which is exactly the differential fact the
+   six-mechanism catalogue is after. *)
+let make_base ?net ?repeat subject =
+  let mech = subject_mech subject in
+  let kernel = Scenario.make_kernel ?net (subject_engine_mechanism subject) in
   let emit_override =
     (* the retrying five-access stub spins forever under exploration *)
-    match variant with
-    | Seq_matcher.Five -> Some Uldma.Rep_args.emit_dma_five_no_retry
-    | Seq_matcher.Three | Seq_matcher.Four -> None
+    match subject with
+    | Rep Seq_matcher.Five -> Some Uldma.Rep_args.emit_dma_five_no_retry
+    | Rep (Seq_matcher.Three | Seq_matcher.Four) | Pal | Key | Ext | Iommu | Capio -> None
   in
+  (* extended shadow addressing encodes the register context in the
+     alias, so the adversaries need contexts before they can map *)
+  let needs_context = match subject with Ext -> true | _ -> false in
   let victim, a, b, result, intent = Scenario.make_victim ?repeat kernel mech ~emit_override in
-  let attacker, attacker_labels = Scenario.fig5_attacker kernel in
+  let attacker, attacker_labels = Scenario.fig5_attacker ~with_context:needs_context kernel in
   let accomplice = Kernel.spawn kernel ~name:"accomplice" ~program:[||] () in
+  if needs_context then (
+    match Kernel.alloc_dma_context kernel accomplice with
+    | Some _ -> ()
+    | None -> failwith "Synth.make_base: no free context for the accomplice");
   let p0 = Kernel.alloc_pages kernel accomplice ~n:1 ~perms:Perms.read_write in
   let p1 = Kernel.alloc_pages kernel accomplice ~n:1 ~perms:Perms.read_write in
   ignore (Kernel.map_shadow_alias kernel accomplice ~vaddr:p0 ~n:1 ~window:`Dma : int);
@@ -268,8 +322,8 @@ let make_cell ~mech ~net ~slots ~ops ~results ~(stats : Campaign.stats) =
   }
 
 let run_cell ?net ?repeat ?(slots = 3) ?exact ?(jobs = 1) ?(max_paths = 1_000_000) ?shared
-    ?cutoff ?merge_batch variant =
-  let base = make_base ?net ?repeat variant in
+    ?cutoff ?merge_batch subject =
+  let base = make_base ?net ?repeat subject in
   let ops = enumerate ?exact ~slots () in
   (* sequential on purpose; see [candidate] *)
   let candidates = Array.map (candidate base) ops in
@@ -282,7 +336,7 @@ let run_cell ?net ?repeat ?(slots = 3) ?exact ?(jobs = 1) ?(max_paths = 1_000_00
   in
   {
     cr_cell =
-      make_cell ~mech:(variant_label variant) ~net:(net_label net) ~slots ~ops ~results
+      make_cell ~mech:(subject_label subject) ~net:(net_label net) ~slots ~ops ~results
         ~stats;
     cr_ops = ops;
     cr_results = results;

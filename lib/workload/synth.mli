@@ -43,16 +43,41 @@ val enumerate : ?exact:bool -> slots:int -> unit -> op list array
     matching bus access counts, which same-length op mixes give),
     used by the bench throughput experiment. *)
 
+type subject =
+  | Rep of Uldma_dma.Seq_matcher.variant
+  | Pal
+  | Key
+  | Ext
+  | Iommu
+  | Capio
+      (** The campaign's mechanism axis: the repeated-passing variants
+          plus the five other matrix mechanisms. Under [Iommu]/[Capio]
+          the shadow window rejects every accomplice access
+          ([Unsupported]) — the differential fact the six-mechanism
+          catalogue records. *)
+
+val subject_label : subject -> string
+(** ["rep3".."rep5"], ["pal"], ["key-based"], ["ext-shadow"],
+    ["iommu"], ["capio"] — the catalogue's mech column. *)
+
+val subject_of_string : string -> subject option
+(** Inverse of {!subject_label}; also accepts the ["key"] and ["ext"]
+    short spellings. *)
+
+val subject_mech : subject -> Uldma.Mech.t
+val subject_engine_mechanism : subject -> Uldma_dma.Engine.mechanism
+
 type base
 (** A base kernel: victim (one DMA through the cell's mechanism, the
     only declared intent), the Fig. 5 attacker, and the accomplice —
     two fresh shadow-mapped pages and an empty program slot. *)
 
-val make_base :
-  ?net:Uldma_net.Backend.t -> ?repeat:int -> Uldma_dma.Seq_matcher.variant -> base
+val make_base : ?net:Uldma_net.Backend.t -> ?repeat:int -> subject -> base
 (** [repeat] is the victim's DMA iteration count (default 1). More
     iterations deepen the victim's own subtree — the part every
-    candidate shares once the accomplice has exited. *)
+    candidate shares once the accomplice has exited. Under [Ext] the
+    attacker and accomplice are allocated register contexts (extended
+    shadow addressing cannot map aliases without one). *)
 
 val base_scenario : base -> Scenario.t
 
@@ -111,7 +136,7 @@ val run_cell :
   ?shared:Uldma_verify.Oracle.violation Uldma_verify.Explorer.shared_memo ->
   ?cutoff:int ->
   ?merge_batch:int ->
-  Uldma_dma.Seq_matcher.variant ->
+  subject ->
   cell_run
 (** Build the base, enumerate, and run the whole candidate family
     through {!Uldma_verify.Campaign.run}. Defaults: [slots] 3 (49

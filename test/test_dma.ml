@@ -803,6 +803,196 @@ let engine_fuzz_invariants =
              && tr.Transfer.dst + tr.Transfer.size <= ram_pages * Layout.page_size)
            transfers)
 
+(* ------------------------------------------------------------------ *)
+(* IOMMU virtual-address initiation *)
+
+let ctx_page context = Layout.context_page context
+
+let iommu_fire ?(pid = 1) engine ~context ~vsrc ~vdst ~size =
+  dstore ~pid engine (ctx_page context + Regmap.c_arg_src) vsrc;
+  dstore ~pid engine (ctx_page context + Regmap.c_arg_dst) vdst;
+  dstore ~pid engine (ctx_page context + Regmap.c_size) size;
+  dload ~pid engine (ctx_page context)
+
+let reject_reasons engine =
+  List.filter_map
+    (function
+      | Engine.Rejected { reason; _ } -> Some reason
+      | Engine.Started _ | Engine.Atomic_done _ -> None)
+    (Engine.events engine)
+
+let iommu_table () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:1 (Pte.make ~frame:2 ~perms:Perms.read_write ());
+  Page_table.map pt ~vpage:3 (Pte.make ~frame:4 ~perms:Perms.read_write ());
+  pt
+
+let test_engine_iommu_path () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Iommu () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  Engine.iommu_bind engine ~context:1 ~table:(iommu_table ());
+  let status = iommu_fire engine ~context:1 ~vsrc:(Layout.page_size + 0x40) ~vdst:(3 * Layout.page_size) ~size:64 in
+  checki "status" 0 status;
+  (match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src translated" ((2 * Layout.page_size) + 0x40) tr.Transfer.src;
+    checki "dst translated" (4 * Layout.page_size) tr.Transfer.dst;
+    Alcotest.(check (option int)) "context" (Some 1) tr.Transfer.context
+  | _ -> Alcotest.fail "transfers");
+  let s = Engine.iotlb_stats engine in
+  checki "cold fire walks both pages" 2 s.Uldma_mmu.Iotlb.misses;
+  (* the second initiation reuses the cached translations *)
+  ignore (iommu_fire engine ~context:1 ~vsrc:(Layout.page_size + 0x40) ~vdst:(3 * Layout.page_size) ~size:64 : int);
+  let s = Engine.iotlb_stats engine in
+  checki "warm fire hits" 2 s.Uldma_mmu.Iotlb.hits;
+  checki "no extra walks" 2 s.Uldma_mmu.Iotlb.misses
+
+let test_engine_iommu_not_present () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Iommu () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  Engine.iommu_bind engine ~context:1 ~table:(iommu_table ());
+  checki "unmapped src fails" Status.failure
+    (iommu_fire engine ~context:1 ~vsrc:(9 * Layout.page_size) ~vdst:(3 * Layout.page_size) ~size:64);
+  checkb "not-present reject" true (List.mem Engine.Not_present (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_iommu_rights () =
+  (* a read-only destination page translates but fails the access
+     check — also Not_present, like a real IOMMU's translation fault *)
+  let engine, _, _ = make_engine ~mechanism:Engine.Iommu () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  let pt = iommu_table () in
+  Page_table.map pt ~vpage:3 (Pte.make ~frame:4 ~perms:Perms.read_only ());
+  Engine.iommu_bind engine ~context:1 ~table:pt;
+  checki "read-only dst fails" Status.failure
+    (iommu_fire engine ~context:1 ~vsrc:Layout.page_size ~vdst:(3 * Layout.page_size) ~size:64);
+  checkb "not-present reject" true (List.mem Engine.Not_present (reject_reasons engine))
+
+let test_engine_iommu_unbound () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Iommu () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  checki "no table bound" Status.failure
+    (iommu_fire engine ~context:1 ~vsrc:Layout.page_size ~vdst:(3 * Layout.page_size) ~size:64);
+  checkb "not-present reject" true (List.mem Engine.Not_present (reject_reasons engine))
+
+let test_engine_iommu_invalidate_refetches () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Iommu () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  let pt = iommu_table () in
+  Engine.iommu_bind engine ~context:1 ~table:pt;
+  ignore (iommu_fire engine ~context:1 ~vsrc:Layout.page_size ~vdst:(3 * Layout.page_size) ~size:64 : int);
+  (* the OS remaps the source page and shoots down its entry; the next
+     fire must walk again and see the new frame *)
+  Page_table.map pt ~vpage:1 (Pte.make ~frame:5 ~perms:Perms.read_write ());
+  Engine.iotlb_invalidate engine ~vpage:1;
+  ignore (iommu_fire engine ~context:1 ~vsrc:Layout.page_size ~vdst:(3 * Layout.page_size) ~size:64 : int);
+  (match Engine.transfers engine with
+  | [ _; tr ] -> checki "re-walked src" (5 * Layout.page_size) tr.Transfer.src
+  | _ -> Alcotest.fail "expected two transfers");
+  (* stale entry without shootdown would have kept firing from frame 2;
+     a full flush (context switch) forces both pages to re-walk *)
+  let misses_before = (Engine.iotlb_stats engine).Uldma_mmu.Iotlb.misses in
+  Engine.iotlb_flush engine;
+  ignore (iommu_fire engine ~context:1 ~vsrc:Layout.page_size ~vdst:(3 * Layout.page_size) ~size:64 : int);
+  let misses_after = (Engine.iotlb_stats engine).Uldma_mmu.Iotlb.misses in
+  checki "post-flush fire re-walks both pages" (misses_before + 2) misses_after
+
+(* ------------------------------------------------------------------ *)
+(* CAPIO capability-checked initiation *)
+
+let install_cap engine ~value ~base ~len ~context ~pid ~read ~write =
+  dstore engine (control Regmap.k_cap_value) value;
+  dstore engine (control Regmap.k_cap_base) base;
+  dstore engine (control Regmap.k_cap_len) len;
+  let meta =
+    context lor (if read then 0x100 else 0) lor (if write then 0x200 else 0) lor (pid lsl 16)
+  in
+  dstore engine (control Regmap.k_cap_commit) meta
+
+let capio_fire ?(pid = 1) engine ~context ~cap_src ~cap_dst ~size =
+  dstore ~pid engine (ctx_page context + Regmap.c_arg_src) cap_src;
+  dstore ~pid engine (ctx_page context + Regmap.c_arg_dst) cap_dst;
+  dstore ~pid engine (ctx_page context + Regmap.c_size) size;
+  dload ~pid engine (ctx_page context)
+
+let capio_engine () =
+  let engine, _, _ = make_engine ~mechanism:Engine.Capio ~n_contexts:4 () in
+  Engine.set_context_owner engine ~context:1 ~pid:(Some 1);
+  install_cap engine ~value:0xCAFE ~base:0x1000 ~len:128 ~context:1 ~pid:1 ~read:true
+    ~write:false;
+  install_cap engine ~value:0xD00D ~base:0x3000 ~len:128 ~context:1 ~pid:1 ~read:false
+    ~write:true;
+  engine
+
+let test_engine_capio_path () =
+  let engine = capio_engine () in
+  checki "status" 0 (capio_fire engine ~context:1 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:128);
+  match Engine.transfers engine with
+  | [ tr ] ->
+    checki "src from cap base" 0x1000 tr.Transfer.src;
+    checki "dst from cap base" 0x3000 tr.Transfer.dst;
+    checki "size" 128 tr.Transfer.size
+  | _ -> Alcotest.fail "transfers"
+
+let test_engine_capio_forged () =
+  let engine = capio_engine () in
+  checki "forged value fails" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xBAD ~cap_dst:0xD00D ~size:64);
+  checkb "bad-capability reject" true (List.mem Engine.Bad_capability (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_capio_foreign_context () =
+  (* the laundering move: a victim's capability replayed through the
+     accomplice's own context is as bad as a forged one *)
+  let engine = capio_engine () in
+  Engine.set_context_owner engine ~context:2 ~pid:(Some 2);
+  checki "foreign context fails" Status.failure
+    (capio_fire ~pid:2 engine ~context:2 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:64);
+  checkb "bad-capability reject" true (List.mem Engine.Bad_capability (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_capio_revoked () =
+  let engine = capio_engine () in
+  dstore engine (control Regmap.k_cap_revoke) 0xCAFE;
+  checki "revoked fails" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:64);
+  checkb "revoked (not bad) reject" true
+    (List.mem Engine.Revoked_capability (reject_reasons engine));
+  checkb "no bad_capability mislabel" false
+    (List.mem Engine.Bad_capability (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_capio_revoked_by_range () =
+  (* unmap shootdown: revoking by physical range kills the cap *)
+  let engine = capio_engine () in
+  Engine.revoke_caps_range engine ~base:0x3000 ~len:Layout.page_size;
+  checki "range-revoked fails" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:64);
+  checkb "revoked reject" true (List.mem Engine.Revoked_capability (reject_reasons engine))
+
+let test_engine_capio_out_of_range () =
+  let engine = capio_engine () in
+  checki "oversized fails" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:256);
+  checkb "bad-range reject" true (List.mem Engine.Bad_range (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_capio_rights () =
+  (* the write-only cap cannot source a transfer, nor the read-only
+     cap sink one *)
+  let engine = capio_engine () in
+  checki "write-only src fails" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xD00D ~cap_dst:0xCAFE ~size:64);
+  checkb "bad-capability reject" true (List.mem Engine.Bad_capability (reject_reasons engine));
+  checki "nothing started" 0 (started engine)
+
+let test_engine_capio_pid_revocation () =
+  let engine = capio_engine () in
+  Engine.revoke_caps_pid engine ~pid:1;
+  checki "dead owner's caps fail" Status.failure
+    (capio_fire engine ~context:1 ~cap_src:0xCAFE ~cap_dst:0xD00D ~size:64);
+  checkb "revoked reject" true (List.mem Engine.Revoked_capability (reject_reasons engine))
+
 let test_engine_copy_independent () =
   let engine, clock, ram = make_engine () in
   dstore engine (Shadow.encode 0x3000) (key_word 0 0);
@@ -890,6 +1080,20 @@ let () =
             test_engine_mapped_out_via_control_page;
           Alcotest.test_case "mapped out missing" `Quick test_engine_mapped_out_missing;
           Alcotest.test_case "rep five statuses" `Quick test_engine_rep_five;
+          Alcotest.test_case "iommu path + iotlb reuse" `Quick test_engine_iommu_path;
+          Alcotest.test_case "iommu not present" `Quick test_engine_iommu_not_present;
+          Alcotest.test_case "iommu rights fault" `Quick test_engine_iommu_rights;
+          Alcotest.test_case "iommu unbound context" `Quick test_engine_iommu_unbound;
+          Alcotest.test_case "iommu invalidate refetches" `Quick
+            test_engine_iommu_invalidate_refetches;
+          Alcotest.test_case "capio path" `Quick test_engine_capio_path;
+          Alcotest.test_case "capio forged" `Quick test_engine_capio_forged;
+          Alcotest.test_case "capio foreign context" `Quick test_engine_capio_foreign_context;
+          Alcotest.test_case "capio revoked" `Quick test_engine_capio_revoked;
+          Alcotest.test_case "capio revoked by range" `Quick test_engine_capio_revoked_by_range;
+          Alcotest.test_case "capio out of range" `Quick test_engine_capio_out_of_range;
+          Alcotest.test_case "capio rights" `Quick test_engine_capio_rights;
+          Alcotest.test_case "capio pid revocation" `Quick test_engine_capio_pid_revocation;
           Alcotest.test_case "rep broken sequence" `Quick test_engine_rep_broken_sequence_status;
           Alcotest.test_case "local backend copies" `Quick test_engine_local_backend_copies;
           Alcotest.test_case "atomic via kernel regs" `Quick test_engine_atomic_kernel_regs;

@@ -187,6 +187,134 @@ let test_tlb_power_of_two () =
       ignore (Tlb.create ~slots:48 () : Tlb.t))
 
 (* ------------------------------------------------------------------ *)
+(* Iotlb *)
+
+let iotlb_encode_str t =
+  let b = Buffer.create 128 in
+  Uldma_util.Enc.(Iotlb.encode (Buf b) t);
+  Buffer.contents b
+
+(* op scripts over a 64-vpage space: map (with OS shootdown), unmap
+   (with shootdown), translate, flush — the discipline Os.Kernel
+   follows, under which the cache must agree with a direct walk *)
+type iotlb_op = Imap of int * int | Iunmap of int | Itranslate of int | Iflush
+
+let iotlb_script_with_flush_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 120)
+      (map
+         (fun (op, vpage, frame) ->
+           match op with
+           | 0 | 1 | 2 -> Imap (vpage, frame + 100)
+           | 3 -> Iunmap vpage
+           | 4 | 5 | 6 | 7 | 8 -> Itranslate vpage
+           | _ -> Iflush)
+         (triple (int_range 0 9) (int_range 0 63) (int_range 0 63))))
+
+let iotlb_apply iotlb pt = function
+  | Imap (vpage, frame) ->
+    Page_table.map pt ~vpage (pte frame Perms.read_write);
+    Iotlb.invalidate iotlb ~vpage
+  | Iunmap vpage ->
+    Page_table.unmap pt ~vpage;
+    Iotlb.invalidate iotlb ~vpage
+  | Itranslate vpage -> ignore (Iotlb.translate iotlb pt ~vpage)
+  | Iflush -> Iotlb.flush iotlb
+
+(* 1. under the OS shootdown discipline, every translate agrees with a
+   direct page-table walk — hit, miss-and-fill, or fault alike *)
+let iotlb_agrees_with_walk_prop =
+  qtest "iotlb: translate agrees with direct walk" iotlb_script_with_flush_gen (fun script ->
+      let iotlb = Iotlb.create ~sets:4 ~ways:2 () in
+      let pt = Page_table.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Itranslate vpage -> (
+            match (Iotlb.translate iotlb pt ~vpage, Page_table.find pt ~vpage) with
+            | (`Hit got | `Miss got), Some want -> Pte.equal got want
+            | `Fault, None -> true
+            | (`Hit _ | `Miss _), None | `Fault, Some _ -> false)
+          | _ ->
+            iotlb_apply iotlb pt op;
+            true)
+          &&
+          (* the cache never grows past its geometry and never caches
+             a page the table no longer maps *)
+          List.length (Iotlb.entries iotlb) <= 4 * 2
+          && List.for_all
+               (fun (vpage, cached) ->
+                 match Page_table.find pt ~vpage with
+                 | Some want -> Pte.equal cached want
+                 | None -> false)
+               (Iotlb.entries iotlb))
+        script)
+
+(* 2. miss/refill/invalidate determinism: the same script on two fresh
+   caches leaves identical entries, statistics and encodings *)
+let iotlb_determinism_prop =
+  qtest "iotlb: refill/invalidate deterministic" iotlb_script_with_flush_gen (fun script ->
+      let run () =
+        let iotlb = Iotlb.create ~sets:4 ~ways:2 () in
+        let pt = Page_table.create () in
+        List.iter (fun op -> iotlb_apply iotlb pt op) script;
+        (iotlb, pt)
+      in
+      let a, _ = run () in
+      let b, _ = run () in
+      Iotlb.entries a = Iotlb.entries b
+      && Iotlb.stats a = Iotlb.stats b
+      && String.equal (iotlb_encode_str a) (iotlb_encode_str b))
+
+(* 3. encoding equality <=> same reachable contents: a copy encodes
+   equal and then behaves identically under any shared future stream,
+   while any content-changing step separates the encodings *)
+let iotlb_encode_iff_contents_prop =
+  qtest "iotlb: encode equality iff same contents"
+    QCheck2.Gen.(pair iotlb_script_with_flush_gen (list_size (int_range 1 30) (int_range 0 63)))
+    (fun (script, probes) ->
+      let iotlb = Iotlb.create ~sets:4 ~ways:2 () in
+      let pt = Page_table.create () in
+      List.iter (fun op -> iotlb_apply iotlb pt op) script;
+      let snap = Iotlb.copy iotlb in
+      String.equal (iotlb_encode_str snap) (iotlb_encode_str iotlb)
+      && (* equal encodings evolve identically: same hit/miss stream *)
+      List.for_all
+        (fun vpage ->
+          Page_table.map pt ~vpage:(vpage land 7) (pte (vpage + 200) Perms.read_write);
+          let tag = function `Hit _ -> 0 | `Miss _ -> 1 | `Fault -> 2 in
+          tag (Iotlb.translate iotlb pt ~vpage) = tag (Iotlb.translate snap pt ~vpage)
+          && String.equal (iotlb_encode_str snap) (iotlb_encode_str iotlb))
+        probes
+      &&
+      (* and a content change separates them: filling a fresh page on
+         one side only must change its encoding *)
+      let before = iotlb_encode_str iotlb in
+      Iotlb.fill iotlb ~vpage:999 (pte 999 Perms.read_write);
+      not (String.equal before (iotlb_encode_str iotlb)))
+
+let test_iotlb_untagged_flush_and_walk_cost () =
+  (* flush resets contents *and* victim cursors: a post-flush refill
+     re-derives everything from the table, and statistics record the
+     charged walks *)
+  let iotlb = Iotlb.create () in
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpage:7 (pte 3 Perms.read_write);
+  (match Iotlb.translate iotlb pt ~vpage:7 with
+  | `Miss _ -> ()
+  | `Hit _ | `Fault -> Alcotest.fail "cold lookup must walk");
+  (match Iotlb.translate iotlb pt ~vpage:7 with
+  | `Hit _ -> ()
+  | `Miss _ | `Fault -> Alcotest.fail "second lookup must hit");
+  Iotlb.flush iotlb;
+  (match Iotlb.translate iotlb pt ~vpage:7 with
+  | `Miss _ -> ()
+  | `Hit _ | `Fault -> Alcotest.fail "flush must force a re-walk");
+  let s = Iotlb.stats iotlb in
+  checki "hits" 1 s.Iotlb.hits;
+  checki "misses (charged walks)" 2 s.Iotlb.misses
+
+(* ------------------------------------------------------------------ *)
 (* Addr_space *)
 
 let space_with_page ~vpage ~frame ~perms =
@@ -349,6 +477,14 @@ let () =
           Alcotest.test_case "invalidate" `Quick test_tlb_invalidate;
           Alcotest.test_case "conflict eviction" `Quick test_tlb_conflict_eviction;
           Alcotest.test_case "power-of-two slots" `Quick test_tlb_power_of_two;
+        ] );
+      ( "iotlb",
+        [
+          Alcotest.test_case "untagged flush + walk charge" `Quick
+            test_iotlb_untagged_flush_and_walk_cost;
+          iotlb_agrees_with_walk_prop;
+          iotlb_determinism_prop;
+          iotlb_encode_iff_contents_prop;
         ] );
       ( "addr_space",
         [

@@ -462,7 +462,7 @@ let test_remote_atomic_requires_mailbox () =
 let test_registry_ids_unique () =
   let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
   checki "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
-  checki "twenty experiments" 20 (List.length ids)
+  checki "twenty-one experiments" 21 (List.length ids)
 
 let test_registry_find () =
   checkb "table1 present" true (Experiments.find "table1" <> None);

@@ -204,7 +204,90 @@ let test_explorer_contested_mechanisms_safe () =
       ("ext-shadow", Scenario.ext_shadow_contested);
       ("key-based", (fun () -> Scenario.key_contested ()));
       ("pal", Scenario.pal_contested);
+      ("iommu", (fun () -> Scenario.iommu_contested ()));
+      ("capio", (fun () -> Scenario.capio_contested ()));
+      ("iommu-fig5", (fun () -> Scenario.iommu_fig5 ()));
+      ("capio-fig5", (fun () -> Scenario.capio_fig5 ()));
     ]
+
+(* the CAPIO laundering accomplice: a victim capability replayed
+   through the accomplice's own register context must be rejected
+   [Bad_capability] — and the attempt must actually reach the engine,
+   otherwise this test would pass vacuously *)
+let launder_rejects engine ~pid:accomplice_pid reason =
+  List.exists
+    (function
+      | Engine.Rejected { reason = r; pid; _ } -> r = reason && pid = accomplice_pid
+      | Engine.Started _ | Engine.Atomic_done _ -> false)
+    (Engine.events engine)
+
+let test_capio_launder_rejected_concrete () =
+  (* accomplice fires first, while the victim (and its caps) are alive:
+     the context binding rejects the replay as Bad_capability *)
+  let s = Scenario.capio_launder () in
+  Scenario.run_legs s [ Scenario.M; Scenario.M; Scenario.M; Scenario.M ];
+  Scenario.finish s ();
+  let engine = Kernel.engine s.Scenario.kernel in
+  let accomplice_pid = s.Scenario.attacker.Process.pid in
+  checkb "laundering rejected Bad_capability" true
+    (launder_rejects engine ~pid:accomplice_pid Engine.Bad_capability);
+  checki "only the victim's transfer started" 1 (List.length (Engine.transfers engine));
+  checkb "oracle clean" true (Oracle.ok (Scenario.report s))
+
+let test_capio_launder_rejected_after_victim_exit () =
+  (* the other phase: once the victim exits, its caps are revoked by
+     pid, so a late replay is rejected Revoked_capability instead —
+     still never fires *)
+  let s = Scenario.capio_launder () in
+  Scenario.finish s ();
+  let engine = Kernel.engine s.Scenario.kernel in
+  let accomplice_pid = s.Scenario.attacker.Process.pid in
+  checkb "late replay rejected Revoked_capability" true
+    (launder_rejects engine ~pid:accomplice_pid Engine.Revoked_capability);
+  checki "only the victim's transfer started" 1 (List.length (Engine.transfers engine))
+
+let test_explorer_capio_launder_safe () =
+  let r = explore (fun () -> Scenario.capio_launder ()) in
+  checkb "not truncated" false r.Explorer.truncated;
+  checki "no violating schedule" 0 (List.length r.Explorer.violations)
+
+(* unmap shootdown: a granted capability dies with its mapping, and
+   dies as *revoked* (distinguishable from never-granted) *)
+let test_kernel_unmap_revokes_caps () =
+  let kernel = Scenario.make_kernel Engine.Capio in
+  let p = Kernel.spawn kernel ~name:"p" ~program:[||] () in
+  let va = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_write in
+  (match Kernel.alloc_dma_context kernel p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no context");
+  let value =
+    match Kernel.grant_dma_cap kernel p ~vaddr:va ~len:64 ~rights:Uldma_mem.Perms.read_write with
+    | Some v -> v
+    | None -> Alcotest.fail "grant refused"
+  in
+  let engine = Kernel.engine kernel in
+  let find () = Capability.find (Engine.capabilities engine) ~value in
+  (match find () with
+  | Some c -> checkb "live before unmap" false c.Capability.revoked
+  | None -> Alcotest.fail "cap not installed");
+  Kernel.unmap_pages kernel p ~vaddr:va ~n:1;
+  match find () with
+  | Some c -> checkb "revoked after unmap" true c.Capability.revoked
+  | None -> Alcotest.fail "revoked cap must stay findable (Revoked <> Bad)"
+
+let test_kernel_grant_rejects_bad_ranges () =
+  let kernel = Scenario.make_kernel Engine.Capio in
+  let p = Kernel.spawn kernel ~name:"p" ~program:[||] () in
+  (match Kernel.alloc_dma_context kernel p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no context");
+  let ro = Kernel.alloc_pages kernel p ~n:1 ~perms:Uldma_mem.Perms.read_only in
+  checkb "write right on read-only page refused" true
+    (Kernel.grant_dma_cap kernel p ~vaddr:ro ~len:64 ~rights:Uldma_mem.Perms.read_write = None);
+  checkb "unmapped range refused" true
+    (Kernel.grant_dma_cap kernel p ~vaddr:(50 * Uldma_mem.Layout.page_size) ~len:64
+       ~rights:Uldma_mem.Perms.read_only
+    = None)
 
 let test_explorer_schedules_recorded () =
   let r = explore (fun () -> Scenario.fig5 ()) in
@@ -853,7 +936,7 @@ let campaign_shared_vs_cold =
        ~print:(fun (a, b) -> Synth.mnemonic a ^ " / " ^ Synth.mnemonic b)
        (QCheck2.Gen.pair gen_ops gen_ops)
        (fun (warm_ops, ops) ->
-         let base = Synth.make_base Seq_matcher.Five in
+         let base = Synth.make_base (Synth.Rep Seq_matcher.Five) in
          let s = Synth.base_scenario base in
          let pids = Scenario.explore_pids s in
          let check = Scenario.oracle_check s in
@@ -881,7 +964,7 @@ let campaign_shared_vs_cold =
    shows up as cross-candidate hits. *)
 let test_campaign_jobs_determinism () =
   let run jobs =
-    let cr = Synth.run_cell ~slots:2 ~jobs Seq_matcher.Five in
+    let cr = Synth.run_cell ~slots:2 ~jobs (Synth.Rep Seq_matcher.Five) in
     (Array.map canon_result cr.Synth.cr_results, cr.Synth.cr_stats, cr.Synth.cr_cell)
   in
   let r1, stats1, cell1 = run 1 in
@@ -976,8 +1059,16 @@ let () =
           Alcotest.test_case "rep-4: finds Fig. 6" `Quick test_explorer_rep4_finds_fig6;
           Alcotest.test_case "rep-5 resists store splice" `Slow
             test_explorer_rep5_resists_store_splice;
-          Alcotest.test_case "contested: ext-shadow/key/pal safe" `Slow
+          Alcotest.test_case "contested: ext-shadow/key/pal/iommu/capio safe" `Slow
             test_explorer_contested_mechanisms_safe;
+          Alcotest.test_case "capio launder rejected (concrete run)" `Quick
+            test_capio_launder_rejected_concrete;
+          Alcotest.test_case "capio launder rejected after victim exit" `Quick
+            test_capio_launder_rejected_after_victim_exit;
+          Alcotest.test_case "capio launder safe under all schedules" `Quick
+            test_explorer_capio_launder_safe;
+          Alcotest.test_case "unmap revokes capabilities" `Quick test_kernel_unmap_revokes_caps;
+          Alcotest.test_case "grant refuses bad ranges" `Quick test_kernel_grant_rejects_bad_ranges;
           Alcotest.test_case "violating schedule recorded" `Quick test_explorer_schedules_recorded;
           Alcotest.test_case "root untouched" `Quick test_explorer_root_untouched;
           Alcotest.test_case "max_paths truncates" `Quick test_explorer_max_paths_truncates;

@@ -25,17 +25,23 @@ let repeat = ref 1
 let jobs2 = ref 2
 let max_paths = ref 1_000_000
 let verbose = ref false
+let subject = ref (Synth.Rep Uldma_dma.Seq_matcher.Five)
 
 let usage () =
   prerr_endline
     "usage: check_campaign [--slots N] [--exact] [--repeat N] [--jobs N] [--max-paths N] \
-     [--verbose]";
+     [--mech rep3|rep4|rep5|pal|key|ext|iommu|capio] [--verbose]";
   exit 2
 
 let rec parse = function
   | [] -> ()
   | "--slots" :: v :: rest ->
     slots := int_of_string v;
+    parse rest
+  | "--mech" :: v :: rest ->
+    (match Synth.subject_of_string v with
+    | Some s -> subject := s
+    | None -> usage ());
     parse rest
   | "--exact" :: rest ->
     exact := true;
@@ -70,10 +76,10 @@ let check_eq what i a b =
 
 let () =
   parse (List.tl (Array.to_list Sys.argv));
-  let variant = Uldma_dma.Seq_matcher.Five in
+  let subject = !subject in
   (* cold baseline: every candidate explored sequentially with its own
      private memo, no baseline/tag decoration *)
-  let base = Synth.make_base ~repeat:!repeat variant in
+  let base = Synth.make_base ~repeat:!repeat subject in
   let ops = Synth.enumerate ~exact:!exact ~slots:!slots () in
   let candidates = Array.map (Synth.candidate base) ops in
   let scenario = Synth.base_scenario base in
@@ -103,7 +109,7 @@ let () =
     let t0 = Unix.gettimeofday () in
     let cr =
       Synth.run_cell ~repeat:!repeat ~slots:!slots ~exact:!exact ~jobs ~max_paths:!max_paths
-        variant
+        subject
     in
     (cr, Unix.gettimeofday () -. t0)
   in

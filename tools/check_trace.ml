@@ -1,9 +1,12 @@
 (* check-trace — end-to-end validator of the observability layer,
    wired into `dune runtest`:
 
-   1. runs a small traced workload (two Table-1 measurements, the
-      Fig. 5 attack, a bounded rep5 exploration) under an ambient sink
-      and checks the trace covers >= 6 event kinds from >= 4 layers;
+   1. runs a small traced workload (four Table-1 measurements
+      including the iommu and capio mechanisms, a rejected capio
+      laundering attempt, the Fig. 5 attack, a bounded rep5
+      exploration) under an ambient sink and checks the trace covers
+      >= 6 event kinds from >= 4 layers and specifically contains
+      iotlb_miss / iotlb_fill / cap_check / engine_reject;
    2. exports the Chrome trace_event JSON, re-parses it with a local
       JSON reader and checks timestamps are monotone per machine (pid);
    3. checks the disabled path really is a no-op (no events recorded);
@@ -160,6 +163,19 @@ let traced_workload () =
   ignore
     (Uldma_sim.Measure.initiation ~iterations:10 (Uldma.Api.find_exn "kernel")
       : Uldma_sim.Measure.result);
+  (* the IOMMU path emits iotlb_miss/iotlb_fill, the CAPIO path
+     cap_check{ok} — both must appear in the kind coverage below *)
+  ignore
+    (Uldma_sim.Measure.initiation ~iterations:5 (Uldma.Api.find_exn "iommu")
+      : Uldma_sim.Measure.result);
+  ignore
+    (Uldma_sim.Measure.initiation ~iterations:5 (Uldma.Api.find_exn "capio")
+      : Uldma_sim.Measure.result);
+  (* and a denied cap_check plus its engine_reject: the laundering
+     accomplice fires first, while the victim's caps are live *)
+  let l = Scenario.capio_launder () in
+  Scenario.run_legs l [ Scenario.M; Scenario.M; Scenario.M; Scenario.M ];
+  Scenario.finish l ();
   let s = Scenario.fig5 () in
   Scenario.run_legs s Scenario.fig5_schedule;
   Scenario.finish s ();
@@ -199,6 +215,14 @@ let () =
   if Trace.total sink = 0 then fail "traced workload recorded no events";
   if Hashtbl.length kinds < 6 then fail "only %d distinct event kinds (need >= 6)" (Hashtbl.length kinds);
   if Hashtbl.length layers < 4 then fail "only %d distinct layers (need >= 4)" (Hashtbl.length layers);
+  (* the IOMMU/CAPIO engine paths must be visible in the trace, by
+     name: a cold IOTLB walk (miss + fill) from the iommu measurement,
+     and a capability verdict (the capio measurement gives ok=true,
+     the laundering accomplice a denial) *)
+  List.iter
+    (fun kind ->
+      if not (Hashtbl.mem kinds kind) then fail "traced workload missing event kind %S" kind)
+    [ "iotlb_miss"; "iotlb_fill"; "cap_check"; "engine_reject" ];
 
   (* 2. the Chrome export parses and is time-ordered per machine *)
   let tmp = Filename.temp_file "uldma_check_trace" ".json" in
@@ -297,6 +321,11 @@ let () =
       ( "rep5 --net atm155 (timed)",
         (fun () -> Scenario.rep5 ~net:(Uldma_net.Backend.linked Uldma_net.Link.atm155) ()),
         false );
+      (* the two kernel-modification mechanisms: IOTLB state must not
+         leak through the dedup encoding (iommu), and the laundering
+         accomplice must be rejected under every schedule (capio) *)
+      ("iommu (contested)", (fun () -> Scenario.iommu_contested ()), false);
+      ("capio-launder", (fun () -> Scenario.capio_launder ()), false);
     ];
   let r5 = explore_checked (fun () -> Scenario.rep5 ()) in
   if r5.Explorer.states_visited >= r5.Explorer.paths then

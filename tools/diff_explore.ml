@@ -106,11 +106,35 @@ let run_cell ~label ~max_paths ~jobs_list ~paranoid_all ~allow_truncated build =
     (List.length brute.Explorer.violations)
     dedup.Explorer.states_visited paths_per_state brute.Explorer.states_visited
 
+(* the six-mechanism matrix plus the dedicated adversarial scenarios.
+   `Timed scenarios run under every backend; `Untimed ones have no
+   wire-time variant and contribute only their null cell. *)
 let scenarios =
   [
-    ("fig5", fun net -> Scenario.fig5 ?net ());
-    ("rep5", fun net -> Scenario.rep5 ?net ());
-    ("key-based", fun net -> Scenario.key_contested ?net ());
+    ("fig5", `Timed (fun net -> Scenario.fig5 ?net ()));
+    ("rep5", `Timed (fun net -> Scenario.rep5 ?net ()));
+    ("key-based", `Timed (fun net -> Scenario.key_contested ?net ()));
+    ("pal", `Untimed (fun () -> Scenario.pal_contested ()));
+    ("ext-shadow", `Untimed (fun () -> Scenario.ext_shadow_contested ()));
+    ("iommu", `Timed (fun net -> Scenario.iommu_contested ?net ()));
+    ("capio", `Timed (fun net -> Scenario.capio_contested ?net ()));
+    ("iommu-fig5", `Timed (fun net -> Scenario.iommu_fig5 ?net ()));
+    ("capio-fig5", `Timed (fun net -> Scenario.capio_fig5 ?net ()));
+    ("capio-launder", `Timed (fun net -> Scenario.capio_launder ?net ()));
+  ]
+
+(* the --quick sample: one cell per matrix mechanism (null backend)
+   plus two timed cells, sized for `dune runtest` *)
+let quick_cells =
+  [
+    ("rep5", "null");
+    ("rep5", "atm155");
+    ("key-based", "null");
+    ("pal", "null");
+    ("ext-shadow", "null");
+    ("iommu", "atm155");
+    ("capio", "null");
+    ("capio-launder", "null");
   ]
 
 let backends ~tick_ps =
@@ -123,8 +147,9 @@ let backends ~tick_ps =
 
 let usage () =
   prerr_endline
-    "usage: diff_explore [--quick] [--scenario fig5|rep5|key-based|all] [--net \
-     null|atm155|atm622|gigabit|hic|all] [--tick-ps N] [--jobs N,N,...] [--max-paths N] \
+    "usage: diff_explore [--quick] [--scenario \
+     fig5|rep5|key-based|pal|ext-shadow|iommu|capio|iommu-fig5|capio-fig5|capio-launder|all] \
+     [--net null|atm155|atm622|gigabit|hic|all] [--tick-ps N] [--jobs N,N,...] [--max-paths N] \
      [--allow-truncated] [--paranoid-vs-fingerprint]";
   exit 2
 
@@ -172,8 +197,7 @@ let () =
   | () -> ()
   | exception Failure _ -> usage ());
   let scenarios =
-    if !quick then [ ("rep5", List.assoc "rep5" scenarios) ]
-    else if !scenario_filter = "all" then scenarios
+    if !scenario_filter = "all" then scenarios
     else
       match List.assoc_opt !scenario_filter scenarios with
       | Some f -> [ (!scenario_filter, f) ]
@@ -181,8 +205,7 @@ let () =
   in
   let backends =
     let all = backends ~tick_ps:!tick_ps in
-    if !quick then [ ("null", None); List.nth all 1 ]
-    else if !net_filter = "all" then all
+    if !net_filter = "all" then all
     else
       match Backend.of_string ~tick_ps:!tick_ps !net_filter with
       | Ok Backend.Null -> [ ("null", None) ]
@@ -192,17 +215,34 @@ let () =
         usage ()
   in
   let jobs_list = if !quick then [ 2 ] else !jobs_list in
+  (* one cell per (scenario, supported backend); untimed scenarios only
+     have their null cell *)
+  let cells =
+    List.concat_map
+      (fun (sname, kind) ->
+        match kind with
+        | `Timed f ->
+          List.map (fun (bname, net) -> (sname, bname, fun () -> f net)) backends
+        | `Untimed f ->
+          if List.mem_assoc "null" backends then [ (sname, "null", fun () -> f ()) ] else [])
+      scenarios
+  in
+  let cells =
+    if !quick then
+      List.filter (fun (sname, bname, _) -> List.mem (sname, bname) quick_cells) cells
+    else cells
+  in
+  if cells = [] then begin
+    prerr_endline "diff_explore: no cells match the scenario/net filters";
+    usage ()
+  end;
   List.iter
-    (fun (sname, build) ->
-      List.iter
-        (fun (bname, net) ->
-          run_cell
-            ~label:(Printf.sprintf "%s --net %s" sname bname)
-            ~max_paths:!max_paths ~jobs_list ~paranoid_all:!paranoid_all
-            ~allow_truncated:!allow_truncated
-            (fun () -> build net))
-        backends)
-    scenarios;
+    (fun (sname, bname, build) ->
+      run_cell
+        ~label:(Printf.sprintf "%s --net %s" sname bname)
+        ~max_paths:!max_paths ~jobs_list ~paranoid_all:!paranoid_all
+        ~allow_truncated:!allow_truncated build)
+    cells;
   if !failures > 0 then begin
     Printf.printf "diff-explore: %d mismatching cell(s)\n" !failures;
     exit 1
